@@ -1,0 +1,48 @@
+"""Shared fixtures for the figure/table reproduction benchmarks.
+
+Each benchmark regenerates one panel (or series) of a paper figure and
+prints the measured rows through the ``emit`` fixture, which bypasses
+pytest's output capture so the series tables appear in
+``pytest benchmarks/ --benchmark-only`` output.  Results are also
+appended to ``benchmarks/results/*.txt`` for EXPERIMENTS.md.
+
+Scaled-down defaults (DESIGN.md §4): the accountant is exact at any
+scale, so mechanism orderings and bitwidth crossovers match the paper;
+absolute wall-clock-bounded quantities (rounds, dataset size) are
+smaller.  Environment variable ``REPRO_BENCH_FULL=1`` switches the FL
+benchmarks to the paper's full geometry (slow).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Paper-scale toggle for the heavy FL benches.
+FULL_SCALE = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print a line through pytest's capture (and persist it to a file)."""
+
+    def _emit(line: str, filename: str | None = None) -> None:
+        with capsys.disabled():
+            print(line)
+        if filename is not None:
+            RESULTS_DIR.mkdir(exist_ok=True)
+            with open(RESULTS_DIR / filename, "a") as handle:
+                handle.write(line + "\n")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def bench_rng():
+    """Session-wide deterministic generator for benchmark inputs."""
+    return np.random.default_rng(20220601)

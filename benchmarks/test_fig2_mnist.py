@@ -1,0 +1,111 @@
+"""Figure 2: federated learning on MNIST (test accuracy).
+
+Paper workload: the Section 6.2 MLP (d = 63,610) on MNIST, one record per
+participant, 4 epochs of Poisson-sampled rounds, Adam lr 0.005;
+panels sweep epsilon in {1..5}, |B| in {120..960} and gamma at each
+bitwidth m in {2^6, 2^8, 2^10}.
+
+This benchmark regenerates the figure's load-bearing series at the
+DESIGN.md §4 bench scale (MNIST surrogate, hidden=16, |B|=100, T=80,
+gamma = m/8 to preserve the paper's d/(4 gamma^2) regime per panel):
+
+* epsilon sweep at m=2^8 for DPSGD, SMM, Skellam, DDG (panel d),
+* the m=2^6 panel where only SMM retains signal (panel a),
+* the m=2^10 panel where Skellam/DDG catch DPSGD (panel g),
+* a batch-size point (panel e) and a gamma point (panel f),
+* one cpSGD point (unusable everywhere, as in the paper).
+
+Expected shape (paper): at 2^6 only SMM trains; at 2^8 SMM leads and the
+gap narrows as epsilon grows; at 2^10 Skellam/DDG reach DPSGD with SMM
+just behind; large |B| hurts the conditional-rounding baselines more;
+cpSGD stays near chance.
+"""
+
+import math
+
+import pytest
+
+from benchmarks import fl_common
+from benchmarks.fl_common import PANELS, train_point
+
+fl_common.train_point.dataset = "mnist"
+
+EPSILONS = [1.0, 3.0, 5.0]
+
+
+@pytest.mark.parametrize("mechanism", ["dpsgd", "smm", "skellam", "ddg"])
+def test_fig2_panel_d_epsilon_sweep(benchmark, emit, mechanism):
+    """Panel (d): accuracy vs epsilon at m = 2^8."""
+    fl_common.train_point.dataset = "mnist"
+
+    def sweep():
+        panel = None if mechanism == "dpsgd" else "2^8"
+        return [train_point(mechanism, panel, eps) for eps in EPSILONS]
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    cells = "  ".join(
+        f"eps={eps:.0f}:{100 * acc:5.1f}%" for eps, acc in zip(EPSILONS, series)
+    )
+    emit(f"[fig2 panel-d m=2^8] {mechanism:8s} {cells}", filename="fig2.txt")
+    assert all(not math.isnan(acc) for acc in series)
+
+
+@pytest.mark.parametrize("mechanism", ["smm", "skellam", "ddg"])
+@pytest.mark.parametrize("panel", ["2^6", "2^10"])
+def test_fig2_bitwidth_panels(benchmark, emit, mechanism, panel):
+    """Panels (a) and (g): the extreme bitwidths at epsilon = 3."""
+    fl_common.train_point.dataset = "mnist"
+    accuracy = benchmark.pedantic(
+        lambda: train_point(mechanism, panel, 3.0), rounds=1, iterations=1
+    )
+    emit(
+        f"[fig2 panel m={panel} eps=3] {mechanism:8s} acc={100 * accuracy:5.1f}%",
+        filename="fig2.txt",
+    )
+
+
+@pytest.mark.parametrize("mechanism", ["smm", "ddg"])
+def test_fig2_panel_e_large_batch(benchmark, emit, mechanism):
+    """Panel (e): doubling |B| (the paper's |B| sweep, rightmost point)."""
+    fl_common.train_point.dataset = "mnist"
+    accuracy = benchmark.pedantic(
+        lambda: train_point(
+            mechanism, "2^8", 3.0, batch=2 * fl_common.SCALE.batch
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        f"[fig2 panel-e m=2^8 eps=3 2x-batch] {mechanism:8s} "
+        f"acc={100 * accuracy:5.1f}%",
+        filename="fig2.txt",
+    )
+
+
+@pytest.mark.parametrize("gamma_factor", [0.5, 2.0])
+def test_fig2_panel_f_gamma_sweep(benchmark, emit, gamma_factor):
+    """Panel (f): SMM accuracy vs gamma at m = 2^8 (peak in the middle)."""
+    fl_common.train_point.dataset = "mnist"
+    gamma = PANELS["2^8"][1] * gamma_factor
+    accuracy = benchmark.pedantic(
+        lambda: train_point("smm", "2^8", 3.0, gamma=gamma),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        f"[fig2 panel-f m=2^8 eps=3 gamma={gamma:g}] smm "
+        f"acc={100 * accuracy:5.1f}%",
+        filename="fig2.txt",
+    )
+
+
+def test_fig2_cpsgd_point(benchmark, emit):
+    """cpSGD at its best panel — still near chance (paper: < 20%)."""
+    fl_common.train_point.dataset = "mnist"
+    accuracy = benchmark.pedantic(
+        lambda: train_point("cpsgd", "2^8", 3.0), rounds=1, iterations=1
+    )
+    emit(
+        f"[fig2 m=2^8 eps=3] cpsgd    acc={100 * accuracy:5.1f}%",
+        filename="fig2.txt",
+    )

@@ -1,0 +1,91 @@
+"""Table 1: running time of exact vs approximate noise samplers.
+
+Paper workload: generate 1e5 samples from Skellam and discrete Gaussian
+at variance in {32, 16, 8, 4, 2, 1}, with (i) the exact integer-
+arithmetic samplers (sequential) and (ii) the floating-point batch
+samplers (the paper uses TensorFlow's; ours are the vectorised numpy
+equivalents), reporting seconds per batch.
+
+Expected shape (paper): exact Skellam gets *faster* as the variance
+shrinks (Algorithm 10 peels off fewer Poisson(1) components) and beats
+exact discrete Gaussian at small variance; the exact discrete Gaussian
+cost is roughly variance-independent; the approximate samplers are
+orders of magnitude faster, with Skellam ahead of discrete Gaussian.
+
+The default sample count is scaled down from 1e5 so the whole table
+runs in seconds; timings are reported normalised to 1e5 samples for
+direct comparison with the paper's Table 1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sampling import (
+    ExactDiscreteGaussianSampler,
+    ExactSkellamSampler,
+    discrete_gaussian_noise,
+    skellam_noise,
+)
+
+from benchmarks.conftest import FULL_SCALE
+
+VARIANCES = [32.0, 16.0, 8.0, 4.0, 2.0, 1.0]
+EXACT_SAMPLES = 100_000 if FULL_SCALE else 2_000
+FAST_SAMPLES = 100_000
+PAPER_SCALE = 100_000
+
+
+@pytest.mark.parametrize("variance", VARIANCES)
+def test_exact_skellam(benchmark, emit, variance):
+    """Row 'Exact Skellam' of Table 1."""
+    sampler = ExactSkellamSampler(lam=variance / 2.0, seed=0)
+    benchmark.pedantic(
+        lambda: sampler.sample_many(EXACT_SAMPLES), rounds=1, iterations=1
+    )
+    normalised = benchmark.stats.stats.mean * PAPER_SCALE / EXACT_SAMPLES
+    emit(
+        f"[table1] exact-skellam   var={variance:5.1f}  "
+        f"{normalised:8.2f}s per 1e5 samples",
+        filename="table1.txt",
+    )
+
+
+@pytest.mark.parametrize("variance", VARIANCES)
+def test_exact_discrete_gaussian(benchmark, emit, variance):
+    """Row 'Exact DG' of Table 1."""
+    sampler = ExactDiscreteGaussianSampler(sigma_squared=variance, seed=0)
+    benchmark.pedantic(
+        lambda: sampler.sample_many(EXACT_SAMPLES), rounds=1, iterations=1
+    )
+    normalised = benchmark.stats.stats.mean * PAPER_SCALE / EXACT_SAMPLES
+    emit(
+        f"[table1] exact-dg        var={variance:5.1f}  "
+        f"{normalised:8.2f}s per 1e5 samples",
+        filename="table1.txt",
+    )
+
+
+@pytest.mark.parametrize("variance", VARIANCES)
+def test_fast_skellam(benchmark, emit, variance):
+    """Row 'TF Skellam' of Table 1 (vectorised numpy equivalent)."""
+    rng = np.random.default_rng(0)
+    benchmark(lambda: skellam_noise(variance / 2.0, FAST_SAMPLES, rng))
+    normalised = benchmark.stats.stats.mean * PAPER_SCALE / FAST_SAMPLES
+    emit(
+        f"[table1] fast-skellam    var={variance:5.1f}  "
+        f"{normalised:8.4f}s per 1e5 samples",
+        filename="table1.txt",
+    )
+
+
+@pytest.mark.parametrize("variance", VARIANCES)
+def test_fast_discrete_gaussian(benchmark, emit, variance):
+    """Row 'TF DG' of Table 1 (vectorised numpy equivalent)."""
+    rng = np.random.default_rng(0)
+    benchmark(lambda: discrete_gaussian_noise(variance, FAST_SAMPLES, rng))
+    normalised = benchmark.stats.stats.mean * PAPER_SCALE / FAST_SAMPLES
+    emit(
+        f"[table1] fast-dg         var={variance:5.1f}  "
+        f"{normalised:8.4f}s per 1e5 samples",
+        filename="table1.txt",
+    )

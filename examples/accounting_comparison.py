@@ -1,0 +1,93 @@
+"""RDP (Theorem 5) versus tight PLD accounting for the SMM release.
+
+The paper accounts privacy with Rényi DP — Theorem 5's closed form,
+composed by Lemma 1/2 and converted by Lemma 3.  Its Related Work cites
+Koskela et al. [34] as the tight FFT alternative.  This example
+quantifies the difference on SMM's own worst-case distribution pair:
+
+* for a *single* release the RDP-converted epsilon is ~10x the tight
+  value — at these small aggregate noise levels Eq. (3) restricts the
+  feasible Rényi orders to alpha <= 3, so Lemma 3's log(1/delta) /
+  (alpha - 1) conversion term dominates; and
+* under *subsampled composition* the gap persists (Lemma 2 adds its own
+  slack on top) — evidence that the mechanism is substantially more
+  private than its RDP certificate, and why the paper lists tightening
+  the analysis constants as future work.
+
+Run:
+    python examples/accounting_comparison.py
+"""
+
+import math
+
+from repro.accounting.divergences import smm_rdp
+from repro.accounting.pld import smm_pair_pmfs, tight_epsilon
+from repro.accounting.rdp import RdpAccountant, best_epsilon
+
+DELTA = 1e-5
+VALUE = 1.5  # the differing record's scaled value x_{n+1}
+
+
+def mixture_sensitivity(value: float) -> float:
+    frac = value - math.floor(value)
+    return value**2 + frac - frac**2
+
+
+def single_release(total_lambda: float) -> tuple[float, float]:
+    """(RDP epsilon, tight PLD epsilon) for one SMM release."""
+    c = mixture_sensitivity(VALUE)
+    delta_inf = max(1, math.ceil(VALUE))
+    rdp_eps, _ = best_epsilon(
+        range(2, 101),
+        lambda a: smm_rdp(a, c, total_lambda, delta_inf),
+        DELTA,
+    )
+    p, q = smm_pair_pmfs(VALUE, total_lambda)
+    return rdp_eps, tight_epsilon(p, q, DELTA)
+
+
+def composed_run(
+    total_lambda: float, rounds: int, sampling_rate: float
+) -> tuple[float, float]:
+    """(RDP epsilon, tight PLD epsilon) for a subsampled training run."""
+    c = mixture_sensitivity(VALUE)
+    delta_inf = max(1, math.ceil(VALUE))
+    accountant = RdpAccountant()
+    accountant.step_subsampled(
+        lambda a: smm_rdp(a, c, total_lambda, delta_inf),
+        sampling_rate,
+        count=rounds,
+    )
+    p, q = smm_pair_pmfs(VALUE, total_lambda)
+    pld_eps = tight_epsilon(
+        p, q, DELTA, compositions=rounds, sampling_rate=sampling_rate
+    )
+    return accountant.epsilon(DELTA), pld_eps
+
+
+def main() -> None:
+    print(f"worst-case record value x = {VALUE}, "
+          f"c = {mixture_sensitivity(VALUE):.3f}, delta = {DELTA}\n")
+
+    print("single release (no composition):")
+    print(f"{'n*lambda':>10s} {'RDP eps':>9s} {'PLD eps':>9s} {'ratio':>6s}")
+    for total_lambda in (100.0, 400.0, 1600.0):
+        rdp_eps, pld_eps = single_release(total_lambda)
+        print(f"{total_lambda:10.0f} {rdp_eps:9.3f} {pld_eps:9.3f} "
+              f"{rdp_eps / pld_eps:6.2f}")
+
+    print("\ncomposed run (T = 100 rounds, q = 0.05):")
+    print(f"{'n*lambda':>10s} {'RDP eps':>9s} {'PLD eps':>9s} {'ratio':>6s}")
+    for total_lambda in (100.0, 400.0):
+        rdp_eps, pld_eps = composed_run(total_lambda, 100, 0.05)
+        print(f"{total_lambda:10.0f} {rdp_eps:9.3f} {pld_eps:9.3f} "
+              f"{rdp_eps / pld_eps:6.2f}")
+
+    print("\nreading: at small n*lambda, Eq. (3) caps the feasible Renyi")
+    print("orders, so the Lemma 3 conversion term log(1/delta)/(alpha-1)")
+    print("floors the RDP epsilon; the tight PLD shows the release is far")
+    print("more private than the closed-form certificate claims.")
+
+
+if __name__ == "__main__":
+    main()

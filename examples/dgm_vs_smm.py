@@ -1,0 +1,74 @@
+"""Skellam mixture vs discrete Gaussian mixture (Appendix B, Figure 4).
+
+The mixture construction is noise-agnostic: Appendix B instantiates it
+with discrete Gaussian noise (DGM).  This example reproduces the
+Figure 4 comparison on distributed sum estimation: DGM tracks SMM at
+generous bitwidths but degrades at small ones, because (i) sums of
+discrete Gaussians are not discrete Gaussian (the tau_n gap of Eq. (7))
+and (ii) the per-participant sigma is rounded up to an integer.
+
+Run:
+    python examples/dgm_vs_smm.py [--dimension 4096]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import (
+    CompressionConfig,
+    DiscreteGaussianMixtureMechanism,
+    GaussianMechanism,
+    PrivacyBudget,
+    SkellamMixtureMechanism,
+)
+from repro.sumestimation import run_sum_estimation, sample_sphere
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--participants", type=int, default=100)
+    parser.add_argument("--dimension", type=int, default=4096)
+    parser.add_argument("--epsilons", type=float, nargs="+",
+                        default=[1.0, 3.0, 5.0])
+    parser.add_argument("--trials", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(args.seed)
+    values = sample_sphere(args.participants, args.dimension, rng)
+
+    # The Figure 4 grid: (10, 14, 18)-bit pipes with gamma = m / 256.
+    operating_points = [(10, 4.0), (14, 64.0), (18, 1024.0)]
+
+    header = f"{'eps':>5s} {'gaussian':>12s}"
+    for bits, _ in operating_points:
+        header += f" {'smm-' + str(bits) + 'b':>12s} {'dgm-' + str(bits) + 'b':>12s}"
+    print(header)
+
+    for epsilon in args.epsilons:
+        budget = PrivacyBudget(epsilon=epsilon)
+        row = [f"{epsilon:5.1f}"]
+        baseline = run_sum_estimation(
+            GaussianMechanism(), values, budget, rng, trials=args.trials
+        )
+        row.append(f"{baseline.mse:12.4g}")
+        for bits, gamma in operating_points:
+            compression = CompressionConfig(modulus=2**bits, gamma=gamma)
+            for factory in (
+                lambda: SkellamMixtureMechanism(compression),
+                lambda: DiscreteGaussianMixtureMechanism(compression),
+            ):
+                result = run_sum_estimation(
+                    factory(), values, budget, rng, trials=args.trials
+                )
+                row.append(f"{result.mse:12.4g}")
+        print(" ".join(row))
+
+    print("\nexpected shape: both mixtures track the continuous-Gaussian "
+          "baseline at 14/18 bits;\nDGM falls behind SMM at 10 bits "
+          "(integer-sigma rounding + the tau_n non-closure gap).")
+
+
+if __name__ == "__main__":
+    main()

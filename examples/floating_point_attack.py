@@ -1,0 +1,82 @@
+"""Why integer noise: Mironov's floating-point attack, reproduced.
+
+Section 1 of the paper ("Remark on integer-valued noises") motivates
+SMM's integer output with Mironov's CCS 2012 result: additive DP
+mechanisms implemented in floating-point arithmetic leak their inputs,
+because the reachable outputs form a sparse, input-dependent subset of
+the floats.  This example runs the attack end to end at a reduced
+(enumerable) precision:
+
+1. build the reachable-output sets of ``answer + Laplace(scale)`` for
+   two candidate answers,
+2. observe single mechanism outputs and identify the answer by support
+   membership — success rate is near 1, with zero wrong conclusions,
+3. repeat against integer Skellam noise, where every answer's support
+   is all of Z and the attack never concludes anything.
+
+Run:
+    python examples/floating_point_attack.py
+"""
+
+import numpy as np
+
+from repro.attacks import (
+    attack_success_rate,
+    integer_mechanism_support,
+    mironov_distinguisher,
+    porous_support,
+)
+from repro.sampling.fast import skellam_noise
+
+SCALE = 1.0  # Laplace scale = sensitivity / epsilon
+ANSWERS = (0.0, 1.0 / 3.0)  # the two database-dependent query answers
+TRIALS = 1000
+
+
+def attack_float_mechanism() -> None:
+    print("=== floating-point Laplace mechanism (12 mantissa bits) ===")
+    s0 = porous_support(ANSWERS[0], SCALE)
+    s1 = porous_support(ANSWERS[1], SCALE)
+    print(f"reachable outputs under answer {ANSWERS[0]}: {len(s0)}")
+    print(f"reachable outputs under answer {ANSWERS[1]}: {len(s1)}")
+    print(f"outputs reachable under both: {len(s0 & s1)}")
+
+    report = attack_success_rate(
+        SCALE, np.random.default_rng(0), trials=TRIALS, answers=ANSWERS
+    )
+    print(f"single-observation identification rate: "
+          f"{100 * report.success_rate:.1f}% "
+          f"({report.identified}/{report.trials}, "
+          f"{report.errors} wrong)")
+
+
+def attack_integer_mechanism() -> None:
+    print("\n=== integer Skellam mechanism, same adversary ===")
+    rng = np.random.default_rng(1)
+    lam = 8.0
+    # Truncated Skellam support: wide enough to contain every sample.
+    support = np.arange(-200, 201)
+    s0 = integer_mechanism_support(0, support)
+    s1 = integer_mechanism_support(1, support)
+    print(f"support under answer 0 == support under answer 1 shifted: "
+          f"{s1 == frozenset(v + 1 for v in s0)}")
+
+    concluded = 0
+    for _ in range(TRIALS):
+        secret = int(rng.integers(0, 2))
+        observed = secret + int(skellam_noise(lam, 1, rng)[0])
+        if mironov_distinguisher(float(observed), s0, s1) is not None:
+            concluded += 1
+    print(f"observations the attacker could conclude anything from: "
+          f"{concluded}/{TRIALS}")
+    print("privacy now degrades only through the bounded probability")
+    print("ratio — which is exactly the (eps, delta) the mechanism claims.")
+
+
+def main() -> None:
+    attack_float_mechanism()
+    attack_integer_mechanism()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Quickstart: private distributed sum estimation with SMM.
+
+Thirty participants each hold a private unit-norm vector.  They want the
+server to learn (approximately) the vector sum — and nothing else — under
+(epsilon = 3, delta = 1e-5) differential privacy, communicating one
+16-bit integer per dimension through secure aggregation.
+
+Run:
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    AccountingSpec,
+    CompressionConfig,
+    InputSpec,
+    PrivacyBudget,
+    SkellamMixtureMechanism,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # Each of the 30 participants holds one private 512-dimensional
+    # vector of L2 norm 1 (the public bound the mechanism clips to).
+    num_participants, dimension = 30, 512
+    private_vectors = rng.normal(size=(num_participants, dimension))
+    private_vectors /= np.linalg.norm(private_vectors, axis=1, keepdims=True)
+
+    # Wire format: 16-bit SecAgg messages, quantisation scale gamma = 64.
+    mechanism = SkellamMixtureMechanism(
+        CompressionConfig(modulus=2**16, gamma=64.0)
+    )
+
+    # Calibrate the per-participant Skellam noise so the *aggregate*
+    # release satisfies (3, 1e-5)-DP (Theorem 5 + Lemma 3 accounting).
+    mechanism.calibrate(
+        InputSpec(num_participants=num_participants, dimension=dimension),
+        AccountingSpec(budget=PrivacyBudget(epsilon=3.0, delta=1e-5)),
+    )
+    summary = mechanism.describe()
+    print("calibration:")
+    for key, value in summary.items():
+        print(f"  {key}: {value}")
+
+    # Run the full pipeline: rotate -> scale -> clip -> Skellam-mixture
+    # perturb -> mod m -> SecAgg -> decode.
+    estimate = mechanism.estimate_sum(private_vectors, rng)
+
+    true_sum = private_vectors.sum(axis=0)
+    mse = float(np.mean((estimate - true_sum) ** 2))
+    print(f"\nper-dimension mse of the private sum: {mse:.4f}")
+    print(f"true-sum norm: {np.linalg.norm(true_sum):.2f}, "
+          f"estimate norm: {np.linalg.norm(estimate):.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Privacy accounting: RDP curves, composition, subsampling, conversion."""
+
+from repro.accounting.binomial import (
+    binomial_constants,
+    binomial_mechanism_epsilon,
+    binomial_variance_condition,
+)
+from repro.accounting.composition import (
+    advanced_composition,
+    best_composition,
+    linear_composition,
+)
+from repro.accounting.divergences import (
+    ddg_rdp,
+    dgm_feasible,
+    dgm_max_delta_inf,
+    dgm_rdp,
+    discrete_gaussian_sum_gap,
+    discrete_gaussian_sum_tau,
+    gaussian_rdp,
+    skellam_mechanism_rdp,
+    skellam_rdp,
+    smm_feasible,
+    smm_max_delta_inf,
+    smm_rdp,
+)
+from repro.accounting.pld import (
+    PrivacyLossDistribution,
+    pld_from_pmfs,
+    skellam_pair_pmfs,
+    skellam_pmf,
+    smm_pair_pmfs,
+    subsampled_pair,
+    tight_epsilon,
+)
+from repro.accounting.rdp import (
+    RdpAccountant,
+    best_epsilon,
+    compose,
+    rdp_to_dp,
+    subsampled_rdp,
+)
+
+__all__ = [
+    "PrivacyLossDistribution",
+    "RdpAccountant",
+    "advanced_composition",
+    "best_composition",
+    "best_epsilon",
+    "binomial_constants",
+    "binomial_mechanism_epsilon",
+    "binomial_variance_condition",
+    "compose",
+    "ddg_rdp",
+    "dgm_feasible",
+    "dgm_max_delta_inf",
+    "dgm_rdp",
+    "discrete_gaussian_sum_gap",
+    "discrete_gaussian_sum_tau",
+    "gaussian_rdp",
+    "linear_composition",
+    "pld_from_pmfs",
+    "rdp_to_dp",
+    "skellam_mechanism_rdp",
+    "skellam_pair_pmfs",
+    "skellam_pmf",
+    "skellam_rdp",
+    "smm_feasible",
+    "smm_max_delta_inf",
+    "smm_pair_pmfs",
+    "smm_rdp",
+    "subsampled_pair",
+    "subsampled_rdp",
+    "tight_epsilon",
+]

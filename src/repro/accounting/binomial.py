@@ -1,0 +1,116 @@
+"""(epsilon, delta) guarantee of the binomial mechanism (cpSGD).
+
+Implements the accounting of Agarwal et al. 2018 ("cpSGD", their Theorem
+1) for noise ``Binomial(N, p) - N p`` added to an integer-valued query
+with sensitivities ``Delta_1, Delta_2, Delta_inf``:
+
+provided the variance condition
+``N p (1-p) >= max(23 log(10 d / delta), 2 Delta_inf / s)`` holds, the
+mechanism is ``(epsilon, delta)``-DP with
+
+``epsilon = Delta_2 sqrt(2 log(1.25/delta)) / (s sqrt(Np(1-p)))
+          + (Delta_2 c_p sqrt(log(10/delta)) + Delta_1 b_p)
+            / (s N p (1-p) (1 - delta/10))
+          + ((2/3) Delta_inf log(1.25/delta) + Delta_inf d_p log(20 d/delta)
+            log(10/delta)) / (s N p (1-p))``
+
+with the constants ``b_p, c_p, d_p`` below.  The leading term is the
+Gaussian-mechanism epsilon for matching variance; the remaining terms are
+the price of discreteness.  See DESIGN.md §4 for scope notes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import PrivacyAccountingError
+
+
+def binomial_constants(p: float) -> tuple[float, float, float]:
+    """The constants ``(b_p, c_p, d_p)`` of cpSGD's Theorem 1.
+
+    ``b_p = (2/3)(p^2 + (1-p)^2) + (1 - 2p)``,
+    ``c_p = sqrt(2)(3 p^3 + 3 (1-p)^3 + 2 p^2 + 2 (1-p)^2)``,
+    ``d_p = (4/3)(p^2 + (1-p)^2)``.
+    """
+    if not 0 < p < 1:
+        raise PrivacyAccountingError(f"p must be in (0, 1), got {p}")
+    q = 1.0 - p
+    b_p = (2.0 / 3.0) * (p**2 + q**2) + (1.0 - 2.0 * p)
+    c_p = math.sqrt(2.0) * (3.0 * p**3 + 3.0 * q**3 + 2.0 * p**2 + 2.0 * q**2)
+    d_p = (4.0 / 3.0) * (p**2 + q**2)
+    return b_p, c_p, d_p
+
+
+def binomial_variance_condition(
+    num_trials: int, p: float, dimension: int, delta: float, delta_inf: float,
+    quantization_scale: float = 1.0,
+) -> bool:
+    """Check cpSGD Theorem 1's variance precondition."""
+    variance = num_trials * p * (1.0 - p)
+    threshold = max(
+        23.0 * math.log(10.0 * dimension / delta),
+        2.0 * delta_inf / quantization_scale,
+    )
+    return variance >= threshold
+
+
+def binomial_mechanism_epsilon(
+    num_trials: int,
+    dimension: int,
+    delta: float,
+    l1_sensitivity: float,
+    l2_sensitivity: float,
+    linf_sensitivity: float,
+    p: float = 0.5,
+    quantization_scale: float = 1.0,
+) -> float:
+    """Per-release epsilon of the binomial mechanism at the given delta.
+
+    Args:
+        num_trials: Total ``N`` of the aggregated binomial noise.
+        dimension: Query dimension ``d``.
+        delta: Per-release delta.
+        l1_sensitivity: ``Delta_1`` of the (rounded, scaled) query.
+        l2_sensitivity: ``Delta_2`` of the (rounded, scaled) query.
+        linf_sensitivity: ``Delta_inf`` of the (rounded, scaled) query.
+        p: Bernoulli success probability (1/2 in all experiments).
+        quantization_scale: ``s``; 1 for integer-grid quantization.
+
+    Returns:
+        The epsilon of one release.
+
+    Raises:
+        PrivacyAccountingError: If the variance precondition fails (the
+            noise is too small for the theorem to apply).
+    """
+    if num_trials < 1:
+        raise PrivacyAccountingError(f"N must be >= 1, got {num_trials}")
+    if not 0 < delta < 1:
+        raise PrivacyAccountingError(f"delta must be in (0, 1), got {delta}")
+    if not binomial_variance_condition(
+        num_trials, p, dimension, delta, linf_sensitivity, quantization_scale
+    ):
+        raise PrivacyAccountingError(
+            "binomial variance condition fails: "
+            f"N p (1-p) = {num_trials * p * (1 - p):.1f} below threshold"
+        )
+    b_p, c_p, d_p = binomial_constants(p)
+    variance = num_trials * p * (1.0 - p)
+    s = quantization_scale
+    gaussian_like = (
+        l2_sensitivity * math.sqrt(2.0 * math.log(1.25 / delta))
+        / (s * math.sqrt(variance))
+    )
+    second = (
+        l2_sensitivity * c_p * math.sqrt(math.log(10.0 / delta))
+        + l1_sensitivity * b_p
+    ) / (s * variance * (1.0 - delta / 10.0))
+    third = (
+        (2.0 / 3.0) * linf_sensitivity * math.log(1.25 / delta)
+        + linf_sensitivity
+        * d_p
+        * math.log(20.0 * dimension / delta)
+        * math.log(10.0 / delta)
+    ) / (s * variance)
+    return gaussian_like + second + third

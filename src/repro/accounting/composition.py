@@ -1,0 +1,108 @@
+"""(epsilon, delta) composition theorems for mechanisms without RDP.
+
+cpSGD's binomial mechanism "is based on (eps, delta)-DP instead of RDP"
+(Section 5), so the paper accounts for its ``T`` training rounds with both
+**linear composition** and **advanced composition** (Dwork-Roth) and keeps
+the stronger of the two.  This module provides exactly that.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import PrivacyAccountingError
+
+
+def linear_composition(
+    epsilon_per_round: float, delta_per_round: float, num_rounds: int
+) -> tuple[float, float]:
+    """Basic composition: epsilons and deltas add across rounds."""
+    _validate(epsilon_per_round, delta_per_round, num_rounds)
+    return num_rounds * epsilon_per_round, num_rounds * delta_per_round
+
+
+def advanced_composition(
+    epsilon_per_round: float,
+    delta_per_round: float,
+    num_rounds: int,
+    delta_slack: float,
+) -> tuple[float, float]:
+    """Advanced composition (Dwork-Roth Theorem 3.20).
+
+    ``T`` executions of an ``(eps, delta)``-DP mechanism satisfy
+    ``(eps', T delta + delta_slack)``-DP with
+    ``eps' = sqrt(2 T ln(1/delta_slack)) eps + T eps (e^eps - 1)``.
+
+    Args:
+        epsilon_per_round: Per-round epsilon.
+        delta_per_round: Per-round delta.
+        num_rounds: Number of composed executions ``T``.
+        delta_slack: The additional slack ``delta~ > 0``.
+    """
+    _validate(epsilon_per_round, delta_per_round, num_rounds)
+    if not delta_slack > 0:
+        raise PrivacyAccountingError(
+            f"delta_slack must be positive, got {delta_slack}"
+        )
+    epsilon = math.sqrt(
+        2.0 * num_rounds * math.log(1.0 / delta_slack)
+    ) * epsilon_per_round + num_rounds * epsilon_per_round * (
+        math.exp(epsilon_per_round) - 1.0
+    )
+    return epsilon, num_rounds * delta_per_round + delta_slack
+
+
+def best_composition(
+    epsilon_per_round: float,
+    delta_per_round: float,
+    num_rounds: int,
+    delta_target: float,
+) -> float:
+    """Strongest total epsilon over {linear, advanced} composition.
+
+    Follows Section 6.2: "for cpSGD, we apply both linear composition and
+    advanced composition for privacy accounting and choose the stronger
+    guarantee between them."  The advanced variant spends half the
+    remaining delta budget as slack.
+
+    Args:
+        epsilon_per_round: Per-round epsilon.
+        delta_per_round: Per-round delta.
+        num_rounds: Number of composed executions.
+        delta_target: Total delta budget that must not be exceeded.
+
+    Returns:
+        The smaller total epsilon whose total delta is within budget.
+
+    Raises:
+        PrivacyAccountingError: If even linear composition exceeds the
+            delta budget.
+    """
+    _validate(epsilon_per_round, delta_per_round, num_rounds)
+    # The relative tolerance absorbs float rounding when the caller splits
+    # the budget as delta_target / num_rounds exactly.
+    if num_rounds * delta_per_round > delta_target * (1.0 + 1e-9):
+        raise PrivacyAccountingError(
+            "per-round delta too large: "
+            f"{num_rounds} * {delta_per_round} > {delta_target}"
+        )
+    linear_eps, _ = linear_composition(
+        epsilon_per_round, delta_per_round, num_rounds
+    )
+    candidates = [linear_eps]
+    delta_slack = (delta_target - num_rounds * delta_per_round) / 2.0
+    if delta_slack > 0:
+        advanced_eps, _ = advanced_composition(
+            epsilon_per_round, delta_per_round, num_rounds, delta_slack
+        )
+        candidates.append(advanced_eps)
+    return min(candidates)
+
+
+def _validate(epsilon: float, delta: float, num_rounds: int) -> None:
+    if epsilon < 0:
+        raise PrivacyAccountingError(f"epsilon must be >= 0, got {epsilon}")
+    if not 0 <= delta < 1:
+        raise PrivacyAccountingError(f"delta must be in [0, 1), got {delta}")
+    if num_rounds < 1:
+        raise PrivacyAccountingError(f"num_rounds must be >= 1, got {num_rounds}")

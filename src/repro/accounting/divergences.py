@@ -1,0 +1,349 @@
+"""Closed-form Renyi-divergence (RDP) curves for every mechanism.
+
+Each function returns the per-release RDP parameter ``tau`` such that the
+mechanism satisfies ``(alpha, tau)``-RDP, together with feasibility
+predicates for the constraints the bounds require.  Paper references:
+
+* :func:`gaussian_rdp` — continuous Gaussian, Mironov 2017 (quoted after
+  Definition 4): ``tau = alpha * s^2 / (2 sigma^2)``.
+* :func:`skellam_rdp` — Theorems 3-4 (the paper's clean L2-only bound for
+  pure symmetric Skellam noise).
+* :func:`smm_rdp` — Theorem 5 / Corollary 1 (the Skellam *mixture*).
+* :func:`smm_max_delta_inf` — the largest ``Delta_inf`` permitted by the
+  feasibility constraints Eq. (3) (resp. Eq. (5) with ``n = |B|``).
+* :func:`discrete_gaussian_sum_tau` / :func:`ddg_rdp` — Theorem 7
+  (Kairouz et al.), used by the DDG baseline.
+* :func:`dgm_rdp` / :func:`dgm_max_delta_inf` — Theorem 8 / Corollary 3
+  (Appendix B, the discrete Gaussian mixture).
+* :func:`skellam_mechanism_rdp` — the Agarwal et al. [3] bound for the
+  (non-mixture) Skellam mechanism, which additionally involves the L1
+  sensitivity; see DESIGN.md §4 for the exact form adopted.
+
+Conventions: ``Sk(lam, lam)`` noise has variance ``2 * lam``;
+``total_lam`` always denotes the parameter of the *aggregated* noise
+(``n * lam`` when ``n`` participants each add ``Sk(lam, lam)``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import PrivacyAccountingError
+
+
+def _check_order(alpha: float) -> None:
+    if not alpha > 1:
+        raise PrivacyAccountingError(f"Renyi order must be > 1, got {alpha}")
+
+
+def gaussian_rdp(alpha: float, l2_sensitivity: float, sigma: float) -> float:
+    """RDP of the continuous Gaussian mechanism.
+
+    ``tau(alpha) = alpha * Delta_2^2 / (2 sigma^2)`` (Mironov 2017).
+
+    Args:
+        alpha: Renyi order (> 1).
+        l2_sensitivity: L2 sensitivity ``Delta_2`` of the query.
+        sigma: Standard deviation of the per-coordinate Gaussian noise.
+    """
+    _check_order(alpha)
+    if sigma <= 0:
+        raise PrivacyAccountingError(f"sigma must be positive, got {sigma}")
+    return alpha * l2_sensitivity**2 / (2.0 * sigma**2)
+
+
+def skellam_rdp(
+    alpha: float, l2_squared: float, total_lam: float, delta_inf: float
+) -> float:
+    """RDP of pure symmetric Skellam noise (Theorems 3-4).
+
+    ``tau(alpha) = (1.09 alpha + 0.91)/2 * c / (2 lam)`` where ``c`` bounds
+    the squared L2 norm of the integer shift and ``lam`` parameterises the
+    aggregate noise ``Sk(lam, lam)``.  Valid when
+    ``alpha < 2 lam / Delta_inf + 1``.
+
+    Args:
+        alpha: Renyi order (> 1).
+        l2_squared: Bound ``c`` on the squared L2 norm of the shift vector.
+        total_lam: Parameter of the aggregated Skellam noise.
+        delta_inf: L-infinity bound on the shift vector.
+
+    Raises:
+        PrivacyAccountingError: If the feasibility constraint fails.
+    """
+    _check_order(alpha)
+    if total_lam <= 0:
+        raise PrivacyAccountingError(f"lambda must be positive, got {total_lam}")
+    if not alpha < 2.0 * total_lam / delta_inf + 1.0:
+        raise PrivacyAccountingError(
+            f"Theorem 4 requires alpha < 2*lam/Delta_inf + 1; got alpha={alpha}, "
+            f"lam={total_lam}, Delta_inf={delta_inf}"
+        )
+    return (1.09 * alpha + 0.91) / 2.0 * l2_squared / (2.0 * total_lam)
+
+
+def smm_feasible(alpha: float, total_lam: float, delta_inf: float) -> bool:
+    """Check the SMM feasibility constraints Eq. (3) (with ``n lam`` folded).
+
+    Eq. (3): ``alpha < 2 n lam / Delta_inf + 1`` and
+    ``10.9 alpha^2 - 1.8 alpha - 9.1 < 4 n lam / Delta_inf^2``.
+    """
+    _check_order(alpha)
+    if total_lam <= 0 or delta_inf <= 0:
+        return False
+    first = alpha < 2.0 * total_lam / delta_inf + 1.0
+    second = (10.9 * alpha**2 - 1.8 * alpha - 9.1) < 4.0 * total_lam / delta_inf**2
+    return first and second
+
+
+def smm_max_delta_inf(alpha: float, total_lam: float) -> float:
+    """Largest ``Delta_inf`` satisfying Eq. (3) for the given order.
+
+    Inverts the two constraints of Eq. (3):
+    ``Delta_inf < 2 n lam / (alpha - 1)`` and
+    ``Delta_inf < sqrt(4 n lam / (10.9 alpha^2 - 1.8 alpha - 9.1))``.
+    The quadratic ``10.9 alpha^2 - 1.8 alpha - 9.1`` is positive for every
+    ``alpha > 1``, so both bounds are finite.
+    """
+    _check_order(alpha)
+    if total_lam <= 0:
+        raise PrivacyAccountingError(f"lambda must be positive, got {total_lam}")
+    from_first = 2.0 * total_lam / (alpha - 1.0)
+    quadratic = 10.9 * alpha**2 - 1.8 * alpha - 9.1
+    from_second = math.sqrt(4.0 * total_lam / quadratic)
+    return min(from_first, from_second)
+
+
+def smm_rdp(
+    alpha: float, c: float, total_lam: float, delta_inf: float
+) -> float:
+    """RDP of the Skellam mixture mechanism (Theorem 5 / Corollary 1).
+
+    ``tau(alpha) = (1.2 alpha + 1)/2 * c / (2 n lam)`` where ``c`` bounds
+    each participant's mixture sensitivity
+    ``sum_j |x_j|^2 + p_j - p_j^2`` (Eq. (4)) and ``total_lam = n * lam``.
+
+    Args:
+        alpha: Renyi order (> 1).
+        c: The mixture-sensitivity clipping threshold.
+        total_lam: Parameter of the aggregated Skellam noise (``n * lam``).
+        delta_inf: L-infinity clipping bound, for the feasibility check.
+
+    Raises:
+        PrivacyAccountingError: If Eq. (3) fails for these parameters.
+    """
+    if not smm_feasible(alpha, total_lam, delta_inf):
+        raise PrivacyAccountingError(
+            f"Eq. (3) infeasible: alpha={alpha}, n*lam={total_lam}, "
+            f"Delta_inf={delta_inf}"
+        )
+    return (1.2 * alpha + 1.0) / 2.0 * c / (2.0 * total_lam)
+
+
+def discrete_gaussian_sum_gap(num_summands: int, sigma_squared: float) -> float:
+    """The divergence gap ``tau_n`` of Canonne et al. (Eq. (7)).
+
+    ``tau_n = 10 * sum_{k=1}^{n-1} exp(-2 pi^2 sigma^2 k / (k+1))`` measures
+    how far the sum of ``n`` independent ``N_Z(0, sigma^2)`` variates is
+    from a single ``N_Z(0, n sigma^2)``.  It is negligible for
+    ``sigma >= 1`` but blows up at the small noise scales forced by small
+    bitwidths — the source of DDG/DGM's degradation in Figures 4-5.
+    """
+    if num_summands < 1:
+        raise PrivacyAccountingError(
+            f"num_summands must be >= 1, got {num_summands}"
+        )
+    if sigma_squared <= 0:
+        raise PrivacyAccountingError(
+            f"sigma^2 must be positive, got {sigma_squared}"
+        )
+    if num_summands == 1:
+        return 0.0
+    k = np.arange(1, num_summands, dtype=np.float64)
+    exponents = -2.0 * math.pi**2 * sigma_squared * k / (k + 1.0)
+    return float(10.0 * np.exp(exponents).sum())
+
+
+def discrete_gaussian_sum_tau(
+    alpha: float,
+    shift_l2: float,
+    num_summands: int,
+    sigma_squared: float,
+    gap: float | None = None,
+) -> float:
+    """Renyi divergence bound for a shift of summed discrete Gaussians.
+
+    Theorem 7 (one-dimensional, applied with ``|s| = shift_l2``):
+    ``D_alpha(s + Z_{n,sigma^2} || Z_{n,sigma^2}) <=
+    min(alpha s^2/(2 n sigma^2) + tau_n, (alpha/2)(s/(sqrt(n) sigma) + tau_n)^2)``.
+    """
+    _check_order(alpha)
+    tau_n = (
+        gap
+        if gap is not None
+        else discrete_gaussian_sum_gap(num_summands, sigma_squared)
+    )
+    n_sigma_sq = num_summands * sigma_squared
+    first = alpha * shift_l2**2 / (2.0 * n_sigma_sq) + tau_n
+    second = (alpha / 2.0) * (shift_l2 / math.sqrt(n_sigma_sq) + tau_n) ** 2
+    return min(first, second)
+
+
+def ddg_rdp(
+    alpha: float,
+    l2_squared: float,
+    l1_sensitivity: float,
+    num_summands: int,
+    sigma_squared: float,
+    dimension: int,
+    gap: float | None = None,
+) -> float:
+    """RDP of the distributed discrete Gaussian mechanism (Kairouz et al.).
+
+    Multi-dimensional extension of Theorem 7 for integer-valued inputs with
+    ``||s||_2^2 <= l2_squared`` and ``||s||_1 <= l1_sensitivity``:
+
+    ``tau(alpha) = min(alpha c/(2 n sigma^2) + d tau_n,
+    alpha c/(2 n sigma^2) + alpha Delta_1 tau_n/(sqrt(n) sigma) + d tau_n^2)``
+
+    (the structure of Corollary 3 without the mixture's 1.1 factors).
+
+    ``gap`` optionally supplies a precomputed
+    :func:`discrete_gaussian_sum_gap` value (the calibrator evaluates this
+    curve thousands of times with fixed ``n`` and ``sigma^2``).
+    """
+    _check_order(alpha)
+    tau_n = (
+        gap
+        if gap is not None
+        else discrete_gaussian_sum_gap(num_summands, sigma_squared)
+    )
+    n_sigma_sq = num_summands * sigma_squared
+    leading = alpha * l2_squared / (2.0 * n_sigma_sq)
+    first = leading + dimension * tau_n
+    second = (
+        leading
+        + alpha * l1_sensitivity * tau_n / math.sqrt(n_sigma_sq)
+        + dimension * tau_n**2
+    )
+    return min(first, second)
+
+
+def dgm_feasible(
+    alpha: float,
+    num_summands: int,
+    sigma_squared: float,
+    delta_inf: float,
+    gap: float | None = None,
+) -> bool:
+    """Check the DGM feasibility constraints Eq. (8).
+
+    ``alpha Delta_inf^2/(2 n sigma^2) + tau_n < 0.1/(alpha - 1)`` and
+    ``(Delta_inf/(sqrt(n) sigma) + tau_n)^2 < 0.2/(alpha^2 - alpha)``.
+    """
+    _check_order(alpha)
+    if sigma_squared <= 0 or delta_inf <= 0:
+        return False
+    tau_n = (
+        gap
+        if gap is not None
+        else discrete_gaussian_sum_gap(num_summands, sigma_squared)
+    )
+    n_sigma_sq = num_summands * sigma_squared
+    first = alpha * delta_inf**2 / (2.0 * n_sigma_sq) + tau_n < 0.1 / (alpha - 1.0)
+    second = (delta_inf / math.sqrt(n_sigma_sq) + tau_n) ** 2 < 0.2 / (
+        alpha**2 - alpha
+    )
+    return first and second
+
+
+def dgm_max_delta_inf(
+    alpha: float,
+    num_summands: int,
+    sigma_squared: float,
+    gap: float | None = None,
+) -> float:
+    """Largest ``Delta_inf`` satisfying Eq. (8); 0.0 if none exists."""
+    _check_order(alpha)
+    tau_n = (
+        gap
+        if gap is not None
+        else discrete_gaussian_sum_gap(num_summands, sigma_squared)
+    )
+    n_sigma_sq = num_summands * sigma_squared
+    slack_first = 0.1 / (alpha - 1.0) - tau_n
+    slack_second = math.sqrt(0.2 / (alpha**2 - alpha)) - tau_n
+    if slack_first <= 0 or slack_second <= 0:
+        return 0.0
+    from_first = math.sqrt(slack_first * 2.0 * n_sigma_sq / alpha)
+    from_second = slack_second * math.sqrt(n_sigma_sq)
+    return min(from_first, from_second)
+
+
+def dgm_rdp(
+    alpha: float,
+    c: float,
+    num_summands: int,
+    sigma_squared: float,
+    delta_inf: float,
+    l1_sensitivity: float,
+    dimension: int,
+    gap: float | None = None,
+) -> float:
+    """RDP of the discrete Gaussian mixture (Theorem 8 / Corollary 3).
+
+    ``tau = min(1.1 alpha c/(2 n sigma^2) + 1.1 d tau_n,
+    1.1 alpha c/(2 n sigma^2) + 1.1 alpha Delta_1 tau_n/(sqrt(n) sigma)
+    + 1.1 d tau_n^2)``.
+
+    Raises:
+        PrivacyAccountingError: If Eq. (8) fails for these parameters.
+    """
+    if gap is None:
+        gap = discrete_gaussian_sum_gap(num_summands, sigma_squared)
+    if not dgm_feasible(alpha, num_summands, sigma_squared, delta_inf, gap=gap):
+        raise PrivacyAccountingError(
+            f"Eq. (8) infeasible: alpha={alpha}, n={num_summands}, "
+            f"sigma^2={sigma_squared}, Delta_inf={delta_inf}"
+        )
+    tau_n = gap
+    n_sigma_sq = num_summands * sigma_squared
+    leading = 1.1 * alpha * c / (2.0 * n_sigma_sq)
+    first = leading + 1.1 * dimension * tau_n
+    second = (
+        leading
+        + 1.1 * alpha * l1_sensitivity * tau_n / math.sqrt(n_sigma_sq)
+        + 1.1 * dimension * tau_n**2
+    )
+    return min(first, second)
+
+
+def skellam_mechanism_rdp(
+    alpha: float,
+    l2_squared: float,
+    l1_sensitivity: float,
+    total_lam: float,
+) -> float:
+    """RDP of the (non-mixture) Skellam mechanism of Agarwal et al. [3].
+
+    The bound involves both sensitivities (the limitation Section 3.3
+    criticises):
+
+    ``tau(alpha) = alpha Delta_2^2/(4 lam)
+    + min((2 alpha - 1) Delta_2^2 + 6 Delta_1, 3 Delta_1) / (16 lam^2)``
+
+    with ``lam`` the aggregate noise parameter (variance ``2 lam``); the
+    leading term matches Gaussian noise of the same variance.  See
+    DESIGN.md §4 for the provenance of this form.
+    """
+    _check_order(alpha)
+    if total_lam <= 0:
+        raise PrivacyAccountingError(f"lambda must be positive, got {total_lam}")
+    leading = alpha * l2_squared / (4.0 * total_lam)
+    correction = min(
+        (2.0 * alpha - 1.0) * l2_squared + 6.0 * l1_sensitivity,
+        3.0 * l1_sensitivity,
+    ) / (16.0 * total_lam**2)
+    return leading + correction

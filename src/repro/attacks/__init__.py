@@ -1,0 +1,27 @@
+"""Privacy attacks used to motivate and audit the paper's design choices.
+
+* :mod:`repro.attacks.floating_point` — Mironov's least-significant-bits
+  attack on additive DP mechanisms implemented with floating-point
+  arithmetic (the paper's Section 1 "Remark on integer-valued noises"),
+  plus the demonstration that integer-valued noise is immune.
+"""
+
+from repro.attacks.floating_point import (
+    AttackReport,
+    attack_success_rate,
+    integer_mechanism_support,
+    mironov_distinguisher,
+    porous_support,
+    quantize,
+    round_to_precision,
+)
+
+__all__ = [
+    "AttackReport",
+    "attack_success_rate",
+    "integer_mechanism_support",
+    "mironov_distinguisher",
+    "porous_support",
+    "quantize",
+    "round_to_precision",
+]

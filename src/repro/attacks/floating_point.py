@@ -1,0 +1,251 @@
+"""Mironov's floating-point attack, and why integer noise defeats it.
+
+The paper's "Remark on integer-valued noises" (Section 1) motivates the
+whole line of work: Mironov (CCS 2012) showed that *additive DP
+mechanisms implemented with floating-point arithmetic* leak their input,
+because the set of doubles reachable as ``query + noise`` is a sparse,
+query-dependent subset of the reals.  An adversary who observes an
+output reachable under answer ``a`` but not under answer ``a'`` learns
+the answer *exactly*, regardless of the claimed epsilon.
+
+This module reproduces the phenomenon at a reduced precision where the
+reachable sets can be enumerated exhaustively:
+
+* noise values are produced by the textbook inverse-CDF Laplace sampler
+  ``noise = -scale * sign * ln(u)`` with ``u`` drawn from a finite
+  uniform grid (standing in for the float mantissa grid), every
+  intermediate rounded to a fixed absolute grid (standing in for
+  rounding of float arithmetic);
+* :func:`porous_support` enumerates the finite set of reachable outputs
+  for a given true answer — the "porous" support of Mironov's paper;
+* :func:`mironov_distinguisher` decides which answer produced an
+  observed output by support membership, and
+  :func:`attack_success_rate` measures how often a single observation
+  identifies the answer outright.
+
+For the defence, :func:`integer_mechanism_support` shows the contrast:
+an integer-valued mechanism (Skellam, discrete Gaussian) shifted by an
+integer query has the *same* support (all integers) under both answers,
+so support membership carries zero information and privacy degrades
+only through the bounded probability ratio — which is exactly the DP
+guarantee.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Mantissa bits of the reduced-precision arithmetic (doubles have 53).
+DEFAULT_MANTISSA_BITS = 12
+
+#: Number of representable uniform variates (stands in for the mantissa).
+DEFAULT_UNIFORM_POINTS = 4096
+
+
+def quantize(value: float, grid: float) -> float:
+    """Round ``value`` to the nearest multiple of an absolute ``grid``.
+
+    A fixed-point helper used in tests; the attack itself uses
+    :func:`round_to_precision`, which models floating-point rounding
+    (the grid step scales with the magnitude).
+    """
+    if grid <= 0:
+        raise ConfigurationError(f"grid must be positive, got {grid}")
+    return round(value / grid) * grid
+
+
+def round_to_precision(
+    value: float, bits: int = DEFAULT_MANTISSA_BITS
+) -> float:
+    """Round ``value`` to ``bits`` mantissa bits (reduced-precision float).
+
+    This is the operation real floating-point hardware applies after
+    every arithmetic step; running the mechanism at 12 bits instead of
+    the double's 52 makes the reachable-output sets small enough to
+    enumerate while preserving the structure Mironov exploits — the
+    rounding grid *changes with the magnitude of the result*, so
+    ``answer + noise`` lands on an answer-dependent set of points.
+    """
+    if bits < 1:
+        raise ConfigurationError(f"bits must be >= 1, got {bits}")
+    if value == 0.0 or not math.isfinite(value):
+        return value
+    mantissa, exponent = math.frexp(value)  # mantissa in [0.5, 1)
+    scale = float(1 << bits)
+    return math.ldexp(round(mantissa * scale) / scale, exponent)
+
+
+def _laplace_noise_values(
+    scale: float,
+    uniform_points: int = DEFAULT_UNIFORM_POINTS,
+    bits: int = DEFAULT_MANTISSA_BITS,
+) -> list[float]:
+    """Every noise value the reduced-precision Laplace sampler can emit.
+
+    The sampler computes ``-scale * ln(u)`` for ``u`` on the uniform
+    grid ``{1/N, 2/N, ..., (N-1)/N}``, rounds to the working precision,
+    and mirrors the sign — the inverse-CDF method as implemented in
+    floating-point libraries.
+    """
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be positive, got {scale}")
+    if uniform_points < 2:
+        raise ConfigurationError(
+            f"need at least 2 uniform points, got {uniform_points}"
+        )
+    magnitudes = {
+        round_to_precision(-scale * math.log(k / uniform_points), bits)
+        for k in range(1, uniform_points)
+    }
+    values = set()
+    for magnitude in magnitudes:
+        values.add(magnitude)
+        values.add(-magnitude)
+    return sorted(values)
+
+
+def porous_support(
+    answer: float,
+    scale: float,
+    uniform_points: int = DEFAULT_UNIFORM_POINTS,
+    bits: int = DEFAULT_MANTISSA_BITS,
+) -> frozenset[float]:
+    """The finite set of outputs reachable as ``answer + Laplace noise``
+    in reduced-precision arithmetic.
+
+    Args:
+        answer: The true query answer being protected.
+        scale: Laplace scale parameter.
+        uniform_points: Size of the uniform-variate grid.
+        bits: Mantissa bits of the working precision.
+
+    Returns:
+        The reachable outputs — a sparse, answer-dependent set.
+    """
+    return frozenset(
+        round_to_precision(answer + noise, bits)
+        for noise in _laplace_noise_values(scale, uniform_points, bits)
+    )
+
+
+def mironov_distinguisher(
+    observed: float,
+    support_zero: frozenset[float],
+    support_one: frozenset[float],
+) -> int | None:
+    """Decide which answer produced ``observed`` by support membership.
+
+    Returns:
+        ``0`` or ``1`` when the output is reachable under exactly one
+        answer (the attack succeeds with certainty), ``None`` when it is
+        reachable under both (no certain conclusion).
+    """
+    in_zero = observed in support_zero
+    in_one = observed in support_one
+    if in_zero and not in_one:
+        return 0
+    if in_one and not in_zero:
+        return 1
+    return None
+
+
+@dataclasses.dataclass(frozen=True)
+class AttackReport:
+    """Outcome of an attack simulation.
+
+    Attributes:
+        trials: Number of simulated mechanism invocations.
+        identified: Invocations whose output pinpointed the answer.
+        errors: Invocations where the distinguisher returned the *wrong*
+            answer (must be 0 — support membership never lies).
+    """
+
+    trials: int
+    identified: int
+    errors: int
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of single observations that broke privacy outright."""
+        return self.identified / self.trials if self.trials else 0.0
+
+
+def attack_success_rate(
+    scale: float,
+    rng: np.random.Generator,
+    trials: int = 1000,
+    answers: tuple[float, float] = (0.0, 1.0),
+    uniform_points: int = DEFAULT_UNIFORM_POINTS,
+    bits: int = DEFAULT_MANTISSA_BITS,
+) -> AttackReport:
+    """Simulate the attack against the reduced-precision Laplace mechanism.
+
+    Each trial flips a fair coin for the true answer, runs the
+    floating-point mechanism once, and asks the distinguisher which
+    answer produced the output.
+
+    Args:
+        scale: Laplace scale (``sensitivity / epsilon``).
+        rng: Simulation randomness.
+        trials: Number of mechanism invocations.
+        answers: The two candidate answers (differ by the sensitivity).
+        uniform_points: Uniform grid size of the sampler.
+        bits: Mantissa bits of the working precision.
+
+    Returns:
+        The attack report; the success rate is typically close to 1 —
+        a *single* 'differentially private' response identifies the
+        answer, exactly Mironov's finding.
+    """
+    supports = (
+        porous_support(answers[0], scale, uniform_points, bits),
+        porous_support(answers[1], scale, uniform_points, bits),
+    )
+    identified = 0
+    errors = 0
+    for _ in range(trials):
+        secret = int(rng.integers(0, 2))
+        k = int(rng.integers(1, uniform_points))
+        magnitude = round_to_precision(
+            -scale * math.log(k / uniform_points), bits
+        )
+        sign = 1.0 if rng.integers(0, 2) else -1.0
+        observed = round_to_precision(answers[secret] + sign * magnitude, bits)
+        guess = mironov_distinguisher(observed, *supports)
+        if guess is not None:
+            if guess == secret:
+                identified += 1
+            else:
+                errors += 1
+    return AttackReport(trials=trials, identified=identified, errors=errors)
+
+
+def integer_mechanism_support(
+    answer: int, noise_values: np.ndarray
+) -> frozenset[int]:
+    """The reachable outputs of an integer mechanism at a given answer.
+
+    For integer noise with support ``S`` the mechanism's support is the
+    *translate* ``answer + S``; for the symmetric Skellam (support all
+    of ``Z``) translates coincide, so :func:`mironov_distinguisher`
+    always returns ``None`` — the attack is structurally impossible.
+
+    Args:
+        answer: Integer query answer.
+        noise_values: Integer noise support (e.g. a truncated Skellam
+            range ``-K..K`` containing all but negligible mass).
+
+    Returns:
+        The translated support.
+    """
+    values = np.asarray(noise_values)
+    if not np.issubdtype(values.dtype, np.integer):
+        raise ConfigurationError(
+            f"integer mechanism needs integer noise, got {values.dtype}"
+        )
+    return frozenset(int(answer + v) for v in values)

@@ -1,0 +1,5 @@
+"""Empirical privacy auditing (distinguishing-game lower bounds)."""
+
+from repro.audit.estimator import AuditResult, audit_sum_mechanism
+
+__all__ = ["AuditResult", "audit_sum_mechanism"]

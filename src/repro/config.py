@@ -1,0 +1,114 @@
+"""Shared configuration dataclasses for the SMM reproduction library.
+
+The paper's pipelines are parameterised by three orthogonal groups of
+settings, each captured by one frozen dataclass:
+
+* :class:`PrivacyBudget` — the target ``(epsilon, delta)`` guarantee and the
+  range of Renyi orders searched when converting RDP to approximate DP.
+* :class:`CompressionConfig` — the secure-aggregation wire format: modulus
+  ``m`` (equivalently the per-dimension bitwidth) and scale parameter
+  ``gamma`` (line 2 of Algorithm 4).
+* :class:`ClipConfig` — the clipping thresholds ``c`` and ``Delta_inf`` used
+  by Algorithm 5 (SMM/DGM) or the ``Delta_2``/``Delta_1`` bounds used by the
+  baselines.
+
+Instances are immutable and validate themselves on construction, so an
+invalid combination fails loudly at configuration time instead of deep
+inside a training loop.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.errors import ConfigurationError
+
+#: Default failure probability used throughout the paper's experiments.
+DEFAULT_DELTA = 1e-5
+
+#: Renyi orders searched for the optimal RDP -> (eps, delta) conversion.
+#: The paper states "the optimal RDP order is chosen from integers from
+#: 2 to 100" (Section 6.1).
+DEFAULT_ORDERS = tuple(range(2, 101))
+
+
+@dataclasses.dataclass(frozen=True)
+class PrivacyBudget:
+    """A target ``(epsilon, delta)``-DP guarantee.
+
+    Attributes:
+        epsilon: The DP epsilon; must be positive.
+        delta: The DP delta; must lie in ``(0, 1)``.
+        orders: Candidate integer Renyi orders for the accountant's
+            optimisation (Definition 3 / Lemma 3).
+    """
+
+    epsilon: float
+    delta: float = DEFAULT_DELTA
+    orders: tuple[int, ...] = DEFAULT_ORDERS
+
+    def __post_init__(self) -> None:
+        if not self.epsilon > 0:
+            raise ConfigurationError(f"epsilon must be positive, got {self.epsilon}")
+        if not 0 < self.delta < 1:
+            raise ConfigurationError(f"delta must be in (0, 1), got {self.delta}")
+        if not self.orders:
+            raise ConfigurationError("orders must be a non-empty tuple")
+        if any(order < 2 for order in self.orders):
+            raise ConfigurationError("all Renyi orders must be >= 2")
+
+
+@dataclasses.dataclass(frozen=True)
+class CompressionConfig:
+    """Wire format shared by all distributed mechanisms.
+
+    Attributes:
+        modulus: The SecAgg modulus ``m``; each coordinate of a client
+            message lives in ``Z_m``.  Must be an even integer >= 2 (the
+            paper uses powers of two, e.g. ``2**8`` for one byte per
+            dimension).
+        gamma: The scale parameter applied to the rotated gradient (line 2
+            of Algorithm 4); must be positive.
+    """
+
+    modulus: int
+    gamma: float
+
+    def __post_init__(self) -> None:
+        if self.modulus < 2 or self.modulus % 2 != 0:
+            raise ConfigurationError(
+                f"modulus must be an even integer >= 2, got {self.modulus}"
+            )
+        if not self.gamma > 0:
+            raise ConfigurationError(f"gamma must be positive, got {self.gamma}")
+
+    @property
+    def bitwidth(self) -> float:
+        """Communication cost per dimension in bits, ``log2(m)``."""
+        return math.log2(self.modulus)
+
+
+@dataclasses.dataclass(frozen=True)
+class ClipConfig:
+    """Clipping thresholds for the SMM/DGM mixture-sensitivity clip.
+
+    Attributes:
+        c: Bound on the per-participant mixture sensitivity
+            ``sum_j |x_j|^2 + p_j - p_j^2`` (Eq. (4)); must be positive.
+        delta_inf: The L-infinity bound ``Delta_inf`` on ``ceil(|x_j|)``
+            (Eq. (3)); must be positive.  Values below 1 force every
+            coordinate to zero after clipping — a legal but degenerate
+            regime the calibrator reports via its diagnostics.
+    """
+
+    c: float
+    delta_inf: float
+
+    def __post_init__(self) -> None:
+        if not self.c > 0:
+            raise ConfigurationError(f"c must be positive, got {self.c}")
+        if not self.delta_inf > 0:
+            raise ConfigurationError(
+                f"delta_inf must be positive, got {self.delta_inf}"
+            )

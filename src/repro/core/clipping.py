@@ -1,0 +1,116 @@
+"""Mixture-sensitivity clipping (Algorithm 5 of the paper).
+
+The privacy guarantee of dSMM (Corollary 1) requires each participant's
+vector ``g`` to satisfy two constraints:
+
+* ``ceil(|g_j|) <= Delta_inf`` for every coordinate (L-infinity), and
+* ``sum_j phi(g_j) <= c`` where ``phi(x) = |x|^2 + p - p^2`` with
+  ``p = |x| - floor(|x|)`` (Eq. (4), the *mixture sensitivity*).
+
+Writing ``|x| = k + p`` with ``k = floor(|x|)`` gives the identity
+``phi(x) = k^2 + p (2k + 1)``, so ``phi`` maps ``[k, k+1)`` monotonically
+onto ``[k^2, (k+1)^2)``.  Algorithm 5 exploits this: build the helper
+vector ``v_j = sign(g_j) * phi(g_j)``, L1-clip ``v`` to ``c`` (note
+``||v||_1 = sum_j phi(g_j)`` is exactly the quantity Eq. (4) bounds),
+then invert ``phi`` per coordinate — ``k' = floor(sqrt(|v_j|))``,
+``p' = (|v_j| - k'^2) / (2k' + 1)`` — and finally clip each coordinate's
+magnitude so its *ceiling* respects ``Delta_inf``.
+
+(The paper's line 7, ``p' = y^{2g'+1}``, is a typesetting garble of this
+inverse; see DESIGN.md §6.)
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.config import ClipConfig
+from repro.errors import ConfigurationError
+
+
+def mixture_sensitivity(values: np.ndarray) -> float:
+    """The Eq. (4) sensitivity ``sum_j |x_j|^2 + p_j - p_j^2`` of a vector.
+
+    Args:
+        values: Real-valued vector (any shape; summed over all entries).
+
+    Returns:
+        The scalar mixture sensitivity.
+    """
+    magnitudes = np.abs(np.asarray(values, dtype=np.float64))
+    fractional = magnitudes - np.floor(magnitudes)
+    return float(np.sum(magnitudes**2 + fractional - fractional**2))
+
+
+def sensitivity_helper(values: np.ndarray) -> np.ndarray:
+    """The signed helper vector ``v`` of Algorithm 5 line 3.
+
+    ``v_j = sign(g_j) * (|g_j|^2 + p_j - p_j^2)`` with the convention
+    ``sign(0) = +1`` (the paper defines ``0/0 = 1``).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    signs = np.where(values >= 0, 1.0, -1.0)
+    magnitudes = np.abs(values)
+    fractional = magnitudes - np.floor(magnitudes)
+    return signs * (magnitudes**2 + fractional - fractional**2)
+
+
+def invert_sensitivity_helper(helper: np.ndarray) -> np.ndarray:
+    """Invert the helper map: recover ``g`` from ``v`` (Alg. 5 lines 5-8).
+
+    For ``|v| in [k^2, (k+1)^2)`` the inverse is ``|g| = k + p'`` with
+    ``k = floor(sqrt(|v|))`` and ``p' = (|v| - k^2) / (2k + 1)``.
+    """
+    helper = np.asarray(helper, dtype=np.float64)
+    signs = np.where(helper >= 0, 1.0, -1.0)
+    magnitudes = np.abs(helper)
+    integer_parts = np.floor(np.sqrt(magnitudes))
+    # Guard against floor(sqrt(k^2)) landing at k-1 from float rounding.
+    integer_parts = np.where(
+        (integer_parts + 1.0) ** 2 <= magnitudes, integer_parts + 1.0, integer_parts
+    )
+    fractional_parts = (magnitudes - integer_parts**2) / (2.0 * integer_parts + 1.0)
+    return signs * (integer_parts + fractional_parts)
+
+
+def clip_linf_ceiling(values: np.ndarray, delta_inf: float) -> np.ndarray:
+    """Clip magnitudes so that ``ceil(|g_j|) <= Delta_inf`` (Alg. 5 line 10).
+
+    Clipping at ``Delta_inf`` itself is insufficient when ``Delta_inf`` is
+    fractional (``|g| = 2.3 <= 2.5`` but ``ceil = 3 > 2.5``), so magnitudes
+    are clipped at ``floor(Delta_inf)`` — the paper's own example
+    ("for Delta_inf = 1 and x = -1.9, we simply increase x to -1").
+    """
+    if not delta_inf > 0:
+        raise ConfigurationError(f"delta_inf must be positive, got {delta_inf}")
+    values = np.asarray(values, dtype=np.float64)
+    signs = np.where(values >= 0, 1.0, -1.0)
+    bound = math.floor(delta_inf)
+    return signs * np.minimum(np.abs(values), bound)
+
+
+def clip_gradient(values: np.ndarray, clip: ClipConfig) -> np.ndarray:
+    """Run the full Algorithm 5 clip on one vector (or batch of rows).
+
+    Args:
+        values: Real vector ``(d,)`` or batch ``(n, d)``; each row is
+            clipped independently.
+        clip: The thresholds ``c`` and ``Delta_inf``.
+
+    Returns:
+        Clipped array of the same shape; every row satisfies Eq. (4) with
+        bound ``c`` and ``ceil(|.|) <= Delta_inf``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    single_vector = values.ndim == 1
+    batch = np.atleast_2d(values)
+    helper = sensitivity_helper(batch)
+    l1_norms = np.abs(helper).sum(axis=1, keepdims=True)
+    scales = np.ones_like(l1_norms)
+    np.divide(clip.c, l1_norms, out=scales, where=l1_norms > clip.c)
+    clipped_helper = helper * scales
+    recovered = invert_sensitivity_helper(clipped_helper)
+    result = clip_linf_ceiling(recovered, clip.delta_inf)
+    return result[0] if single_vector else result

@@ -1,0 +1,196 @@
+"""Communication-cost model for the bitwidth/utility trade-off.
+
+The paper's central experimental axis is the per-dimension communication
+constraint ``m`` ("a larger m ... increases the communication cost,
+slowing down the aggregation process ... especially with a
+communication-intensive secure aggregation protocol", Section 4).  This
+module turns that discussion into numbers: bytes uploaded per client per
+round, the Bonawitz protocol's per-round overhead, and whole-run totals
+— so the ablation benchmarks can report *accuracy per megabyte*, the
+quantity a deployment actually optimises.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.errors import ConfigurationError
+
+#: Bytes of one Diffie-Hellman public key (Oakley group 2: 1024 bits).
+DH_PUBLIC_KEY_BYTES = 128
+
+#: Bytes of one sealed Shamir share envelope (Section's payload layout:
+#: 4 + 16 + 2 + 16 * ceil(1024/60) limbs for the key share).
+SHARE_ENVELOPE_BYTES = 22 + 16 * math.ceil(1024 / 60)
+
+#: Bytes of one Shamir share revealed at unmasking (point + value).
+UNMASK_SHARE_BYTES = 20
+
+
+def payload_bits(dimension: int, modulus: int) -> int:
+    """Bits of one masked-input vector: ``d * ceil(log2 m)``.
+
+    Args:
+        dimension: Vector length ``d`` (after Walsh-Hadamard padding).
+        modulus: The group modulus ``m``.
+
+    Raises:
+        ConfigurationError: On non-positive dimension or modulus < 2.
+    """
+    if dimension < 1:
+        raise ConfigurationError(f"dimension must be >= 1, got {dimension}")
+    if modulus < 2:
+        raise ConfigurationError(f"modulus must be >= 2, got {modulus}")
+    return dimension * math.ceil(math.log2(modulus))
+
+
+def client_upload_bytes(dimension: int, modulus: int) -> int:
+    """Bytes of the round-2 masked input one client uploads."""
+    return math.ceil(payload_bits(dimension, modulus) / 8)
+
+
+def central_upload_bytes(dimension: int) -> int:
+    """Bytes a *centralised* DPSGD client would upload (float32 gradient).
+
+    The centralised baseline has no modulus constraint; its natural wire
+    format is a float32 per dimension.
+    """
+    if dimension < 1:
+        raise ConfigurationError(f"dimension must be >= 1, got {dimension}")
+    return 4 * dimension
+
+
+@dataclasses.dataclass(frozen=True)
+class SecAggRoundCost:
+    """Per-client byte counts of one Bonawitz protocol execution.
+
+    Attributes:
+        advertise: Round 0 — two DH public keys.
+        share_keys: Round 1 — one sealed envelope per peer.
+        masked_input: Round 2 — the ``d``-vector over ``Z_m``.
+        unmask: Round 3 — one revealed share per peer.
+    """
+
+    advertise: int
+    share_keys: int
+    masked_input: int
+    unmask: int
+
+    @property
+    def total(self) -> int:
+        """Total upload bytes per client per round."""
+        return (
+            self.advertise + self.share_keys + self.masked_input + self.unmask
+        )
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Protocol bytes as a fraction of the total (0 when the masked
+        input dominates — the large-``d`` regime the paper targets)."""
+        protocol = self.advertise + self.share_keys + self.unmask
+        return protocol / self.total if self.total else 0.0
+
+
+def bonawitz_round_cost(
+    num_clients: int, dimension: int, modulus: int
+) -> SecAggRoundCost:
+    """Per-client communication of one full Bonawitz round.
+
+    Args:
+        num_clients: Participants ``n`` in the aggregation.
+        dimension: Vector length ``d``.
+        modulus: Group modulus ``m``.
+
+    Returns:
+        The per-round cost breakdown; the masked input is ``O(d log m)``
+        and the protocol overhead ``O(n)``, matching the protocol's
+        published complexity.
+    """
+    if num_clients < 2:
+        raise ConfigurationError(
+            f"num_clients must be >= 2, got {num_clients}"
+        )
+    return SecAggRoundCost(
+        advertise=2 * DH_PUBLIC_KEY_BYTES,
+        share_keys=num_clients * SHARE_ENVELOPE_BYTES,
+        masked_input=client_upload_bytes(dimension, modulus),
+        unmask=num_clients * UNMASK_SHARE_BYTES,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class TrainingCommunication:
+    """Whole-run communication of an FL training job.
+
+    Attributes:
+        rounds: Training rounds ``T``.
+        expected_batch: Expected participants per round ``|B|``.
+        per_client_round_bytes: Upload per participating client per round.
+        total_bytes: Expected total client-to-server upload over the run.
+    """
+
+    rounds: int
+    expected_batch: int
+    per_client_round_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.rounds * self.expected_batch * self.per_client_round_bytes
+
+    @property
+    def total_megabytes(self) -> float:
+        return self.total_bytes / 2**20
+
+
+def training_communication(
+    dimension: int,
+    modulus: int | None,
+    rounds: int,
+    expected_batch: int,
+    include_protocol: bool = False,
+) -> TrainingCommunication:
+    """Expected upload volume of a full training run.
+
+    Args:
+        dimension: Model dimension ``d`` (padded).
+        modulus: Group modulus ``m``; ``None`` means the centralised
+            float baseline.
+        rounds: Training rounds ``T``.
+        expected_batch: Expected participants per round.
+        include_protocol: Add the Bonawitz per-round protocol overhead
+            (keys, shares, unmasking) on top of the payload.
+
+    Returns:
+        The run's communication summary.
+    """
+    if rounds < 1:
+        raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+    if expected_batch < 1:
+        raise ConfigurationError(
+            f"expected_batch must be >= 1, got {expected_batch}"
+        )
+    if modulus is None:
+        per_round = central_upload_bytes(dimension)
+    elif include_protocol:
+        per_round = bonawitz_round_cost(
+            max(expected_batch, 2), dimension, modulus
+        ).total
+    else:
+        per_round = client_upload_bytes(dimension, modulus)
+    return TrainingCommunication(
+        rounds=rounds,
+        expected_batch=expected_batch,
+        per_client_round_bytes=per_round,
+    )
+
+
+def compression_ratio(dimension: int, modulus: int) -> float:
+    """How much smaller the ``Z_m`` wire format is than float32.
+
+    The paper's headline operating point ``m = 2^8`` gives ratio 4 (one
+    byte per parameter versus four).
+    """
+    return central_upload_bytes(dimension) / client_upload_bytes(
+        dimension, modulus
+    )

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the SMM reproduction library.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from runtime protocol failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter combination was supplied by the caller.
+
+    Examples: a non-positive noise parameter, a modulus that is not a power
+    of two, or clipping thresholds that violate the feasibility constraints
+    of Eq. (3) in the paper.
+    """
+
+
+class CalibrationError(ReproError):
+    """Noise calibration could not meet the requested privacy budget.
+
+    Raised when the binary search for a noise parameter fails to find any
+    value satisfying the target (epsilon, delta) under the mechanism's
+    feasibility constraints.
+    """
+
+
+class PrivacyAccountingError(ReproError):
+    """An RDP/(epsilon, delta) accounting computation is infeasible.
+
+    Examples: a Renyi order outside the valid range of a divergence bound,
+    or a subsampling rate outside [0, 1].
+    """
+
+
+class AggregationError(ReproError):
+    """A secure-aggregation protocol invariant was violated.
+
+    Examples: participants submitting vectors of mismatched length, or a
+    message containing values outside ``Z_m``.
+    """
+
+
+class OverflowWarning(UserWarning):
+    """The aggregate (signal plus noise) likely exceeded ``[-m/2, m/2)``.
+
+    Modular wraparound then corrupts the decoded sum.  This is the failure
+    mode the paper reports for DDG/Skellam/cpSGD at small bitwidths; the
+    library warns rather than raises because the experiments intentionally
+    exercise this regime.
+    """

@@ -1,0 +1,73 @@
+"""Federated-learning substrate: model, data, optimisers, training loop."""
+
+from repro.fl.data import (
+    Dataset,
+    fashion_mnist_surrogate,
+    make_synthetic_images,
+    mnist_surrogate,
+)
+from repro.fl.dpsgd import train_dpsgd
+from repro.fl.experiment import (
+    FlPointResult,
+    format_accuracy_table,
+    run_fl_point,
+)
+from repro.fl.layers import (
+    DenseLayer,
+    relu,
+    relu_grad,
+    softmax,
+    softmax_cross_entropy,
+)
+from repro.fl.metrics import (
+    ClassificationReport,
+    classification_report,
+    confusion_matrix,
+    evaluate_model,
+)
+from repro.fl.model import MLPClassifier, paper_mlp
+from repro.fl.optimizers import Adam, Optimizer, Sgd, make_optimizer
+from repro.fl.schedules import (
+    ConstantSchedule,
+    CosineAnnealing,
+    LinearWarmup,
+    Schedule,
+    StepDecay,
+    make_schedule,
+)
+from repro.fl.training import FederatedTrainer, TrainingConfig, TrainingHistory
+
+__all__ = [
+    "Adam",
+    "ClassificationReport",
+    "ConstantSchedule",
+    "CosineAnnealing",
+    "Dataset",
+    "DenseLayer",
+    "FederatedTrainer",
+    "FlPointResult",
+    "LinearWarmup",
+    "MLPClassifier",
+    "Optimizer",
+    "Schedule",
+    "Sgd",
+    "StepDecay",
+    "TrainingConfig",
+    "TrainingHistory",
+    "classification_report",
+    "confusion_matrix",
+    "evaluate_model",
+    "fashion_mnist_surrogate",
+    "format_accuracy_table",
+    "make_optimizer",
+    "make_schedule",
+    "make_synthetic_images",
+    "mnist_surrogate",
+    "paper_mlp",
+    "relu",
+    "relu_grad",
+    "run_fl_point",
+    "softmax",
+    "softmax_cross_entropy",
+    "train_dpsgd",
+]

@@ -1,0 +1,121 @@
+"""Neural-network layers with *per-example* gradients (pure numpy).
+
+Differentially private SGD needs the gradient of every individual
+example's loss — each FL participant perturbs *her own* gradient
+(Algorithm 3 line 5) — so the backward pass here returns, for a batch of
+``B`` examples, parameter gradients of shape ``(B, ...)`` rather than the
+batch-mean a standard framework computes.  For a dense layer this is one
+outer product per example, vectorised as an einsum.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass
+class DenseLayer:
+    """A fully connected layer ``y = x W + b`` with per-example gradients.
+
+    Attributes:
+        weights: ``(fan_in, fan_out)`` parameter matrix.
+        bias: ``(fan_out,)`` parameter vector.
+    """
+
+    weights: np.ndarray
+    bias: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.weights.ndim != 2:
+            raise ConfigurationError("weights must be a 2-d array")
+        if self.bias.shape != (self.weights.shape[1],):
+            raise ConfigurationError(
+                f"bias shape {self.bias.shape} does not match fan-out "
+                f"{self.weights.shape[1]}"
+            )
+
+    @classmethod
+    def initialise(
+        cls, fan_in: int, fan_out: int, rng: np.random.Generator
+    ) -> "DenseLayer":
+        """He-initialise a layer (suits the ReLU activations used here)."""
+        scale = np.sqrt(2.0 / fan_in)
+        weights = rng.normal(0.0, scale, size=(fan_in, fan_out))
+        return cls(weights=weights, bias=np.zeros(fan_out))
+
+    @property
+    def num_parameters(self) -> int:
+        """Total parameter count (weights + bias)."""
+        return self.weights.size + self.bias.size
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Apply the affine map to a ``(B, fan_in)`` batch."""
+        return inputs @ self.weights + self.bias
+
+    def per_example_gradients(
+        self, inputs: np.ndarray, output_grads: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Backward pass returning per-example parameter gradients.
+
+        Args:
+            inputs: The ``(B, fan_in)`` batch fed to :meth:`forward`.
+            output_grads: ``(B, fan_out)`` gradients of each example's
+                loss w.r.t. this layer's output.
+
+        Returns:
+            ``(weight_grads, bias_grads, input_grads)`` with shapes
+            ``(B, fan_in, fan_out)``, ``(B, fan_out)``, ``(B, fan_in)``.
+        """
+        weight_grads = np.einsum("bi,bo->bio", inputs, output_grads)
+        input_grads = output_grads @ self.weights.T
+        return weight_grads, output_grads, input_grads
+
+
+def relu(values: np.ndarray) -> np.ndarray:
+    """Rectified linear activation."""
+    return np.maximum(values, 0.0)
+
+
+def relu_grad(pre_activation: np.ndarray) -> np.ndarray:
+    """Derivative of ReLU evaluated at the pre-activation values."""
+    return (pre_activation > 0.0).astype(np.float64)
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax, numerically stabilised."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / exps.sum(axis=1, keepdims=True)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-example cross-entropy loss and its gradient w.r.t. the logits.
+
+    Args:
+        logits: ``(B, num_classes)`` raw scores.
+        labels: ``(B,)`` integer class labels.
+
+    Returns:
+        ``(losses, logit_grads)`` — per-example losses ``(B,)`` and
+        gradients ``(B, num_classes)`` of each example's own loss.
+    """
+    if logits.ndim != 2:
+        raise ConfigurationError("logits must be a (batch, classes) array")
+    if labels.shape != (logits.shape[0],):
+        raise ConfigurationError(
+            f"labels shape {labels.shape} does not match batch "
+            f"{logits.shape[0]}"
+        )
+    probabilities = softmax(logits)
+    batch_indices = np.arange(logits.shape[0])
+    picked = np.clip(probabilities[batch_indices, labels], 1e-12, None)
+    losses = -np.log(picked)
+    logit_grads = probabilities.copy()
+    logit_grads[batch_indices, labels] -= 1.0
+    return losses, logit_grads

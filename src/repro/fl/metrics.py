@@ -1,0 +1,142 @@
+"""Classification metrics beyond plain accuracy.
+
+The paper reports test accuracy; richer metrics (confusion matrix,
+per-class precision/recall/F1) let the examples and ablations show *how*
+DP noise degrades a model — typically by collapsing rare classes first —
+rather than just *how much*.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def confusion_matrix(
+    labels: np.ndarray, predictions: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """Count matrix ``C[i, j]`` = examples of true class ``i`` predicted
+    as class ``j``.
+
+    Args:
+        labels: True integer labels in ``[0, num_classes)``.
+        predictions: Predicted integer labels, same shape.
+        num_classes: Number of classes ``K``.
+
+    Returns:
+        ``(K, K)`` int64 matrix.
+
+    Raises:
+        ConfigurationError: On shape mismatch or out-of-range labels.
+    """
+    labels = np.asarray(labels)
+    predictions = np.asarray(predictions)
+    if labels.shape != predictions.shape or labels.ndim != 1:
+        raise ConfigurationError(
+            f"labels and predictions must be equal-length 1-d arrays, got "
+            f"{labels.shape} and {predictions.shape}"
+        )
+    if num_classes < 1:
+        raise ConfigurationError(
+            f"num_classes must be >= 1, got {num_classes}"
+        )
+    for name, values in (("labels", labels), ("predictions", predictions)):
+        if values.size and (
+            values.min() < 0 or values.max() >= num_classes
+        ):
+            raise ConfigurationError(
+                f"{name} must lie in [0, {num_classes}), got range "
+                f"[{values.min()}, {values.max()}]"
+            )
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+@dataclasses.dataclass(frozen=True)
+class ClassificationReport:
+    """Per-class and aggregate metrics derived from a confusion matrix.
+
+    Attributes:
+        matrix: The ``(K, K)`` confusion matrix.
+        accuracy: Overall fraction correct.
+        precision: Per-class precision (0 where the class was never
+            predicted).
+        recall: Per-class recall (0 where the class has no examples).
+        f1: Per-class F1 (harmonic mean; 0 where undefined).
+    """
+
+    matrix: np.ndarray
+    accuracy: float
+    precision: np.ndarray
+    recall: np.ndarray
+    f1: np.ndarray
+
+    @property
+    def macro_f1(self) -> float:
+        """Unweighted mean of per-class F1 — sensitive to collapsed
+        classes, unlike accuracy."""
+        return float(self.f1.mean())
+
+    @property
+    def worst_class_recall(self) -> float:
+        """Recall of the most-damaged class."""
+        return float(self.recall.min())
+
+
+def classification_report(
+    labels: np.ndarray, predictions: np.ndarray, num_classes: int
+) -> ClassificationReport:
+    """Compute the full report from labels and predictions.
+
+    Args:
+        labels: True integer labels.
+        predictions: Predicted integer labels.
+        num_classes: Number of classes.
+
+    Returns:
+        The per-class and aggregate metrics.
+    """
+    matrix = confusion_matrix(labels, predictions, num_classes)
+    total = matrix.sum()
+    correct = np.trace(matrix)
+    predicted_totals = matrix.sum(axis=0).astype(np.float64)
+    true_totals = matrix.sum(axis=1).astype(np.float64)
+    diagonal = np.diag(matrix).astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(
+            predicted_totals > 0, diagonal / predicted_totals, 0.0
+        )
+        recall = np.where(true_totals > 0, diagonal / true_totals, 0.0)
+        denominator = precision + recall
+        f1 = np.where(
+            denominator > 0, 2.0 * precision * recall / denominator, 0.0
+        )
+    return ClassificationReport(
+        matrix=matrix,
+        accuracy=float(correct / total) if total else 0.0,
+        precision=precision,
+        recall=recall,
+        f1=f1,
+    )
+
+
+def evaluate_model(model, features: np.ndarray, labels: np.ndarray):
+    """Run a model over a dataset and report classification metrics.
+
+    Args:
+        model: Any object with ``predict(features) -> labels`` and a
+            ``num_classes``-sized output layer (e.g.
+            :class:`repro.fl.model.MLPClassifier`).
+        features: ``(n, d)`` input matrix.
+        labels: Length-``n`` true labels.
+
+    Returns:
+        A :class:`ClassificationReport`.
+    """
+    predictions = model.predict(features)
+    num_classes = int(max(labels.max(), predictions.max())) + 1
+    return classification_report(labels, predictions, num_classes)

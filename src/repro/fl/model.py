@@ -1,0 +1,163 @@
+"""The evaluation model: a ReLU multi-layer perceptron (pure numpy).
+
+Section 6.2: "we train a three-layer neural network with fully connected
+layers and ReLU activation ... 80 neurons per layer, resulting in a model
+with d = 63,610 weights."  :func:`paper_mlp` builds exactly that network;
+:class:`MLPClassifier` supports any layer widths so the experiment
+harness can run scaled-down instances (see DESIGN.md §4).
+
+The class exposes the two operations federated DP-SGD needs:
+
+* :meth:`per_example_gradients` — one flattened gradient per example
+  (each FL participant owns one record), and
+* :meth:`get_flat_parameters` / :meth:`set_flat_parameters` — the server's
+  view of the model as a single vector, matching the flat gradient layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fl.layers import (
+    DenseLayer,
+    relu,
+    relu_grad,
+    softmax,
+    softmax_cross_entropy,
+)
+
+
+class MLPClassifier:
+    """A fully connected ReLU classifier with per-example gradients.
+
+    Args:
+        layer_sizes: Widths ``[input, hidden..., output]``; at least two
+            entries.
+        rng: Generator for weight initialisation.
+    """
+
+    def __init__(self, layer_sizes: list[int], rng: np.random.Generator) -> None:
+        if len(layer_sizes) < 2:
+            raise ConfigurationError(
+                f"need at least input and output sizes, got {layer_sizes}"
+            )
+        if any(size < 1 for size in layer_sizes):
+            raise ConfigurationError(f"layer sizes must be >= 1: {layer_sizes}")
+        self.layers = [
+            DenseLayer.initialise(fan_in, fan_out, rng)
+            for fan_in, fan_out in zip(layer_sizes, layer_sizes[1:])
+        ]
+        self.layer_sizes = list(layer_sizes)
+
+    @property
+    def num_parameters(self) -> int:
+        """Total number of trainable parameters ``d``."""
+        return sum(layer.num_parameters for layer in self.layers)
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Logits for a ``(B, input_dim)`` batch."""
+        activations = np.asarray(inputs, dtype=np.float64)
+        for layer in self.layers[:-1]:
+            activations = relu(layer.forward(activations))
+        return self.layers[-1].forward(activations)
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Predicted class labels."""
+        return self.forward(inputs).argmax(axis=1)
+
+    def accuracy(self, inputs: np.ndarray, labels: np.ndarray) -> float:
+        """Fraction of correct predictions."""
+        return float(np.mean(self.predict(inputs) == labels))
+
+    def loss(self, inputs: np.ndarray, labels: np.ndarray) -> float:
+        """Mean cross-entropy over the batch."""
+        losses, _ = softmax_cross_entropy(self.forward(inputs), labels)
+        return float(losses.mean())
+
+    def probabilities(self, inputs: np.ndarray) -> np.ndarray:
+        """Softmax class probabilities."""
+        return softmax(self.forward(inputs))
+
+    def per_example_gradients(
+        self, inputs: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        """Flattened gradient of every example's own loss.
+
+        Args:
+            inputs: ``(B, input_dim)`` features.
+            labels: ``(B,)`` integer labels.
+
+        Returns:
+            ``(B, num_parameters)`` float64 array; row ``i`` is the
+            gradient of example ``i``'s cross-entropy loss w.r.t. all
+            parameters, in :meth:`get_flat_parameters` layout.
+        """
+        inputs = np.asarray(inputs, dtype=np.float64)
+        batch = inputs.shape[0]
+        # Forward, keeping pre-activations and layer inputs.
+        layer_inputs: list[np.ndarray] = []
+        pre_activations: list[np.ndarray] = []
+        activations = inputs
+        for layer in self.layers[:-1]:
+            layer_inputs.append(activations)
+            pre = layer.forward(activations)
+            pre_activations.append(pre)
+            activations = relu(pre)
+        layer_inputs.append(activations)
+        logits = self.layers[-1].forward(activations)
+        _, delta = softmax_cross_entropy(logits, labels)
+        # Backward, collecting per-example flat gradients layer by layer.
+        flat_chunks: list[np.ndarray] = [np.empty(0)] * len(self.layers)
+        for index in range(len(self.layers) - 1, -1, -1):
+            layer = self.layers[index]
+            weight_grads, bias_grads, input_grads = layer.per_example_gradients(
+                layer_inputs[index], delta
+            )
+            flat_chunks[index] = np.concatenate(
+                [weight_grads.reshape(batch, -1), bias_grads], axis=1
+            )
+            if index > 0:
+                delta = input_grads * relu_grad(pre_activations[index - 1])
+        return np.concatenate(flat_chunks, axis=1)
+
+    def mean_gradient(self, inputs: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Flat gradient of the mean loss (non-private training)."""
+        return self.per_example_gradients(inputs, labels).mean(axis=0)
+
+    def get_flat_parameters(self) -> np.ndarray:
+        """All parameters as one vector (weights then bias, per layer)."""
+        chunks = []
+        for layer in self.layers:
+            chunks.append(layer.weights.ravel())
+            chunks.append(layer.bias.ravel())
+        return np.concatenate(chunks)
+
+    def set_flat_parameters(self, flat: np.ndarray) -> None:
+        """Load parameters from a :meth:`get_flat_parameters`-layout vector."""
+        flat = np.asarray(flat, dtype=np.float64)
+        if flat.shape != (self.num_parameters,):
+            raise ConfigurationError(
+                f"expected {self.num_parameters} parameters, got {flat.shape}"
+            )
+        offset = 0
+        for layer in self.layers:
+            size = layer.weights.size
+            layer.weights = flat[offset : offset + size].reshape(
+                layer.weights.shape
+            )
+            offset += size
+            size = layer.bias.size
+            layer.bias = flat[offset : offset + size].copy()
+            offset += size
+
+
+def paper_mlp(rng: np.random.Generator, hidden: int = 80) -> MLPClassifier:
+    """The Section 6.2 architecture: 784 -> hidden -> 10.
+
+    The paper's "three-layer neural network ... 80 neurons per layer"
+    counts the input, hidden and output layers: with ``hidden = 80`` the
+    parameter count is 784*80 + 80 + 80*10 + 10 = 63,610, exactly the
+    ``d`` reported in Section 6.2.
+    """
+    return MLPClassifier([784, hidden, 10], rng)

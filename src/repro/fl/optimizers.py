@@ -1,0 +1,115 @@
+"""Server-side optimisers over the flat parameter vector.
+
+The server's model update (Algorithm 3 line 9) consumes the decoded
+gradient estimate.  The paper trains with Adam at learning rate 0.005
+(Section 6.2: "for all experiments, we use the Adam optimizer with
+learning rate 0.005"); plain SGD is provided for the ablations.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class Optimizer(abc.ABC):
+    """Stateful first-order optimiser on a flat parameter vector."""
+
+    def __init__(self, learning_rate: float) -> None:
+        if not learning_rate > 0:
+            raise ConfigurationError(
+                f"learning_rate must be positive, got {learning_rate}"
+            )
+        self.learning_rate = learning_rate
+
+    @abc.abstractmethod
+    def step(self, parameters: np.ndarray, gradient: np.ndarray) -> np.ndarray:
+        """Return the updated parameter vector."""
+
+
+class Sgd(Optimizer):
+    """Vanilla stochastic gradient descent, optional momentum.
+
+    Args:
+        learning_rate: Step size.
+        momentum: Momentum coefficient in [0, 1); 0 disables momentum.
+    """
+
+    def __init__(self, learning_rate: float, momentum: float = 0.0) -> None:
+        super().__init__(learning_rate)
+        if not 0 <= momentum < 1:
+            raise ConfigurationError(
+                f"momentum must be in [0, 1), got {momentum}"
+            )
+        self.momentum = momentum
+        self._velocity: np.ndarray | None = None
+
+    def step(self, parameters: np.ndarray, gradient: np.ndarray) -> np.ndarray:
+        if self._velocity is None:
+            self._velocity = np.zeros_like(parameters)
+        self._velocity = self.momentum * self._velocity + gradient
+        return parameters - self.learning_rate * self._velocity
+
+
+class Adam(Optimizer):
+    """Adam (Kingma and Ba, 2015) with standard bias correction.
+
+    Args:
+        learning_rate: Step size (0.005 in the paper's experiments).
+        beta1: First-moment decay.
+        beta2: Second-moment decay.
+        epsilon: Denominator stabiliser.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.005,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0 <= beta1 < 1 or not 0 <= beta2 < 1:
+            raise ConfigurationError(
+                f"betas must be in [0, 1), got {beta1}, {beta2}"
+            )
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._step_count = 0
+        self._first_moment: np.ndarray | None = None
+        self._second_moment: np.ndarray | None = None
+
+    def step(self, parameters: np.ndarray, gradient: np.ndarray) -> np.ndarray:
+        if self._first_moment is None:
+            self._first_moment = np.zeros_like(parameters)
+            self._second_moment = np.zeros_like(parameters)
+        self._step_count += 1
+        self._first_moment = (
+            self.beta1 * self._first_moment + (1.0 - self.beta1) * gradient
+        )
+        self._second_moment = self.beta2 * self._second_moment + (
+            1.0 - self.beta2
+        ) * gradient**2
+        corrected_first = self._first_moment / (
+            1.0 - self.beta1**self._step_count
+        )
+        corrected_second = self._second_moment / (
+            1.0 - self.beta2**self._step_count
+        )
+        return parameters - self.learning_rate * corrected_first / (
+            np.sqrt(corrected_second) + self.epsilon
+        )
+
+
+def make_optimizer(name: str, learning_rate: float) -> Optimizer:
+    """Build an optimiser by name (``"adam"`` or ``"sgd"``)."""
+    builders = {"adam": Adam, "sgd": Sgd}
+    if name not in builders:
+        raise ConfigurationError(
+            f"unknown optimizer {name!r}; expected one of {sorted(builders)}"
+        )
+    return builders[name](learning_rate)

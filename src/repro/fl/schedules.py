@@ -1,0 +1,166 @@
+"""Learning-rate schedules for the server optimiser.
+
+The paper trains with a fixed learning rate and notes that "additional
+details on the updating process (e.g., learning rate schedule, weight
+decay)" do not affect the framework or the privacy guarantees
+(Section 4).  These schedules make that claim exercisable: they modify
+only the server-side step size, never the clients' perturbation, so any
+schedule composes with any mechanism at zero privacy cost.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+from repro.errors import ConfigurationError
+
+
+class Schedule(abc.ABC):
+    """A learning-rate schedule over 1-based round indices.
+
+    Args:
+        base_rate: The rate at round 1 (before any decay).
+    """
+
+    def __init__(self, base_rate: float) -> None:
+        if not base_rate > 0:
+            raise ConfigurationError(
+                f"base_rate must be positive, got {base_rate}"
+            )
+        self.base_rate = base_rate
+
+    @abc.abstractmethod
+    def rate(self, round_index: int) -> float:
+        """The learning rate to apply at the given round (>= 1)."""
+
+    def _check_round(self, round_index: int) -> None:
+        if round_index < 1:
+            raise ConfigurationError(
+                f"round_index must be >= 1, got {round_index}"
+            )
+
+
+class ConstantSchedule(Schedule):
+    """The paper's setting: a fixed learning rate every round."""
+
+    def rate(self, round_index: int) -> float:
+        self._check_round(round_index)
+        return self.base_rate
+
+
+class StepDecay(Schedule):
+    """Multiply the rate by ``factor`` every ``period`` rounds.
+
+    Args:
+        base_rate: Initial rate.
+        period: Rounds between decays (>= 1).
+        factor: Multiplier in (0, 1].
+    """
+
+    def __init__(
+        self, base_rate: float, period: int, factor: float = 0.5
+    ) -> None:
+        super().__init__(base_rate)
+        if period < 1:
+            raise ConfigurationError(f"period must be >= 1, got {period}")
+        if not 0 < factor <= 1:
+            raise ConfigurationError(
+                f"factor must be in (0, 1], got {factor}"
+            )
+        self.period = period
+        self.factor = factor
+
+    def rate(self, round_index: int) -> float:
+        self._check_round(round_index)
+        return self.base_rate * self.factor ** ((round_index - 1) // self.period)
+
+
+class CosineAnnealing(Schedule):
+    """Cosine decay from ``base_rate`` to ``floor_rate`` over the run.
+
+    Args:
+        base_rate: Initial rate.
+        total_rounds: Length of the schedule ``T``.
+        floor_rate: Rate at round ``T`` (default 0).
+    """
+
+    def __init__(
+        self, base_rate: float, total_rounds: int, floor_rate: float = 0.0
+    ) -> None:
+        super().__init__(base_rate)
+        if total_rounds < 1:
+            raise ConfigurationError(
+                f"total_rounds must be >= 1, got {total_rounds}"
+            )
+        if not 0 <= floor_rate <= base_rate:
+            raise ConfigurationError(
+                f"floor_rate must lie in [0, base_rate], got {floor_rate}"
+            )
+        self.total_rounds = total_rounds
+        self.floor_rate = floor_rate
+
+    def rate(self, round_index: int) -> float:
+        self._check_round(round_index)
+        progress = min(round_index - 1, self.total_rounds - 1) / max(
+            self.total_rounds - 1, 1
+        )
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.floor_rate + (self.base_rate - self.floor_rate) * cosine
+
+
+class LinearWarmup(Schedule):
+    """Ramp linearly to the wrapped schedule's rate, then follow it.
+
+    Args:
+        inner: The schedule to follow after warmup.
+        warmup_rounds: Rounds over which the rate ramps from
+            ``inner.rate(1) / warmup_rounds`` to the full value.
+    """
+
+    def __init__(self, inner: Schedule, warmup_rounds: int) -> None:
+        super().__init__(inner.base_rate)
+        if warmup_rounds < 1:
+            raise ConfigurationError(
+                f"warmup_rounds must be >= 1, got {warmup_rounds}"
+            )
+        self.inner = inner
+        self.warmup_rounds = warmup_rounds
+
+    def rate(self, round_index: int) -> float:
+        self._check_round(round_index)
+        target = self.inner.rate(round_index)
+        if round_index >= self.warmup_rounds:
+            return target
+        return target * round_index / self.warmup_rounds
+
+
+def make_schedule(
+    name: str, base_rate: float, total_rounds: int
+) -> Schedule:
+    """Build a schedule by short name.
+
+    Args:
+        name: ``"constant"``, ``"step"`` (halve every quarter of the run),
+            ``"cosine"``, or ``"warmup-cosine"`` (5% warmup).
+        base_rate: Initial learning rate.
+        total_rounds: Run length, used by the decaying schedules.
+
+    Raises:
+        ConfigurationError: On an unknown name.
+    """
+    if name == "constant":
+        return ConstantSchedule(base_rate)
+    if name == "step":
+        return StepDecay(base_rate, period=max(1, total_rounds // 4))
+    if name == "cosine":
+        return CosineAnnealing(base_rate, total_rounds)
+    if name == "warmup-cosine":
+        warmup = max(1, total_rounds // 20)
+        return LinearWarmup(
+            CosineAnnealing(base_rate, total_rounds), warmup
+        )
+    raise ConfigurationError(
+        f"unknown schedule {name!r}; expected one of "
+        f"['constant', 'cosine', 'step', 'warmup-cosine']"
+    )

@@ -1,0 +1,21 @@
+"""Linear-algebra substrate: Walsh-Hadamard rotation and mod-m codec."""
+
+from repro.linalg.hadamard import (
+    RandomRotation,
+    fast_walsh_hadamard,
+    is_power_of_two,
+    naive_walsh_hadamard_matrix,
+    next_power_of_two,
+)
+from repro.linalg.modular import decode_centered, encode_mod, wraps_around
+
+__all__ = [
+    "RandomRotation",
+    "decode_centered",
+    "encode_mod",
+    "fast_walsh_hadamard",
+    "is_power_of_two",
+    "naive_walsh_hadamard_matrix",
+    "next_power_of_two",
+    "wraps_around",
+]

@@ -1,0 +1,37 @@
+"""Calibrated sum estimators: SMM, DGM and the paper's four baselines."""
+
+from repro.mechanisms.base import (
+    DistributedSumEstimator,
+    InputSpec,
+    SumEstimator,
+    clip_l2,
+)
+from repro.mechanisms.cpsgd import CpSgdMechanism
+from repro.mechanisms.ddg import DistributedDiscreteGaussian
+from repro.mechanisms.dgm import DiscreteGaussianMixtureMechanism
+from repro.mechanisms.gaussian import GaussianMechanism
+from repro.mechanisms.rounding import (
+    DEFAULT_BETA,
+    conditional_round,
+    conditional_rounding_bound,
+    stochastic_round,
+)
+from repro.mechanisms.skellam import SkellamMechanism
+from repro.mechanisms.smm import SkellamMixtureMechanism
+
+__all__ = [
+    "CpSgdMechanism",
+    "DEFAULT_BETA",
+    "DiscreteGaussianMixtureMechanism",
+    "DistributedDiscreteGaussian",
+    "DistributedSumEstimator",
+    "GaussianMechanism",
+    "InputSpec",
+    "SkellamMechanism",
+    "SkellamMixtureMechanism",
+    "SumEstimator",
+    "clip_l2",
+    "conditional_round",
+    "conditional_rounding_bound",
+    "stochastic_round",
+]

@@ -1,0 +1,63 @@
+"""Centralised continuous Gaussian baseline (and DPSGD's noise engine).
+
+The "strong baseline" of Sections 6.1-6.2: a trusted curator clips each
+vector to ``Delta_2``, sums, and adds per-coordinate ``N(0, sigma^2)``
+noise.  No rotation, quantisation or modulus is involved — this is the
+utility ceiling the distributed mechanisms chase.  The same calibrated
+object drives the DPSGD baseline in :mod:`repro.fl.dpsgd` (Abadi et al.'s
+algorithm is exactly this estimator inside the SGD loop, with Poisson
+subsampling amplification and moments accounting, both handled by
+:mod:`repro.core.calibration`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accounting.divergences import gaussian_rdp
+from repro.core.calibration import AccountingSpec, calibrate_noise
+from repro.errors import CalibrationError
+from repro.mechanisms.base import InputSpec, SumEstimator, clip_l2
+
+
+class GaussianMechanism(SumEstimator):
+    """Continuous Gaussian sum estimator (centralised DP baseline)."""
+
+    name = "gaussian"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.sigma: float | None = None
+        self.order: int | None = None
+        self.achieved_epsilon: float | None = None
+
+    def _calibrate(self, spec: InputSpec, accounting: AccountingSpec) -> None:
+        def curve_factory(sigma: float):
+            return lambda alpha: gaussian_rdp(alpha, spec.l2_bound, sigma)
+
+        result = calibrate_noise(curve_factory, accounting, initial=1.0)
+        self.sigma = result.noise_parameter
+        self.order = result.order
+        self.achieved_epsilon = result.epsilon
+
+    def estimate_sum(
+        self, values: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        if self.sigma is None:
+            raise CalibrationError("GaussianMechanism is not calibrated")
+        values = np.atleast_2d(np.asarray(values, dtype=np.float64))
+        clipped = clip_l2(values, self.spec.l2_bound)
+        noise = rng.normal(0.0, self.sigma, size=values.shape[1])
+        return clipped.sum(axis=0) + noise
+
+    def describe(self) -> dict[str, float | int | str]:
+        summary: dict[str, float | int | str] = {"name": self.name}
+        if self.sigma is not None:
+            summary.update(
+                {
+                    "sigma": self.sigma,
+                    "order": int(self.order or 0),
+                    "achieved_epsilon": float(self.achieved_epsilon or 0.0),
+                }
+            )
+        return summary

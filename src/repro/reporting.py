@@ -1,0 +1,138 @@
+"""Structured experiment records and table rendering.
+
+The benchmark harness and the CLI produce series of (configuration,
+metric) cells; this module gives them one durable representation:
+
+* :class:`ExperimentRecord` — one measured cell with its full context,
+* :func:`to_json` / :func:`from_json` — lossless round-tripping so runs
+  can be archived and re-rendered without re-running,
+* :func:`render_markdown_table` — the paper-style series table as
+  markdown (used to refresh EXPERIMENTS.md),
+* :func:`write_csv` — flat export for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentRecord:
+    """One measured cell of an experiment grid.
+
+    Attributes:
+        experiment: Experiment id (e.g. ``"fig1"``, ``"table1"``).
+        mechanism: Mechanism short name.
+        metric: Metric name (``"mse"``, ``"accuracy"``, ``"seconds"``).
+        value: The measured value.
+        parameters: The sweep coordinates (epsilon, modulus, gamma, ...).
+    """
+
+    experiment: str
+    mechanism: str
+    metric: str
+    value: float
+    parameters: dict
+
+    def __post_init__(self) -> None:
+        if not self.experiment:
+            raise ConfigurationError("experiment id must be non-empty")
+        if not self.mechanism:
+            raise ConfigurationError("mechanism must be non-empty")
+
+
+def to_json(records: Sequence[ExperimentRecord]) -> str:
+    """Serialise records to a JSON array (stable key order)."""
+    return json.dumps(
+        [dataclasses.asdict(record) for record in records],
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def from_json(payload: str) -> list[ExperimentRecord]:
+    """Parse records produced by :func:`to_json`."""
+    try:
+        raw = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"invalid record JSON: {exc}") from exc
+    if not isinstance(raw, list):
+        raise ConfigurationError("expected a JSON array of records")
+    return [ExperimentRecord(**entry) for entry in raw]
+
+
+def render_markdown_table(
+    records: Sequence[ExperimentRecord],
+    column_parameter: str,
+    value_format: str = "{:.4g}",
+) -> str:
+    """Render records as a markdown table (mechanisms x parameter).
+
+    Args:
+        records: Cells of one experiment (mixed experiments are allowed;
+            rows are keyed by mechanism only).
+        column_parameter: The parameter providing the columns (e.g.
+            ``"epsilon"``).
+        value_format: Format spec for cell values.
+
+    Returns:
+        A GitHub-flavoured markdown table.
+    """
+    if not records:
+        raise ConfigurationError("cannot render an empty record set")
+    columns: list = []
+    rows: dict[str, dict] = {}
+    for record in records:
+        if column_parameter not in record.parameters:
+            raise ConfigurationError(
+                f"record lacks parameter {column_parameter!r}: {record}"
+            )
+        column = record.parameters[column_parameter]
+        if column not in columns:
+            columns.append(column)
+        rows.setdefault(record.mechanism, {})[column] = record.value
+    header = (
+        f"| mechanism | "
+        + " | ".join(f"{column_parameter}={col}" for col in columns)
+        + " |"
+    )
+    divider = "|" + "---|" * (len(columns) + 1)
+    lines = [header, divider]
+    for mechanism, cells in rows.items():
+        rendered = " | ".join(
+            value_format.format(cells[col]) if col in cells else "-"
+            for col in columns
+        )
+        lines.append(f"| {mechanism} | {rendered} |")
+    return "\n".join(lines)
+
+
+def write_csv(records: Sequence[ExperimentRecord]) -> str:
+    """Flatten records to CSV text (one parameter column per key)."""
+    if not records:
+        raise ConfigurationError("cannot export an empty record set")
+    parameter_keys = sorted(
+        {key for record in records for key in record.parameters}
+    )
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["experiment", "mechanism", "metric", "value", *parameter_keys]
+    )
+    for record in records:
+        writer.writerow(
+            [
+                record.experiment,
+                record.mechanism,
+                record.metric,
+                record.value,
+                *[record.parameters.get(key, "") for key in parameter_keys],
+            ]
+        )
+    return buffer.getvalue()

@@ -1,0 +1,46 @@
+"""Noise samplers: exact (integer-arithmetic) and fast (vectorised).
+
+Exact samplers (Appendix A of the paper + Canonne et al. for the discrete
+Gaussian) consume only uniform random integers, so their output follows the
+analytical distribution exactly; fast samplers use numpy floating point and
+stand in for the TensorFlow samplers of the paper's experiments.
+"""
+
+from repro.sampling.discrete_gaussian import (
+    DiscreteGaussianDistribution,
+    ExactDiscreteGaussianSampler,
+    sample_bernoulli_exp,
+    sample_discrete_gaussian,
+    sample_discrete_laplace,
+)
+from repro.sampling.exact_poisson import (
+    sample_poisson,
+    sample_poisson_one,
+    sample_poisson_sub_one,
+)
+from repro.sampling.fast import (
+    bernoulli_round,
+    binomial_noise,
+    discrete_gaussian_noise,
+    skellam_noise,
+)
+from repro.sampling.rng import RandIntSource
+from repro.sampling.skellam import ExactSkellamSampler, SkellamDistribution
+
+__all__ = [
+    "DiscreteGaussianDistribution",
+    "ExactDiscreteGaussianSampler",
+    "ExactSkellamSampler",
+    "RandIntSource",
+    "SkellamDistribution",
+    "bernoulli_round",
+    "binomial_noise",
+    "discrete_gaussian_noise",
+    "sample_bernoulli_exp",
+    "sample_discrete_gaussian",
+    "sample_discrete_laplace",
+    "sample_poisson",
+    "sample_poisson_one",
+    "sample_poisson_sub_one",
+    "skellam_noise",
+]

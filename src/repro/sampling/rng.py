@@ -1,0 +1,74 @@
+"""Randomness primitives for the exact samplers.
+
+Appendix A of the paper adopts the convention that ``RandInt(n)`` — a
+uniform draw from ``{1, ..., n}`` — is the *only* randomness accessible to
+an exact sampler.  Everything else (Bernoulli trials with rational success
+probability, Poisson, Skellam, discrete Gaussian) is built from it with
+integer arithmetic only, so the sampled distribution matches its analytical
+form exactly and Mironov's floating-point attack does not apply.
+
+:class:`RandIntSource` wraps :class:`random.Random` (whose ``randrange`` is
+an exact uniform over a finite integer range) and exposes exactly that
+interface.  Tests substitute a deterministic source to make sampler
+execution paths reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigurationError
+
+
+class RandIntSource:
+    """Uniform integer sampler: ``rand_int(n)`` draws from ``{1, ..., n}``.
+
+    Args:
+        seed: Optional seed for reproducibility.  ``None`` uses fresh
+            OS entropy, which is what a deployment would do.
+    """
+
+    def __init__(self, seed: int | None = None) -> None:
+        self._random = random.Random(seed)
+
+    def rand_int(self, n: int) -> int:
+        """Return a uniform integer in ``{1, ..., n}``.
+
+        Args:
+            n: Upper bound (inclusive); must be a positive integer.
+
+        Raises:
+            ConfigurationError: If ``n`` is not a positive integer.
+        """
+        if n < 1:
+            raise ConfigurationError(f"rand_int bound must be >= 1, got {n}")
+        return self._random.randrange(n) + 1
+
+    def bernoulli(self, numerator: int, denominator: int) -> int:
+        """Exact Bernoulli trial with success probability ``p = num/den``.
+
+        Implements Algorithm 9 of the paper: draw ``RandInt(den)`` and
+        succeed iff the draw is ``<= num``.
+
+        Args:
+            numerator: ``p_x`` in the paper; must satisfy
+                ``0 <= numerator <= denominator``.
+            denominator: ``p_y`` in the paper; must be positive.
+
+        Returns:
+            1 with probability ``numerator / denominator``, else 0.
+        """
+        if denominator <= 0:
+            raise ConfigurationError(
+                f"Bernoulli denominator must be positive, got {denominator}"
+            )
+        if not 0 <= numerator <= denominator:
+            raise ConfigurationError(
+                "Bernoulli numerator must lie in [0, denominator], got "
+                f"{numerator}/{denominator}"
+            )
+        if numerator == 0:
+            return 0
+        if numerator == denominator:
+            return 1
+        return 1 if self.rand_int(denominator) <= numerator else 0

@@ -1,0 +1,115 @@
+"""Exact Skellam sampler and Skellam distribution helpers.
+
+A symmetric Skellam variate ``Sk(lambda, lambda)`` is the difference of two
+independent Poisson(lambda) variates (Section 2.1 of the paper), so the
+exact rational-Poisson sampler of Appendix A immediately yields an exact
+Skellam sampler.
+
+This module also provides the analytic pmf / moments of ``Sk(lambda,
+lambda)`` (via the modified Bessel function), which the test suite uses to
+validate both the exact and the fast samplers against their analytical
+form.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import fractions
+import math
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import ConfigurationError
+from repro.sampling.exact_poisson import sample_poisson
+from repro.sampling.rng import RandIntSource
+
+
+def _as_rational(value: float | int | fractions.Fraction) -> fractions.Fraction:
+    """Convert a parameter to an exact rational, rejecting non-finite input."""
+    if isinstance(value, fractions.Fraction):
+        return value
+    if isinstance(value, int):
+        return fractions.Fraction(value)
+    if not math.isfinite(value):
+        raise ConfigurationError(f"parameter must be finite, got {value}")
+    return fractions.Fraction(value).limit_denominator(10**9)
+
+
+@dataclasses.dataclass(frozen=True)
+class SkellamDistribution:
+    """The symmetric Skellam distribution ``Sk(lambda, lambda)``.
+
+    Attributes:
+        lam: The Poisson rate ``lambda`` of each of the two components;
+            the variate has mean 0 and variance ``2 * lambda``.
+    """
+
+    lam: float
+
+    def __post_init__(self) -> None:
+        if not self.lam > 0:
+            raise ConfigurationError(f"lambda must be positive, got {self.lam}")
+
+    @property
+    def variance(self) -> float:
+        """Variance of ``Sk(lambda, lambda)``, equal to ``2 * lambda``."""
+        return 2.0 * self.lam
+
+    def pmf(self, k: np.ndarray | int) -> np.ndarray | float:
+        """Probability mass ``Pr[Z = k] = exp(-2 lam) I_|k|(2 lam)``."""
+        return stats.skellam.pmf(k, self.lam, self.lam)
+
+    def cdf(self, k: np.ndarray | int) -> np.ndarray | float:
+        """Cumulative distribution function of ``Sk(lambda, lambda)``."""
+        return stats.skellam.cdf(k, self.lam, self.lam)
+
+
+class ExactSkellamSampler:
+    """Exact sampler for ``Sk(lambda, lambda)`` with rational ``lambda``.
+
+    Draws two exact Poisson(lambda) variates (Algorithm 10) and returns
+    their difference.  All arithmetic is over integers, so the output
+    distribution is exactly Skellam.
+
+    Args:
+        lam: The rate parameter; coerced to an exact rational.  Floats are
+            converted via :class:`fractions.Fraction` (denominator capped at
+            ``1e9``), which is exact for the power-of-two-scaled parameters
+            used in the experiments.
+        seed: Optional seed for the underlying ``RandInt`` source.
+    """
+
+    def __init__(
+        self,
+        lam: float | int | fractions.Fraction,
+        seed: int | None = None,
+    ) -> None:
+        rational = _as_rational(lam)
+        if rational <= 0:
+            raise ConfigurationError(f"lambda must be positive, got {lam}")
+        self._numerator = rational.numerator
+        self._denominator = rational.denominator
+        self._source = RandIntSource(seed)
+
+    @property
+    def lam(self) -> fractions.Fraction:
+        """The exact rational rate parameter."""
+        return fractions.Fraction(self._numerator, self._denominator)
+
+    def sample(self) -> int:
+        """Draw one exact ``Sk(lambda, lambda)`` variate."""
+        first = sample_poisson(self._numerator, self._denominator, self._source)
+        second = sample_poisson(self._numerator, self._denominator, self._source)
+        return first - second
+
+    def sample_many(self, count: int) -> list[int]:
+        """Draw ``count`` i.i.d. exact Skellam variates (sequentially).
+
+        Exact samplers are inherently sequential (Appendix A.1 measures
+        exactly this cost); use :mod:`repro.sampling.fast` when a
+        floating-point approximation is acceptable.
+        """
+        if count < 0:
+            raise ConfigurationError(f"count must be non-negative, got {count}")
+        return [self.sample() for _ in range(count)]

@@ -1,0 +1,72 @@
+"""Secure-aggregation substrate: black-box simulator and full protocol.
+
+Two levels of fidelity:
+
+* :mod:`repro.secagg.protocol` — the black-box contract the paper's DP
+  analysis relies on (mask, sum over ``Z_m``, reveal only the modular
+  sum).  Used by the experiment pipelines for speed.
+* :mod:`repro.secagg.bonawitz` — the four-round Bonawitz et al. protocol
+  itself (DH key agreement, Shamir-shared seeds, double masking, dropout
+  recovery), built on :mod:`repro.secagg.field`,
+  :mod:`repro.secagg.shamir`, :mod:`repro.secagg.keys` and
+  :mod:`repro.secagg.prg`.
+"""
+
+from repro.secagg.bonawitz import (
+    AggregationOutcome,
+    BonawitzClient,
+    BonawitzServer,
+    run_bonawitz,
+)
+from repro.secagg.field import DEFAULT_FIELD, MERSENNE_61, PrimeField
+from repro.secagg.keys import (
+    OAKLEY_GROUP_2_PRIME,
+    TOY_GROUP,
+    DhGroup,
+    KeyPair,
+    agree,
+    generate_keypair,
+)
+from repro.secagg.prg import expand_mask, pairwise_delta
+from repro.secagg.protocol import (
+    PairwiseMaskProtocol,
+    SecureAggregator,
+    ZeroSumMaskProtocol,
+    secure_sum,
+)
+from repro.secagg.shamir import (
+    LimbShares,
+    Share,
+    reconstruct_large_secret,
+    reconstruct_secret,
+    split_large_secret,
+    split_secret,
+)
+
+__all__ = [
+    "AggregationOutcome",
+    "BonawitzClient",
+    "BonawitzServer",
+    "DEFAULT_FIELD",
+    "DhGroup",
+    "KeyPair",
+    "LimbShares",
+    "MERSENNE_61",
+    "OAKLEY_GROUP_2_PRIME",
+    "PairwiseMaskProtocol",
+    "PrimeField",
+    "SecureAggregator",
+    "Share",
+    "TOY_GROUP",
+    "ZeroSumMaskProtocol",
+    "agree",
+    "expand_mask",
+    "generate_keypair",
+    "pairwise_delta",
+    "reconstruct_large_secret",
+    "reconstruct_secret",
+    "run_bonawitz",
+    "secure_sum",
+    "split_large_secret",
+    "split_secret",
+]

@@ -1,0 +1,659 @@
+"""The Bonawitz et al. secure-aggregation protocol (semi-honest variant).
+
+The paper uses SecAgg [10] as a black box; :mod:`repro.secagg.protocol`
+models only its input/output contract.  This module implements the
+protocol itself — the four-round state machine of Bonawitz et al.
+(CCS 2017, "Practical Secure Aggregation for Privacy-Preserving Machine
+Learning") — so the repository also demonstrates *how* the contract is
+achieved and how the system behaves when participants drop out
+mid-protocol, which is the protocol's raison d'etre.
+
+Round structure (client set shrinks monotonically: ``U0 ⊇ U1 ⊇ U2 ⊇ U3``):
+
+0. **AdvertiseKeys** — every client publishes two Diffie-Hellman public
+   keys: ``c_u`` (pairwise channel encryption) and ``s_u`` (pairwise mask
+   agreement).
+1. **ShareKeys** — every client samples a self-mask seed ``b_u``,
+   Shamir-shares both ``b_u`` and its mask private key ``s_u^SK`` among
+   the round-0 roster, and uploads the shares sealed per recipient (the
+   server routes ciphertexts it cannot read).
+2. **MaskedInputCollection** — every client uploads
+   ``y_u = x_u + PRG(b_u) + Σ_{v<u} -PRG(s_uv) + Σ_{v>u} +PRG(s_uv)
+   mod m`` where ``s_uv`` is the DH-agreed pairwise seed over the
+   round-1 survivor set ``U1``.
+3. **Unmasking** — the server reveals who survived.  Each responding
+   client returns its share of ``b_v`` for survivors ``v ∈ U2`` and its
+   share of ``s_v^SK`` for dropouts ``v ∈ U1 \\ U2`` — never both for the
+   same ``v`` (the core security rule).  With ``t`` responses the server
+   reconstructs the missing masks and recovers ``Σ_{u ∈ U2} x_u mod m``.
+
+Dropouts are injected via a schedule mapping client index to the first
+round in which it stops responding; recovery succeeds whenever at least
+``threshold`` clients reach round 3.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import AggregationError, ConfigurationError
+from repro.secagg.field import DEFAULT_FIELD, PrimeField
+from repro.secagg.keys import DhGroup, KeyPair, agree, generate_keypair
+from repro.secagg.prg import expand_mask, pairwise_delta
+from repro.secagg.protocol import _validate_inputs
+from repro.secagg.shamir import (
+    DEFAULT_LIMB_BITS,
+    LimbShares,
+    Share,
+    reconstruct_large_secret,
+    reconstruct_secret,
+    split_large_secret,
+    split_secret,
+)
+
+#: Protocol round identifiers, for dropout schedules and error messages.
+ROUND_ADVERTISE = 0
+ROUND_SHARE_KEYS = 1
+ROUND_MASKED_INPUT = 2
+ROUND_UNMASK = 3
+
+_SEED_WIDTH = 16  # bytes used to serialise a self-mask seed for the PRG
+
+
+@dataclasses.dataclass(frozen=True)
+class AdvertisedKeys:
+    """A client's round-0 message: its two public keys."""
+
+    index: int
+    channel_public: int
+    mask_public: int
+
+
+@dataclasses.dataclass(frozen=True)
+class SealedShares:
+    """A round-1 envelope: shares of (b_u, s_u^SK) sealed for one peer.
+
+    The server forwards envelopes without the channel key, so the payload
+    is an opaque byte string from its point of view.
+    """
+
+    sender: int
+    recipient: int
+    ciphertext: bytes
+
+
+@dataclasses.dataclass(frozen=True)
+class UnmaskRequest:
+    """The server's round-3 announcement of who survived.
+
+    Attributes:
+        survivors: ``U2`` — clients whose masked input was received; their
+            self-mask seeds must be reconstructed.
+        dropouts: ``U1 \\ U2`` — clients whose pairwise masks linger in the
+            aggregate; their mask private keys must be reconstructed.
+    """
+
+    survivors: frozenset[int]
+    dropouts: frozenset[int]
+
+
+@dataclasses.dataclass(frozen=True)
+class UnmaskResponse:
+    """One client's round-3 reply: the requested shares it holds."""
+
+    responder: int
+    seed_shares: dict[int, Share]
+    key_shares: dict[int, LimbShares]
+
+
+def _encode_payload(seed_share: Share, key_share: LimbShares) -> bytes:
+    """Serialise one recipient's shares into a fixed-layout byte string."""
+    parts = [
+        seed_share.x.to_bytes(4, "little"),
+        seed_share.y.to_bytes(16, "little"),
+        len(key_share.ys).to_bytes(2, "little"),
+    ]
+    parts.extend(y.to_bytes(16, "little") for y in key_share.ys)
+    return b"".join(parts)
+
+
+def _decode_payload(payload: bytes) -> tuple[Share, LimbShares]:
+    """Inverse of :func:`_encode_payload`."""
+    x = int.from_bytes(payload[0:4], "little")
+    seed_y = int.from_bytes(payload[4:20], "little")
+    num_limbs = int.from_bytes(payload[20:22], "little")
+    expected = 22 + 16 * num_limbs
+    if len(payload) != expected:
+        raise AggregationError(
+            f"malformed share payload: {len(payload)} bytes, "
+            f"expected {expected}"
+        )
+    ys = tuple(
+        int.from_bytes(payload[22 + 16 * k : 38 + 16 * k], "little")
+        for k in range(num_limbs)
+    )
+    return Share(x=x, y=seed_y), LimbShares(x=x, ys=ys)
+
+
+def _seal(channel_key: bytes, payload: bytes) -> bytes:
+    """XOR-encrypt ``payload`` under a keystream derived from the key."""
+    stream = expand_mask(channel_key, len(payload), 256).astype(np.uint8)
+    return bytes(np.bitwise_xor(np.frombuffer(payload, dtype=np.uint8), stream))
+
+
+def _open_sealed(channel_key: bytes, ciphertext: bytes) -> bytes:
+    """Decrypt a :func:`_seal` envelope (XOR streams are involutions)."""
+    return _seal(channel_key, ciphertext)
+
+
+class BonawitzClient:
+    """One participant's state across the four protocol rounds.
+
+    Args:
+        index: The client's unique nonzero identifier (also its Shamir
+            evaluation point).
+        vector: The private input, a length-``d`` integer vector over
+            ``Z_m``.
+        modulus: The aggregation modulus ``m``.
+        threshold: The Shamir reconstruction threshold ``t``.
+        rng: Client-local randomness.
+        group: The DH group for both key pairs.
+        field: The Shamir sharing field.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        vector: np.ndarray,
+        modulus: int,
+        threshold: int,
+        rng: np.random.Generator,
+        group: DhGroup,
+        field: PrimeField = DEFAULT_FIELD,
+    ) -> None:
+        if index < 1:
+            raise ConfigurationError(f"client index must be >= 1, got {index}")
+        self.index = index
+        self._vector = np.asarray(vector, dtype=np.int64)
+        self._modulus = modulus
+        self._threshold = threshold
+        self._rng = rng
+        self._group = group
+        self._field = field
+        self._channel_keys = None  # type: KeyPair | None
+        self._mask_keys = None  # type: KeyPair | None
+        self._roster: dict[int, AdvertisedKeys] = {}
+        self._self_seed: int | None = None
+        self._received: dict[int, tuple[Share, LimbShares]] = {}
+        self._share_roster: tuple[int, ...] = ()
+
+    def advertise_keys(self) -> AdvertisedKeys:
+        """Round 0: generate both key pairs and publish the public halves."""
+        self._channel_keys = generate_keypair(self._rng, self._group)
+        self._mask_keys = generate_keypair(self._rng, self._group)
+        return AdvertisedKeys(
+            index=self.index,
+            channel_public=self._channel_keys.public,
+            mask_public=self._mask_keys.public,
+        )
+
+    def _channel_key(self, peer: int) -> bytes:
+        """Derive the symmetric channel key shared with ``peer``."""
+        assert self._channel_keys is not None
+        peer_keys = self._roster[peer]
+        return agree(
+            self._channel_keys.private, peer_keys.channel_public, self._group
+        )
+
+    def share_keys(self, roster: dict[int, AdvertisedKeys]) -> list[SealedShares]:
+        """Round 1: sample ``b_u`` and distribute sealed shares.
+
+        Args:
+            roster: The server's broadcast of all round-0 messages.
+
+        Returns:
+            One sealed envelope per roster member (self included).
+
+        Raises:
+            AggregationError: If the roster is smaller than the threshold
+                or does not contain this client.
+        """
+        if self._channel_keys is None or self._mask_keys is None:
+            raise AggregationError("share_keys called before advertise_keys")
+        if len(roster) < self._threshold:
+            raise AggregationError(
+                f"roster of {len(roster)} cannot meet threshold "
+                f"{self._threshold}"
+            )
+        if self.index not in roster:
+            raise AggregationError("client missing from its own roster")
+        self._roster = dict(roster)
+        self._share_roster = tuple(sorted(roster))
+        self._self_seed = int(self._rng.integers(0, self._field.prime))
+        recipients = self._share_roster
+        seed_shares = split_secret(
+            self._self_seed,
+            self._threshold,
+            len(recipients),
+            self._rng,
+            self._field,
+        )
+        key_shares = split_large_secret(
+            self._mask_keys.private,
+            self._threshold,
+            len(recipients),
+            self._rng,
+            self._field,
+        )
+        envelopes = []
+        for position, recipient in enumerate(recipients):
+            payload = _encode_payload(seed_shares[position], key_shares[position])
+            if recipient == self.index:
+                ciphertext = payload  # no need to seal a message to self
+            else:
+                ciphertext = _seal(self._channel_key(recipient), payload)
+            envelopes.append(
+                SealedShares(
+                    sender=self.index,
+                    recipient=recipient,
+                    ciphertext=ciphertext,
+                )
+            )
+        return envelopes
+
+    def receive_shares(self, envelopes: list[SealedShares]) -> None:
+        """Store the round-1 envelopes addressed to this client."""
+        for envelope in envelopes:
+            if envelope.recipient != self.index:
+                raise AggregationError(
+                    f"client {self.index} received an envelope for "
+                    f"{envelope.recipient}"
+                )
+            if envelope.sender == self.index:
+                payload = envelope.ciphertext
+            else:
+                payload = _open_sealed(
+                    self._channel_key(envelope.sender), envelope.ciphertext
+                )
+            self._received[envelope.sender] = _decode_payload(payload)
+
+    def masked_input(self, participants: frozenset[int]) -> np.ndarray:
+        """Round 2: upload the doubly masked input vector.
+
+        Args:
+            participants: ``U1`` — the clients whose shares round 1
+                delivered; pairwise masks are computed over exactly this
+                set.
+
+        Returns:
+            ``y_u`` over ``Z_m``.
+        """
+        if self._self_seed is None or self._mask_keys is None:
+            raise AggregationError("masked_input called before share_keys")
+        if self.index not in participants:
+            raise AggregationError("client excluded from the participant set")
+        dimension = self._vector.shape[0]
+        masked = np.mod(self._vector, self._modulus)
+        self_seed_bytes = self._self_seed.to_bytes(_SEED_WIDTH, "little")
+        masked = np.mod(
+            masked + expand_mask(self_seed_bytes, dimension, self._modulus),
+            self._modulus,
+        )
+        for peer in sorted(participants):
+            if peer == self.index:
+                continue
+            pairwise_seed = agree(
+                self._mask_keys.private,
+                self._roster[peer].mask_public,
+                self._group,
+            )
+            sign = 1 if self.index < peer else -1
+            masked = np.mod(
+                masked
+                + pairwise_delta(pairwise_seed, dimension, self._modulus, sign),
+                self._modulus,
+            )
+        return masked
+
+    def unmask(self, request: UnmaskRequest) -> UnmaskResponse:
+        """Round 3: reveal the requested shares.
+
+        The client enforces the protocol's core security rule: it refuses
+        any request naming the same peer as both survivor and dropout,
+        because revealing both ``b_v`` and ``s_v^SK`` would let the server
+        unmask ``v``'s individual input.
+
+        Raises:
+            AggregationError: On an overlapping (malicious) request or a
+                request naming peers this client never received shares
+                from.
+        """
+        overlap = request.survivors & request.dropouts
+        if overlap:
+            raise AggregationError(
+                "refusing unmask request: clients "
+                f"{sorted(overlap)} named as both survivor and dropout"
+            )
+        unknown = (request.survivors | request.dropouts) - set(self._received)
+        if unknown:
+            raise AggregationError(
+                f"no shares held for clients {sorted(unknown)}"
+            )
+        return UnmaskResponse(
+            responder=self.index,
+            seed_shares={
+                v: self._received[v][0] for v in sorted(request.survivors)
+            },
+            key_shares={
+                v: self._received[v][1] for v in sorted(request.dropouts)
+            },
+        )
+
+
+class BonawitzServer:
+    """The aggregation server: routes messages and recovers the sum.
+
+    The server is honest-but-curious: it follows the protocol but sees
+    every transmitted byte; the tests assert those bytes are individually
+    uninformative (marginally uniform messages, sealed envelopes).
+
+    Args:
+        modulus: Aggregation modulus ``m``.
+        dimension: Vector length ``d``.
+        threshold: Shamir threshold ``t``.
+        field: Shamir sharing field (must match the clients').
+        group: DH group (must match the clients').
+    """
+
+    def __init__(
+        self,
+        modulus: int,
+        dimension: int,
+        threshold: int,
+        field: PrimeField = DEFAULT_FIELD,
+        group: DhGroup = DhGroup(),
+    ) -> None:
+        if threshold < 2:
+            raise ConfigurationError(
+                f"threshold must be >= 2 for any privacy, got {threshold}"
+            )
+        self._modulus = modulus
+        self._dimension = dimension
+        self._threshold = threshold
+        self._field = field
+        self._group = group
+        self._roster: dict[int, AdvertisedKeys] = {}
+        self._mailbox: dict[int, list[SealedShares]] = {}
+        self._share_senders: frozenset[int] = frozenset()
+        self._masked: dict[int, np.ndarray] = {}
+
+    def collect_advertisements(
+        self, advertisements: list[AdvertisedKeys]
+    ) -> dict[int, AdvertisedKeys]:
+        """Round 0: gather public keys and broadcast the roster."""
+        roster: dict[int, AdvertisedKeys] = {}
+        for message in advertisements:
+            if message.index in roster:
+                raise AggregationError(
+                    f"duplicate advertisement from client {message.index}"
+                )
+            roster[message.index] = message
+        if len(roster) < self._threshold:
+            raise AggregationError(
+                f"only {len(roster)} clients advertised keys; "
+                f"threshold is {self._threshold}"
+            )
+        self._roster = roster
+        return dict(roster)
+
+    def route_shares(
+        self, envelopes_by_sender: dict[int, list[SealedShares]]
+    ) -> dict[int, list[SealedShares]]:
+        """Round 1: forward sealed envelopes to their recipients.
+
+        Returns:
+            Mailbox mapping recipient index to its incoming envelopes.
+
+        Raises:
+            AggregationError: If fewer than ``threshold`` clients shared
+                keys.
+        """
+        if len(envelopes_by_sender) < self._threshold:
+            raise AggregationError(
+                f"only {len(envelopes_by_sender)} clients shared keys; "
+                f"threshold is {self._threshold}"
+            )
+        self._share_senders = frozenset(envelopes_by_sender)
+        mailbox: dict[int, list[SealedShares]] = {}
+        for sender, envelopes in envelopes_by_sender.items():
+            for envelope in envelopes:
+                if envelope.sender != sender:
+                    raise AggregationError(
+                        f"envelope claims sender {envelope.sender} but came "
+                        f"from {sender}"
+                    )
+                mailbox.setdefault(envelope.recipient, []).append(envelope)
+        # Only deliver to clients that themselves completed round 1.
+        self._mailbox = {
+            recipient: sorted(items, key=lambda e: e.sender)
+            for recipient, items in mailbox.items()
+            if recipient in self._share_senders
+        }
+        return dict(self._mailbox)
+
+    @property
+    def share_participants(self) -> frozenset[int]:
+        """``U1`` — clients that completed the key-sharing round."""
+        return self._share_senders
+
+    def collect_masked_inputs(
+        self, masked_by_sender: dict[int, np.ndarray]
+    ) -> UnmaskRequest:
+        """Round 2: gather masked vectors; announce survivors/dropouts.
+
+        Raises:
+            AggregationError: If fewer than ``threshold`` masked inputs
+                arrived, or a vector has the wrong shape or alphabet.
+        """
+        if len(masked_by_sender) < self._threshold:
+            raise AggregationError(
+                f"only {len(masked_by_sender)} masked inputs; threshold is "
+                f"{self._threshold}"
+            )
+        unknown = set(masked_by_sender) - set(self._share_senders)
+        if unknown:
+            raise AggregationError(
+                f"masked input from clients outside U1: {sorted(unknown)}"
+            )
+        for sender, vector in masked_by_sender.items():
+            stacked = _validate_inputs(
+                np.asarray(vector)[np.newaxis, :], self._modulus
+            )
+            if stacked.shape[1] != self._dimension:
+                raise AggregationError(
+                    f"client {sender} sent dimension {stacked.shape[1]}, "
+                    f"expected {self._dimension}"
+                )
+            self._masked[sender] = stacked[0]
+        survivors = frozenset(self._masked)
+        dropouts = self._share_senders - survivors
+        return UnmaskRequest(survivors=survivors, dropouts=frozenset(dropouts))
+
+    def recover_sum(self, responses: list[UnmaskResponse]) -> np.ndarray:
+        """Round 3: reconstruct missing masks and output the modular sum.
+
+        Args:
+            responses: Round-3 replies from at least ``threshold`` clients.
+
+        Returns:
+            ``Σ_{u ∈ U2} x_u mod m`` as a length-``d`` int64 array.
+
+        Raises:
+            AggregationError: If fewer than ``threshold`` responses arrive
+                or shares are inconsistent.
+        """
+        if len(responses) < self._threshold:
+            raise AggregationError(
+                f"only {len(responses)} unmask responses; threshold is "
+                f"{self._threshold}"
+            )
+        survivors = sorted(self._masked)
+        dropouts = sorted(self._share_senders - set(self._masked))
+        total = np.zeros(self._dimension, dtype=np.int64)
+        for vector in self._masked.values():
+            total = np.mod(total + vector, self._modulus)
+        # Remove the survivors' self-masks.
+        for survivor in survivors:
+            shares = [
+                response.seed_shares[survivor]
+                for response in responses[: self._threshold]
+            ]
+            seed = reconstruct_secret(shares, self._field)
+            seed_bytes = seed.to_bytes(_SEED_WIDTH, "little")
+            total = np.mod(
+                total - expand_mask(seed_bytes, self._dimension, self._modulus),
+                self._modulus,
+            )
+        # Remove the dropouts' lingering pairwise masks.
+        for dropout in dropouts:
+            limb_shares = [
+                response.key_shares[dropout]
+                for response in responses[: self._threshold]
+            ]
+            private = reconstruct_large_secret(
+                limb_shares, self._field, DEFAULT_LIMB_BITS
+            )
+            for survivor in survivors:
+                pairwise_seed = agree(
+                    private, self._roster[survivor].mask_public, self._group
+                )
+                sign = 1 if survivor < dropout else -1
+                total = np.mod(
+                    total
+                    - pairwise_delta(
+                        pairwise_seed, self._dimension, self._modulus, sign
+                    ),
+                    self._modulus,
+                )
+        return total
+
+
+@dataclasses.dataclass(frozen=True)
+class AggregationOutcome:
+    """Result of a full protocol run.
+
+    Attributes:
+        modular_sum: ``Σ_{u ∈ included} x_u mod m``.
+        included: Indices (1-based) of clients whose input made the sum.
+        dropped: Indices that dropped out at some round.
+    """
+
+    modular_sum: np.ndarray
+    included: frozenset[int]
+    dropped: frozenset[int]
+
+
+def run_bonawitz(
+    inputs: np.ndarray,
+    modulus: int,
+    threshold: int,
+    rng: np.random.Generator,
+    group: DhGroup | None = None,
+    dropouts: dict[int, int] | None = None,
+    field: PrimeField = DEFAULT_FIELD,
+) -> AggregationOutcome:
+    """Execute the full four-round protocol over simulated clients.
+
+    Args:
+        inputs: ``(n, d)`` integer array, one row per client, over
+            ``Z_m``.  Client ``i`` (0-based row) gets protocol index
+            ``i + 1``.
+        modulus: Aggregation modulus ``m``.
+        threshold: Shamir threshold ``t`` (``2 <= t <= n``).
+        rng: Randomness for keys, seeds and share polynomials.
+        group: DH group; defaults to the fast 61-bit toy group — pass
+            :class:`repro.secagg.keys.DhGroup()` for the 1024-bit Oakley
+            group.
+        dropouts: Optional map from client index (1-based) to the first
+            round (0-3) at which that client stops responding.
+        field: Shamir sharing field.
+
+    Returns:
+        The aggregation outcome.
+
+    Raises:
+        AggregationError: If dropouts push any round below ``threshold``.
+        ConfigurationError: On inconsistent parameters.
+    """
+    from repro.secagg.keys import TOY_GROUP
+
+    inputs = _validate_inputs(np.asarray(inputs), modulus)
+    num_clients, dimension = inputs.shape
+    if not 2 <= threshold <= num_clients:
+        raise ConfigurationError(
+            f"threshold must lie in [2, {num_clients}], got {threshold}"
+        )
+    group = group if group is not None else TOY_GROUP
+    dropouts = dict(dropouts or {})
+    for index, round_id in dropouts.items():
+        if not 1 <= index <= num_clients:
+            raise ConfigurationError(f"dropout index {index} out of range")
+        if not ROUND_ADVERTISE <= round_id <= ROUND_UNMASK:
+            raise ConfigurationError(f"dropout round {round_id} out of range")
+
+    def alive(index: int, round_id: int) -> bool:
+        return dropouts.get(index, ROUND_UNMASK + 1) > round_id
+
+    clients = {
+        i
+        + 1: BonawitzClient(
+            index=i + 1,
+            vector=inputs[i],
+            modulus=modulus,
+            threshold=threshold,
+            rng=np.random.default_rng(rng.integers(0, 2**63 - 1)),
+            group=group,
+            field=field,
+        )
+        for i in range(num_clients)
+    }
+    server = BonawitzServer(modulus, dimension, threshold, field, group)
+
+    advertisements = [
+        clients[u].advertise_keys()
+        for u in sorted(clients)
+        if alive(u, ROUND_ADVERTISE)
+    ]
+    roster = server.collect_advertisements(advertisements)
+
+    envelopes_by_sender = {
+        u: clients[u].share_keys(roster)
+        for u in sorted(roster)
+        if alive(u, ROUND_SHARE_KEYS)
+    }
+    mailbox = server.route_shares(envelopes_by_sender)
+    for recipient, envelopes in mailbox.items():
+        clients[recipient].receive_shares(envelopes)
+
+    participants = server.share_participants
+    masked_by_sender = {
+        u: clients[u].masked_input(participants)
+        for u in sorted(participants)
+        if alive(u, ROUND_MASKED_INPUT)
+    }
+    request = server.collect_masked_inputs(masked_by_sender)
+
+    responses = [
+        clients[u].unmask(request)
+        for u in sorted(request.survivors)
+        if alive(u, ROUND_UNMASK)
+    ]
+    modular_sum = server.recover_sum(responses)
+    included = frozenset(request.survivors)
+    return AggregationOutcome(
+        modular_sum=modular_sum,
+        included=included,
+        dropped=frozenset(range(1, num_clients + 1)) - included,
+    )

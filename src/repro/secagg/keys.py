@@ -1,0 +1,132 @@
+"""Simulated Diffie-Hellman key agreement for pairwise mask seeds.
+
+In the Bonawitz et al. protocol every ordered participant pair ``(u, v)``
+derives a shared mask seed ``s_uv`` from a Diffie-Hellman exchange:
+``s_uv = KDF(g^{a_u a_v} mod p)``, where ``a_u`` is participant ``u``'s
+private key and ``g^{a_u}`` the advertised public key.  Agreement is
+symmetric — ``agree(sk_u, pk_v) == agree(sk_v, pk_u)`` — which is exactly
+the property that makes the pairwise masks cancel.
+
+Real deployments use elliptic-curve groups; this simulation uses classic
+modular-exponentiation DH over a published safe-prime group (RFC 2409
+Oakley Group 2) by default, and accepts a small toy group for fast tests.
+The derived key is the SHA-256 hash of the shared group element, giving a
+32-byte seed for the mask PRG.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.secagg.field import _is_probable_prime
+
+#: RFC 2409 (Oakley) Group 2: a 1024-bit safe prime with generator 2.
+OAKLEY_GROUP_2_PRIME = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E08"
+    "8A67CC74020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B"
+    "302B0A6DF25F14374FE1356D6D51C245E485B576625E7EC6F44C42E9"
+    "A637ED6B0BFF5CB6F406B7EDEE386BFB5A899FA5AE9F24117C4B1FE6"
+    "49286651ECE65381FFFFFFFFFFFFFFFF",
+    16,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class DhGroup:
+    """A cyclic group for Diffie-Hellman: prime modulus and generator.
+
+    Attributes:
+        prime: The group modulus ``p`` (validated prime).
+        generator: The public generator ``g``.
+    """
+
+    prime: int = OAKLEY_GROUP_2_PRIME
+    generator: int = 2
+
+    def __post_init__(self) -> None:
+        if self.prime < 5 or not _is_probable_prime(self.prime):
+            raise ConfigurationError(
+                f"DH modulus must be a prime >= 5, got bit-length "
+                f"{self.prime.bit_length()}"
+            )
+        if not 1 < self.generator < self.prime:
+            raise ConfigurationError(
+                f"generator must lie in (1, p), got {self.generator}"
+            )
+
+
+#: A 61-bit toy group for unit tests (fast exponentiation, same API).
+TOY_GROUP = DhGroup(prime=(1 << 61) - 1, generator=3)
+
+
+@dataclasses.dataclass(frozen=True)
+class KeyPair:
+    """A DH key pair.
+
+    Attributes:
+        private: The secret exponent ``a``.
+        public: The advertised group element ``g^a mod p``.
+        group: The group both live in.
+    """
+
+    private: int
+    public: int
+    group: DhGroup
+
+    def __post_init__(self) -> None:
+        if pow(self.group.generator, self.private, self.group.prime) != (
+            self.public
+        ):
+            raise ConfigurationError("public key does not match private key")
+
+
+def generate_keypair(
+    rng: np.random.Generator, group: DhGroup = DhGroup()
+) -> KeyPair:
+    """Sample a fresh DH key pair.
+
+    Args:
+        rng: Randomness source for the private exponent.
+        group: The DH group to draw from.
+
+    Returns:
+        A consistent (private, public) pair.
+    """
+    # Private exponents in [2, p - 2]; sampled in 63-bit limbs so the
+    # range covers the full group even for 1024-bit primes.
+    limbs = (group.prime.bit_length() + 62) // 63
+    value = 0
+    for _ in range(limbs):
+        value = (value << 63) | int(rng.integers(0, 1 << 63))
+    private = 2 + value % (group.prime - 3)
+    public = pow(group.generator, private, group.prime)
+    return KeyPair(private=private, public=public, group=group)
+
+
+def agree(private: int, peer_public: int, group: DhGroup) -> bytes:
+    """Derive the shared 32-byte seed from one side of a DH exchange.
+
+    Args:
+        private: This party's secret exponent.
+        peer_public: The other party's advertised public element.
+        group: The common group.
+
+    Returns:
+        ``SHA-256(big-endian(peer_public ** private mod p))`` — identical
+        for both parties of the exchange.
+
+    Raises:
+        ConfigurationError: If ``peer_public`` is outside ``(1, p)``
+            (small-subgroup/identity elements are rejected).
+    """
+    if not 1 < peer_public < group.prime:
+        raise ConfigurationError(
+            f"peer public key must lie in (1, p), got {peer_public}"
+        )
+    shared = pow(peer_public, private, group.prime)
+    width = (group.prime.bit_length() + 7) // 8
+    return hashlib.sha256(shared.to_bytes(width, "big")).digest()

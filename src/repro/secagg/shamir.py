@@ -1,0 +1,253 @@
+"""Shamir t-out-of-n secret sharing over a prime field.
+
+The Bonawitz et al. SecAgg protocol (Section 4 of their paper; our
+:mod:`repro.secagg.bonawitz`) distributes two secrets per participant —
+the self-mask seed ``b_u`` and the pairwise-mask private key ``s_u^SK`` —
+as Shamir shares, so the server can recover exactly one of the two for
+each participant during dropout recovery, with any ``t`` of the surviving
+participants' shares.
+
+A degree-``t - 1`` polynomial ``f`` with ``f(0) = secret`` is sampled
+uniformly; participant ``i`` receives the share ``(i, f(i))``.  Any ``t``
+shares determine ``f`` (and hence the secret) by Lagrange interpolation;
+any ``t - 1`` shares are jointly uniform and reveal nothing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import AggregationError, ConfigurationError
+from repro.secagg.field import DEFAULT_FIELD, PrimeField
+
+
+@dataclasses.dataclass(frozen=True)
+class Share:
+    """One Shamir share ``(x, f(x))``.
+
+    Attributes:
+        x: The (nonzero) evaluation point identifying the recipient.
+        y: The polynomial value at ``x``.
+    """
+
+    x: int
+    y: int
+
+
+def split_secret(
+    secret: int,
+    threshold: int,
+    num_shares: int,
+    rng: np.random.Generator,
+    field: PrimeField = DEFAULT_FIELD,
+) -> list[Share]:
+    """Split ``secret`` into ``num_shares`` shares, any ``threshold`` of
+    which reconstruct it.
+
+    Args:
+        secret: The secret, an integer in ``[0, field.prime)``.
+        threshold: Minimum number of shares needed to reconstruct (``t``).
+        num_shares: Total number of shares issued (``n``).
+        rng: Source of the random polynomial coefficients.
+        field: The field to share over.
+
+    Returns:
+        Shares at evaluation points ``x = 1..num_shares``.
+
+    Raises:
+        ConfigurationError: If the parameters are inconsistent (threshold
+            outside ``[1, num_shares]``, secret outside the field, or more
+            shares requested than field elements permit).
+    """
+    if not 0 <= secret < field.prime:
+        raise ConfigurationError(
+            f"secret must lie in [0, {field.prime}), got {secret}"
+        )
+    if threshold < 1:
+        raise ConfigurationError(f"threshold must be >= 1, got {threshold}")
+    if num_shares < threshold:
+        raise ConfigurationError(
+            f"cannot issue {num_shares} shares with threshold {threshold}"
+        )
+    if num_shares >= field.prime:
+        raise ConfigurationError(
+            f"at most {field.prime - 1} shares exist over GF({field.prime})"
+        )
+    # Coefficients a_0 = secret, a_1..a_{t-1} uniform: f of degree t-1.
+    coefficients = [secret] + [
+        int(rng.integers(0, field.prime)) for _ in range(threshold - 1)
+    ]
+    return [
+        Share(x=x, y=field.evaluate_polynomial(coefficients, x))
+        for x in range(1, num_shares + 1)
+    ]
+
+
+def _check_shares(shares: Sequence[Share], field: PrimeField) -> None:
+    if not shares:
+        raise AggregationError("cannot reconstruct from zero shares")
+    xs = [share.x for share in shares]
+    if len(set(xs)) != len(xs):
+        raise AggregationError(f"duplicate share points: {sorted(xs)}")
+    for share in shares:
+        if not 0 < share.x < field.prime:
+            raise AggregationError(
+                f"share point {share.x} outside (0, {field.prime})"
+            )
+        if not 0 <= share.y < field.prime:
+            raise AggregationError(
+                f"share value {share.y} outside [0, {field.prime})"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class LimbShares:
+    """One recipient's shares of a large (multi-limb) secret.
+
+    Large secrets — e.g. 1024-bit Diffie-Hellman private keys — do not
+    fit in one field element, so they are decomposed into base-``2^b``
+    limbs and each limb is Shamir-shared independently.  All limbs use
+    the same evaluation point ``x``, so one recipient holds one
+    :class:`LimbShares` per secret.
+
+    Attributes:
+        x: The recipient's evaluation point.
+        ys: Per-limb polynomial values, lowest limb first.
+    """
+
+    x: int
+    ys: tuple[int, ...]
+
+
+#: Limb width used for large-secret sharing over the default 61-bit field.
+DEFAULT_LIMB_BITS = 60
+
+
+def split_large_secret(
+    secret: int,
+    threshold: int,
+    num_shares: int,
+    rng: np.random.Generator,
+    field: PrimeField = DEFAULT_FIELD,
+    limb_bits: int = DEFAULT_LIMB_BITS,
+) -> list[LimbShares]:
+    """Share a non-negative integer of arbitrary size.
+
+    The secret is decomposed into base-``2^limb_bits`` limbs; each limb is
+    shared with an independent random polynomial.  At least one limb is
+    always produced so zero-valued secrets round-trip.
+
+    Args:
+        secret: Non-negative integer (any size).
+        threshold: Reconstruction threshold ``t``.
+        num_shares: Number of recipients ``n``.
+        rng: Polynomial randomness.
+        field: Field for each limb; ``2^limb_bits`` must not exceed it.
+        limb_bits: Bits per limb.
+
+    Returns:
+        One :class:`LimbShares` per recipient (``x = 1..num_shares``).
+
+    Raises:
+        ConfigurationError: On a negative secret or a limb width that does
+            not fit the field.
+    """
+    if secret < 0:
+        raise ConfigurationError(f"secret must be >= 0, got {secret}")
+    if not 1 <= limb_bits or (1 << limb_bits) > field.prime:
+        raise ConfigurationError(
+            f"limb width {limb_bits} does not fit GF({field.prime})"
+        )
+    limbs: list[int] = []
+    remaining = secret
+    while True:
+        limbs.append(remaining & ((1 << limb_bits) - 1))
+        remaining >>= limb_bits
+        if remaining == 0:
+            break
+    per_limb = [
+        split_secret(limb, threshold, num_shares, rng, field)
+        for limb in limbs
+    ]
+    return [
+        LimbShares(
+            x=x, ys=tuple(per_limb[k][x - 1].y for k in range(len(limbs)))
+        )
+        for x in range(1, num_shares + 1)
+    ]
+
+
+def reconstruct_large_secret(
+    shares: Iterable[LimbShares],
+    field: PrimeField = DEFAULT_FIELD,
+    limb_bits: int = DEFAULT_LIMB_BITS,
+) -> int:
+    """Recover a large secret from at least ``threshold`` limb-share sets.
+
+    Args:
+        shares: :class:`LimbShares` from distinct recipients, all with the
+            same number of limbs.
+        field: Field the limbs were shared over.
+        limb_bits: Limb width used at split time.
+
+    Returns:
+        The reassembled integer.
+
+    Raises:
+        AggregationError: If share sets disagree on the limb count or are
+            otherwise malformed.
+    """
+    shares = list(shares)
+    if not shares:
+        raise AggregationError("cannot reconstruct from zero shares")
+    num_limbs = len(shares[0].ys)
+    if any(len(share.ys) != num_limbs for share in shares):
+        raise AggregationError("limb counts disagree across shares")
+    secret = 0
+    for k in range(num_limbs - 1, -1, -1):
+        limb = reconstruct_secret(
+            [Share(x=share.x, y=share.ys[k]) for share in shares], field
+        )
+        secret = (secret << limb_bits) | limb
+    return secret
+
+
+def reconstruct_secret(
+    shares: Iterable[Share], field: PrimeField = DEFAULT_FIELD
+) -> int:
+    """Recover the secret from at least ``threshold`` shares.
+
+    Lagrange interpolation at ``x = 0``.  The caller is responsible for
+    supplying at least ``threshold`` shares; fewer shares reconstruct
+    *some* polynomial but yield an unrelated (uniform) value, which is the
+    security property, not an error the math can detect.
+
+    Args:
+        shares: Distinct shares of one secret.
+        field: The field the shares live in.
+
+    Returns:
+        The reconstructed secret ``f(0)``.
+
+    Raises:
+        AggregationError: On duplicate or out-of-field shares.
+    """
+    shares = list(shares)
+    _check_shares(shares, field)
+    secret = 0
+    for i, share_i in enumerate(shares):
+        numerator = 1
+        denominator = 1
+        for j, share_j in enumerate(shares):
+            if i == j:
+                continue
+            numerator = field.mul(numerator, field.neg(share_j.x))
+            denominator = field.mul(
+                denominator, field.sub(share_i.x, share_j.x)
+            )
+        weight = field.mul(numerator, field.inv(denominator))
+        secret = field.add(secret, field.mul(share_i.y, weight))
+    return secret

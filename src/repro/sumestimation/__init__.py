@@ -1,0 +1,17 @@
+"""Distributed sum estimation experiments (Section 6.1, Figures 1 and 4)."""
+
+from repro.sumestimation.datasets import sample_sphere
+from repro.sumestimation.experiment import (
+    SumEstimationResult,
+    format_results_table,
+    run_sum_estimation,
+    sweep,
+)
+
+__all__ = [
+    "SumEstimationResult",
+    "format_results_table",
+    "run_sum_estimation",
+    "sample_sphere",
+    "sweep",
+]

@@ -1,0 +1,40 @@
+"""Synthetic inputs for the distributed sum estimation experiments.
+
+Section 6.1: "we generate a synthetic dataset containing n = 100 data
+points uniformly sampled from a d-dimensional L2 sphere ... d = 65536,
+radius r = 1 (namely, the L2 sensitivity of input is 1)."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def sample_sphere(
+    num_points: int,
+    dimension: int,
+    rng: np.random.Generator,
+    radius: float = 1.0,
+) -> np.ndarray:
+    """Uniform points on the L2 sphere of the given radius.
+
+    Args:
+        num_points: Number of points ``n``.
+        dimension: Ambient dimension ``d``.
+        rng: Numpy random generator.
+        radius: Sphere radius ``r`` (the inputs' L2 sensitivity).
+
+    Returns:
+        ``(n, d)`` float64 array; every row has L2 norm ``radius``.
+    """
+    if num_points < 1:
+        raise ConfigurationError(f"num_points must be >= 1, got {num_points}")
+    if dimension < 1:
+        raise ConfigurationError(f"dimension must be >= 1, got {dimension}")
+    if not radius > 0:
+        raise ConfigurationError(f"radius must be positive, got {radius}")
+    directions = rng.normal(size=(num_points, dimension))
+    norms = np.linalg.norm(directions, axis=1, keepdims=True)
+    return radius * directions / norms

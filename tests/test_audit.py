@@ -1,0 +1,87 @@
+"""Tests for the empirical privacy auditor (repro.audit)."""
+
+import numpy as np
+import pytest
+
+from repro.audit import audit_sum_mechanism
+from repro.config import CompressionConfig, PrivacyBudget
+from repro.core.calibration import AccountingSpec
+from repro.errors import ConfigurationError
+from repro.mechanisms import (
+    GaussianMechanism,
+    InputSpec,
+    SkellamMixtureMechanism,
+)
+
+SPEC = InputSpec(num_participants=8, dimension=16)
+BUDGET = AccountingSpec(budget=PrivacyBudget(epsilon=2.0))
+
+
+class TestAuditHonestMechanisms:
+    def test_gaussian_within_claim(self):
+        mechanism = GaussianMechanism()
+        mechanism.calibrate(SPEC, BUDGET)
+        result = audit_sum_mechanism(
+            mechanism, np.random.default_rng(0), trials=800
+        )
+        assert not result.violated
+        assert result.analytic_epsilon == 2.0
+        assert result.trials == 800
+
+    def test_smm_within_claim(self):
+        mechanism = SkellamMixtureMechanism(
+            CompressionConfig(modulus=2**16, gamma=128.0)
+        )
+        mechanism.calibrate(SPEC, BUDGET)
+        result = audit_sum_mechanism(
+            mechanism, np.random.default_rng(1), trials=800
+        )
+        assert not result.violated
+
+    def test_empirical_epsilon_nonneg(self):
+        mechanism = GaussianMechanism()
+        mechanism.calibrate(SPEC, BUDGET)
+        result = audit_sum_mechanism(
+            mechanism, np.random.default_rng(2), trials=400
+        )
+        assert result.empirical_epsilon >= 0.0
+
+
+class TestAuditCatchesViolations:
+    def test_undernoised_mechanism_flagged(self):
+        # Negative control: a mechanism claiming eps=0.05 while adding
+        # eps~2 worth of noise must be caught by the distinguishing game.
+        mechanism = GaussianMechanism()
+        mechanism.calibrate(SPEC, BUDGET)
+        # Forge the claim: pretend the mechanism satisfies eps = 0.05.
+        mechanism._accounting = AccountingSpec(
+            budget=PrivacyBudget(epsilon=0.05)
+        )
+        result = audit_sum_mechanism(
+            mechanism, np.random.default_rng(3), trials=2000
+        )
+        assert result.violated
+
+    def test_noiseless_mechanism_flagged(self):
+        mechanism = GaussianMechanism()
+        mechanism.calibrate(SPEC, BUDGET)
+        mechanism.sigma = 1e-6  # Sabotage: remove the noise.
+        result = audit_sum_mechanism(
+            mechanism, np.random.default_rng(4), trials=800
+        )
+        assert result.violated
+
+
+class TestValidation:
+    def test_requires_calibration(self):
+        mechanism = GaussianMechanism()
+        with pytest.raises(Exception):
+            audit_sum_mechanism(mechanism, np.random.default_rng(0))
+
+    def test_rejects_tiny_trials(self):
+        mechanism = GaussianMechanism()
+        mechanism.calibrate(SPEC, BUDGET)
+        with pytest.raises(ConfigurationError):
+            audit_sum_mechanism(
+                mechanism, np.random.default_rng(0), trials=10
+            )

@@ -1,0 +1,76 @@
+"""Tests for the binomial mechanism accounting (repro.accounting.binomial)."""
+
+import math
+
+import pytest
+
+from repro.accounting.binomial import (
+    binomial_constants,
+    binomial_mechanism_epsilon,
+    binomial_variance_condition,
+)
+from repro.errors import PrivacyAccountingError
+
+
+class TestBinomialConstants:
+    def test_symmetric_at_half(self):
+        b_p, c_p, d_p = binomial_constants(0.5)
+        assert b_p == pytest.approx(1.0 / 3.0)
+        assert c_p == pytest.approx(math.sqrt(2.0) * (0.75 + 1.0))
+        assert d_p == pytest.approx(2.0 / 3.0)
+
+    def test_rejects_degenerate_p(self):
+        with pytest.raises(PrivacyAccountingError):
+            binomial_constants(0.0)
+        with pytest.raises(PrivacyAccountingError):
+            binomial_constants(1.0)
+
+
+class TestVarianceCondition:
+    def test_large_n_passes(self):
+        assert binomial_variance_condition(10**6, 0.5, 1000, 1e-5, 1.0)
+
+    def test_small_n_fails(self):
+        assert not binomial_variance_condition(100, 0.5, 1000, 1e-5, 1.0)
+
+    def test_threshold_scales_with_dimension(self):
+        # Larger d needs more variance (log d term).
+        threshold_small = 23 * math.log(10 * 10 / 1e-5)
+        threshold_large = 23 * math.log(10 * 10**6 / 1e-5)
+        n_between = int(2 * (threshold_small + threshold_large))
+        assert binomial_variance_condition(n_between, 0.5, 10, 1e-5, 1.0)
+
+
+class TestBinomialEpsilon:
+    def test_decreases_with_trials(self):
+        epsilons = [
+            binomial_mechanism_epsilon(n, 1000, 1e-5, 10.0, 5.0, 1.0)
+            for n in [10**5, 10**6, 10**7]
+        ]
+        assert epsilons[0] > epsilons[1] > epsilons[2]
+
+    def test_leading_term_dominates_large_n(self):
+        # As N grows the Gaussian-like term ~ Delta_2 sqrt(2 log(1.25/d))
+        # over sigma dominates; check within 20%.
+        n, delta = 10**9, 1e-5
+        eps = binomial_mechanism_epsilon(n, 1000, delta, 10.0, 5.0, 1.0)
+        sigma = math.sqrt(n * 0.25)
+        leading = 5.0 * math.sqrt(2 * math.log(1.25 / delta)) / sigma
+        assert eps == pytest.approx(leading, rel=0.2)
+
+    def test_grows_with_sensitivity(self):
+        small = binomial_mechanism_epsilon(10**6, 1000, 1e-5, 2.0, 1.0, 1.0)
+        large = binomial_mechanism_epsilon(10**6, 1000, 1e-5, 20.0, 10.0, 1.0)
+        assert large > small
+
+    def test_variance_condition_enforced(self):
+        with pytest.raises(PrivacyAccountingError):
+            binomial_mechanism_epsilon(100, 1000, 1e-5, 10.0, 5.0, 1.0)
+
+    def test_rejects_invalid_delta(self):
+        with pytest.raises(PrivacyAccountingError):
+            binomial_mechanism_epsilon(10**6, 1000, 0.0, 1.0, 1.0, 1.0)
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(PrivacyAccountingError):
+            binomial_mechanism_epsilon(0, 1000, 1e-5, 1.0, 1.0, 1.0)

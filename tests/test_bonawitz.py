@@ -1,0 +1,453 @@
+"""Tests for the full Bonawitz secure-aggregation protocol.
+
+Covers the happy path, dropout recovery at every round, threshold
+failures, malformed-message rejection, the never-reveal-both security
+rule, and marginal uniformity of transmitted messages.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AggregationError, ConfigurationError
+from repro.secagg.bonawitz import (
+    ROUND_ADVERTISE,
+    ROUND_MASKED_INPUT,
+    ROUND_SHARE_KEYS,
+    ROUND_UNMASK,
+    BonawitzClient,
+    BonawitzServer,
+    SealedShares,
+    UnmaskRequest,
+    _decode_payload,
+    _encode_payload,
+    _open_sealed,
+    _seal,
+    run_bonawitz,
+)
+from repro.secagg.keys import TOY_GROUP
+from repro.secagg.shamir import LimbShares, Share
+
+MODULUS = 2**10
+DIMENSION = 32
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2022)
+
+
+def make_inputs(rng, n=6, d=DIMENSION):
+    return rng.integers(0, MODULUS, size=(n, d), dtype=np.int64)
+
+
+class TestHappyPath:
+    def test_sum_matches_plain_modular_sum(self, rng):
+        inputs = make_inputs(rng)
+        outcome = run_bonawitz(inputs, MODULUS, threshold=4, rng=rng)
+        expected = np.mod(inputs.sum(axis=0), MODULUS)
+        np.testing.assert_array_equal(outcome.modular_sum, expected)
+
+    def test_all_clients_included_without_dropouts(self, rng):
+        inputs = make_inputs(rng, n=5)
+        outcome = run_bonawitz(inputs, MODULUS, threshold=3, rng=rng)
+        assert outcome.included == frozenset(range(1, 6))
+        assert outcome.dropped == frozenset()
+
+    def test_two_clients_minimum(self, rng):
+        inputs = make_inputs(rng, n=2)
+        outcome = run_bonawitz(inputs, MODULUS, threshold=2, rng=rng)
+        np.testing.assert_array_equal(
+            outcome.modular_sum, np.mod(inputs.sum(axis=0), MODULUS)
+        )
+
+    def test_deterministic_given_seed(self):
+        inputs = make_inputs(np.random.default_rng(1), n=4)
+        a = run_bonawitz(
+            inputs, MODULUS, 3, np.random.default_rng(5)
+        ).modular_sum
+        b = run_bonawitz(
+            inputs, MODULUS, 3, np.random.default_rng(5)
+        ).modular_sum
+        np.testing.assert_array_equal(a, b)
+
+    def test_non_power_of_two_modulus(self, rng):
+        inputs = rng.integers(0, 1000, size=(4, 8), dtype=np.int64)
+        outcome = run_bonawitz(inputs, 1000, threshold=3, rng=rng)
+        np.testing.assert_array_equal(
+            outcome.modular_sum, np.mod(inputs.sum(axis=0), 1000)
+        )
+
+    @given(
+        n=st.integers(min_value=2, max_value=7),
+        d=st.integers(min_value=1, max_value=16),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_correctness_property(self, n, d, seed):
+        rng = np.random.default_rng(seed)
+        inputs = rng.integers(0, 64, size=(n, d), dtype=np.int64)
+        outcome = run_bonawitz(inputs, 64, threshold=2, rng=rng)
+        np.testing.assert_array_equal(
+            outcome.modular_sum, np.mod(inputs.sum(axis=0), 64)
+        )
+
+
+class TestDropoutRecovery:
+    def test_dropout_before_masked_input_excluded_from_sum(self, rng):
+        inputs = make_inputs(rng, n=6)
+        outcome = run_bonawitz(
+            inputs,
+            MODULUS,
+            threshold=3,
+            rng=rng,
+            dropouts={3: ROUND_MASKED_INPUT},
+        )
+        expected = np.mod(np.delete(inputs, 2, axis=0).sum(axis=0), MODULUS)
+        np.testing.assert_array_equal(outcome.modular_sum, expected)
+        assert 3 in outcome.dropped
+
+    def test_dropout_after_masked_input_still_included(self, rng):
+        """A client that sent y_u but misses unmasking is still summed —
+        the survivors reconstruct its self-mask."""
+        inputs = make_inputs(rng, n=6)
+        outcome = run_bonawitz(
+            inputs, MODULUS, threshold=3, rng=rng, dropouts={4: ROUND_UNMASK}
+        )
+        expected = np.mod(inputs.sum(axis=0), MODULUS)
+        np.testing.assert_array_equal(outcome.modular_sum, expected)
+        assert 4 in outcome.included
+
+    def test_dropout_at_advertise_is_invisible(self, rng):
+        inputs = make_inputs(rng, n=5)
+        outcome = run_bonawitz(
+            inputs, MODULUS, threshold=3, rng=rng, dropouts={1: ROUND_ADVERTISE}
+        )
+        expected = np.mod(inputs[1:].sum(axis=0), MODULUS)
+        np.testing.assert_array_equal(outcome.modular_sum, expected)
+
+    def test_dropout_at_share_keys_recovered(self, rng):
+        inputs = make_inputs(rng, n=5)
+        outcome = run_bonawitz(
+            inputs,
+            MODULUS,
+            threshold=3,
+            rng=rng,
+            dropouts={2: ROUND_SHARE_KEYS},
+        )
+        expected = np.mod(np.delete(inputs, 1, axis=0).sum(axis=0), MODULUS)
+        np.testing.assert_array_equal(outcome.modular_sum, expected)
+
+    def test_multiple_dropouts_at_different_rounds(self, rng):
+        inputs = make_inputs(rng, n=8)
+        outcome = run_bonawitz(
+            inputs,
+            MODULUS,
+            threshold=4,
+            rng=rng,
+            dropouts={
+                1: ROUND_SHARE_KEYS,
+                5: ROUND_MASKED_INPUT,
+                7: ROUND_UNMASK,
+            },
+        )
+        # Clients 1 and 5 are excluded; 7 sent masked input so is included.
+        expected = np.mod(
+            np.delete(inputs, [0, 4], axis=0).sum(axis=0), MODULUS
+        )
+        np.testing.assert_array_equal(outcome.modular_sum, expected)
+        assert outcome.dropped == frozenset({1, 5})
+
+    def test_too_many_dropouts_fails_loudly(self, rng):
+        inputs = make_inputs(rng, n=4)
+        with pytest.raises(AggregationError, match="threshold"):
+            run_bonawitz(
+                inputs,
+                MODULUS,
+                threshold=3,
+                rng=rng,
+                dropouts={1: ROUND_MASKED_INPUT, 2: ROUND_MASKED_INPUT},
+            )
+
+    def test_unmask_round_below_threshold_fails(self, rng):
+        inputs = make_inputs(rng, n=4)
+        with pytest.raises(AggregationError, match="unmask"):
+            run_bonawitz(
+                inputs,
+                MODULUS,
+                threshold=3,
+                rng=rng,
+                dropouts={
+                    1: ROUND_UNMASK,
+                    2: ROUND_UNMASK,
+                },
+            )
+
+
+class TestValidation:
+    def test_threshold_bounds(self, rng):
+        inputs = make_inputs(rng, n=4)
+        with pytest.raises(ConfigurationError, match="threshold"):
+            run_bonawitz(inputs, MODULUS, threshold=1, rng=rng)
+        with pytest.raises(ConfigurationError, match="threshold"):
+            run_bonawitz(inputs, MODULUS, threshold=5, rng=rng)
+
+    def test_inputs_must_be_in_range(self, rng):
+        inputs = np.full((3, 4), MODULUS, dtype=np.int64)
+        with pytest.raises(AggregationError, match="lie in"):
+            run_bonawitz(inputs, MODULUS, threshold=2, rng=rng)
+
+    def test_bad_dropout_index_rejected(self, rng):
+        inputs = make_inputs(rng, n=3)
+        with pytest.raises(ConfigurationError, match="dropout index"):
+            run_bonawitz(
+                inputs, MODULUS, 2, rng, dropouts={9: ROUND_UNMASK}
+            )
+
+    def test_bad_dropout_round_rejected(self, rng):
+        inputs = make_inputs(rng, n=3)
+        with pytest.raises(ConfigurationError, match="dropout round"):
+            run_bonawitz(inputs, MODULUS, 2, rng, dropouts={1: 7})
+
+    def test_duplicate_advertisement_rejected(self):
+        server = BonawitzServer(MODULUS, DIMENSION, threshold=2)
+        client = BonawitzClient(
+            1,
+            np.zeros(DIMENSION, dtype=np.int64),
+            MODULUS,
+            2,
+            np.random.default_rng(0),
+            TOY_GROUP,
+        )
+        keys = client.advertise_keys()
+        with pytest.raises(AggregationError, match="duplicate"):
+            server.collect_advertisements([keys, keys])
+
+    def test_spoofed_sender_rejected(self, rng):
+        server = BonawitzServer(MODULUS, DIMENSION, threshold=2)
+        clients = [
+            BonawitzClient(
+                i,
+                np.zeros(DIMENSION, dtype=np.int64),
+                MODULUS,
+                2,
+                np.random.default_rng(i),
+                TOY_GROUP,
+            )
+            for i in (1, 2)
+        ]
+        roster = server.collect_advertisements(
+            [c.advertise_keys() for c in clients]
+        )
+        envelopes = {c.index: c.share_keys(roster) for c in clients}
+        forged = SealedShares(sender=2, recipient=1, ciphertext=b"xx")
+        envelopes[1] = [forged]
+        with pytest.raises(AggregationError, match="claims sender"):
+            server.route_shares(envelopes)
+
+    def test_wrong_dimension_masked_input_rejected(self, rng):
+        inputs = make_inputs(rng, n=3)
+        server = BonawitzServer(MODULUS, DIMENSION, threshold=2)
+        clients = {
+            i
+            + 1: BonawitzClient(
+                i + 1,
+                inputs[i],
+                MODULUS,
+                2,
+                np.random.default_rng(i),
+                TOY_GROUP,
+            )
+            for i in range(3)
+        }
+        roster = server.collect_advertisements(
+            [c.advertise_keys() for c in clients.values()]
+        )
+        mailbox = server.route_shares(
+            {u: clients[u].share_keys(roster) for u in clients}
+        )
+        for u, envelopes in mailbox.items():
+            clients[u].receive_shares(envelopes)
+        masked = {
+            u: clients[u].masked_input(server.share_participants)
+            for u in clients
+        }
+        masked[1] = masked[1][:-1]
+        with pytest.raises(AggregationError, match="dimension"):
+            server.collect_masked_inputs(masked)
+
+    def test_masked_input_from_outside_u1_rejected(self, rng):
+        server = BonawitzServer(MODULUS, DIMENSION, threshold=2)
+        clients = [
+            BonawitzClient(
+                i,
+                np.zeros(DIMENSION, dtype=np.int64),
+                MODULUS,
+                2,
+                np.random.default_rng(i),
+                TOY_GROUP,
+            )
+            for i in (1, 2)
+        ]
+        roster = server.collect_advertisements(
+            [c.advertise_keys() for c in clients]
+        )
+        mailbox = server.route_shares(
+            {c.index: c.share_keys(roster) for c in clients}
+        )
+        for c in clients:
+            c.receive_shares(mailbox[c.index])
+        masked = {
+            c.index: c.masked_input(server.share_participants)
+            for c in clients
+        }
+        masked[99] = np.zeros(DIMENSION, dtype=np.int64)
+        with pytest.raises(AggregationError, match="outside U1"):
+            server.collect_masked_inputs(masked)
+
+    def test_client_round_order_enforced(self, rng):
+        client = BonawitzClient(
+            1,
+            np.zeros(DIMENSION, dtype=np.int64),
+            MODULUS,
+            2,
+            rng,
+            TOY_GROUP,
+        )
+        with pytest.raises(AggregationError, match="before advertise"):
+            client.share_keys({})
+        with pytest.raises(AggregationError, match="before share_keys"):
+            client.masked_input(frozenset({1}))
+
+
+class TestSecurityInvariants:
+    def test_client_refuses_overlapping_unmask_request(self, rng):
+        """The same peer named as survivor and dropout would reveal both
+        b_v and s_v^SK — the client must refuse."""
+        inputs = make_inputs(rng, n=3)
+        server = BonawitzServer(MODULUS, DIMENSION, threshold=2)
+        clients = {
+            i
+            + 1: BonawitzClient(
+                i + 1,
+                inputs[i],
+                MODULUS,
+                2,
+                np.random.default_rng(i),
+                TOY_GROUP,
+            )
+            for i in range(3)
+        }
+        roster = server.collect_advertisements(
+            [c.advertise_keys() for c in clients.values()]
+        )
+        mailbox = server.route_shares(
+            {u: clients[u].share_keys(roster) for u in clients}
+        )
+        for u, envelopes in mailbox.items():
+            clients[u].receive_shares(envelopes)
+        malicious = UnmaskRequest(
+            survivors=frozenset({1, 2}), dropouts=frozenset({2, 3})
+        )
+        with pytest.raises(AggregationError, match="both survivor"):
+            clients[1].unmask(malicious)
+
+    def test_unknown_peer_in_unmask_request_rejected(self, rng):
+        inputs = make_inputs(rng, n=2)
+        server = BonawitzServer(MODULUS, DIMENSION, threshold=2)
+        clients = {
+            i
+            + 1: BonawitzClient(
+                i + 1,
+                inputs[i],
+                MODULUS,
+                2,
+                np.random.default_rng(i),
+                TOY_GROUP,
+            )
+            for i in range(2)
+        }
+        roster = server.collect_advertisements(
+            [c.advertise_keys() for c in clients.values()]
+        )
+        mailbox = server.route_shares(
+            {u: clients[u].share_keys(roster) for u in clients}
+        )
+        for u, envelopes in mailbox.items():
+            clients[u].receive_shares(envelopes)
+        with pytest.raises(AggregationError, match="no shares held"):
+            clients[1].unmask(
+                UnmaskRequest(
+                    survivors=frozenset({42}), dropouts=frozenset()
+                )
+            )
+
+    def test_masked_messages_are_marginally_uniform(self):
+        """Each y_u over many protocol runs must look uniform over Z_m —
+        the confidentiality property the DP analysis relies on."""
+        modulus = 16
+        observed = []
+        for seed in range(40):
+            rng = np.random.default_rng(seed)
+            inputs = np.zeros((3, 32), dtype=np.int64)  # worst case: x = 0
+            clients = {
+                i
+                + 1: BonawitzClient(
+                    i + 1,
+                    inputs[i],
+                    modulus,
+                    2,
+                    np.random.default_rng(1000 + 10 * seed + i),
+                    TOY_GROUP,
+                )
+                for i in range(3)
+            }
+            server = BonawitzServer(modulus, 32, threshold=2)
+            roster = server.collect_advertisements(
+                [c.advertise_keys() for c in clients.values()]
+            )
+            mailbox = server.route_shares(
+                {u: clients[u].share_keys(roster) for u in clients}
+            )
+            for u, envelopes in mailbox.items():
+                clients[u].receive_shares(envelopes)
+            observed.append(
+                clients[1].masked_input(server.share_participants)
+            )
+        values = np.concatenate(observed)
+        counts = np.bincount(values, minlength=modulus)
+        expected = len(values) / modulus
+        chi2 = float(((counts - expected) ** 2 / expected).sum())
+        assert chi2 < 45  # 15 dof, 99.99% quantile ~ 44.3
+
+    def test_envelope_ciphertext_differs_from_plaintext(self, rng):
+        payload = _encode_payload(
+            Share(x=1, y=123456), LimbShares(x=1, ys=(9, 8, 7))
+        )
+        sealed = _seal(b"\x01" * 32, payload)
+        assert sealed != payload
+        assert _open_sealed(b"\x01" * 32, sealed) == payload
+
+    def test_envelope_wrong_key_garbles(self):
+        payload = _encode_payload(
+            Share(x=2, y=42), LimbShares(x=2, ys=(1,))
+        )
+        sealed = _seal(b"\x01" * 32, payload)
+        garbled = _open_sealed(b"\x02" * 32, sealed)
+        assert garbled != payload
+
+
+class TestPayloadCodec:
+    def test_roundtrip(self):
+        seed_share = Share(x=7, y=(1 << 60) - 1)
+        key_share = LimbShares(x=7, ys=((1 << 60) - 1, 0, 12345))
+        encoded = _encode_payload(seed_share, key_share)
+        decoded_seed, decoded_key = _decode_payload(encoded)
+        assert decoded_seed == seed_share
+        assert decoded_key == key_share
+
+    def test_truncated_payload_rejected(self):
+        encoded = _encode_payload(Share(x=1, y=2), LimbShares(x=1, ys=(3,)))
+        with pytest.raises(AggregationError, match="malformed"):
+            _decode_payload(encoded[:-1])

@@ -1,0 +1,159 @@
+"""Tests for noise calibration (repro.core.calibration)."""
+
+import math
+
+import pytest
+
+from repro.accounting.divergences import gaussian_rdp
+from repro.accounting.rdp import rdp_to_dp, subsampled_rdp
+from repro.config import PrivacyBudget
+from repro.core.calibration import (
+    AccountingSpec,
+    calibrate_noise,
+    epsilon_for_curve,
+)
+from repro.errors import CalibrationError, PrivacyAccountingError
+
+
+def gaussian_factory(sigma):
+    return lambda alpha: gaussian_rdp(alpha, 1.0, sigma)
+
+
+class TestAccountingSpec:
+    def test_defaults(self):
+        spec = AccountingSpec(budget=PrivacyBudget(1.0))
+        assert spec.rounds == 1
+        assert spec.sampling_rate == 1.0
+
+    def test_rejects_zero_rounds(self):
+        with pytest.raises(CalibrationError):
+            AccountingSpec(budget=PrivacyBudget(1.0), rounds=0)
+
+    def test_rejects_bad_sampling_rate(self):
+        with pytest.raises(CalibrationError):
+            AccountingSpec(budget=PrivacyBudget(1.0), sampling_rate=0.0)
+        with pytest.raises(CalibrationError):
+            AccountingSpec(budget=PrivacyBudget(1.0), sampling_rate=1.5)
+
+
+class TestEpsilonForCurve:
+    def test_single_release_matches_manual(self):
+        spec = AccountingSpec(budget=PrivacyBudget(5.0))
+        curve = gaussian_factory(2.0)
+        epsilon, order = epsilon_for_curve(curve, spec)
+        manual = min(
+            rdp_to_dp(a, curve(a), spec.budget.delta) for a in range(2, 101)
+        )
+        assert epsilon == pytest.approx(manual)
+        assert rdp_to_dp(order, curve(order), spec.budget.delta) == pytest.approx(
+            epsilon
+        )
+
+    def test_rounds_compose_linearly(self):
+        curve = gaussian_factory(5.0)
+        one = AccountingSpec(budget=PrivacyBudget(5.0), rounds=1)
+        ten = AccountingSpec(budget=PrivacyBudget(5.0), rounds=10)
+        eps_one, _ = epsilon_for_curve(curve, one)
+        eps_ten, _ = epsilon_for_curve(curve, ten)
+        assert eps_ten > eps_one
+
+    def test_subsampling_amplifies(self):
+        curve = gaussian_factory(1.0)
+        full = AccountingSpec(budget=PrivacyBudget(5.0), rounds=10)
+        sampled = AccountingSpec(
+            budget=PrivacyBudget(5.0), rounds=10, sampling_rate=0.01
+        )
+        eps_full, _ = epsilon_for_curve(curve, full)
+        eps_sampled, _ = epsilon_for_curve(curve, sampled)
+        assert eps_sampled < eps_full / 5.0
+
+    def test_subsampled_matches_manual_formula(self):
+        curve = gaussian_factory(2.0)
+        spec = AccountingSpec(
+            budget=PrivacyBudget(5.0), rounds=7, sampling_rate=0.1
+        )
+        epsilon, _ = epsilon_for_curve(curve, spec)
+        manual = min(
+            rdp_to_dp(a, 7 * subsampled_rdp(a, 0.1, curve), 1e-5)
+            for a in range(2, 101)
+        )
+        assert epsilon == pytest.approx(manual)
+
+
+class TestCalibrateNoise:
+    def test_gaussian_calibration_meets_budget(self):
+        spec = AccountingSpec(budget=PrivacyBudget(epsilon=2.0))
+        result = calibrate_noise(gaussian_factory, spec)
+        assert result.epsilon <= 2.0
+        # And it is nearly tight (within the bisection tolerance).
+        assert result.epsilon > 2.0 * 0.99
+
+    def test_matches_analytic_ballpark(self):
+        # For single-release Gaussian at delta=1e-5, eps=1 requires
+        # sigma roughly sqrt(2 ln(1.25/delta)) ~ 4.8 (classic bound);
+        # the RDP route lands within a factor ~1.3.
+        spec = AccountingSpec(budget=PrivacyBudget(epsilon=1.0))
+        result = calibrate_noise(gaussian_factory, spec)
+        classic = math.sqrt(2 * math.log(1.25 / 1e-5))
+        assert 0.6 * classic < result.noise_parameter < 1.4 * classic
+
+    def test_more_rounds_needs_more_noise(self):
+        one = calibrate_noise(
+            gaussian_factory, AccountingSpec(budget=PrivacyBudget(2.0), rounds=1)
+        )
+        hundred = calibrate_noise(
+            gaussian_factory,
+            AccountingSpec(budget=PrivacyBudget(2.0), rounds=100),
+        )
+        assert hundred.noise_parameter > one.noise_parameter * 5
+
+    def test_subsampling_needs_less_noise(self):
+        plain = calibrate_noise(
+            gaussian_factory,
+            AccountingSpec(budget=PrivacyBudget(2.0), rounds=100),
+        )
+        amplified = calibrate_noise(
+            gaussian_factory,
+            AccountingSpec(
+                budget=PrivacyBudget(2.0), rounds=100, sampling_rate=0.01
+            ),
+        )
+        assert amplified.noise_parameter < plain.noise_parameter / 3
+
+    def test_tighter_epsilon_needs_more_noise(self):
+        loose = calibrate_noise(
+            gaussian_factory, AccountingSpec(budget=PrivacyBudget(5.0))
+        )
+        tight = calibrate_noise(
+            gaussian_factory, AccountingSpec(budget=PrivacyBudget(0.5))
+        )
+        assert tight.noise_parameter > loose.noise_parameter
+
+    def test_infeasible_curve_raises(self):
+        def impossible_factory(theta):
+            def curve(alpha):
+                raise PrivacyAccountingError("never feasible")
+
+            return curve
+
+        with pytest.raises(CalibrationError):
+            calibrate_noise(
+                impossible_factory,
+                AccountingSpec(budget=PrivacyBudget(1.0)),
+                max_doublings=10,
+            )
+
+    def test_rejects_non_positive_initial(self):
+        with pytest.raises(CalibrationError):
+            calibrate_noise(
+                gaussian_factory,
+                AccountingSpec(budget=PrivacyBudget(1.0)),
+                initial=0.0,
+            )
+
+    def test_order_reported_is_optimal(self):
+        spec = AccountingSpec(budget=PrivacyBudget(epsilon=3.0))
+        result = calibrate_noise(gaussian_factory, spec)
+        curve = gaussian_factory(result.noise_parameter)
+        _, best_order = epsilon_for_curve(curve, spec)
+        assert result.order == best_order

@@ -1,0 +1,152 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_mechanism, main
+from repro.config import CompressionConfig
+from repro.mechanisms import (
+    CpSgdMechanism,
+    DiscreteGaussianMixtureMechanism,
+    DistributedDiscreteGaussian,
+    GaussianMechanism,
+    SkellamMechanism,
+    SkellamMixtureMechanism,
+)
+
+
+class TestBuildMechanism:
+    @pytest.mark.parametrize(
+        "name, expected_type",
+        [
+            ("gaussian", GaussianMechanism),
+            ("smm", SkellamMixtureMechanism),
+            ("skellam", SkellamMechanism),
+            ("ddg", DistributedDiscreteGaussian),
+            ("dgm", DiscreteGaussianMixtureMechanism),
+            ("cpsgd", CpSgdMechanism),
+        ],
+    )
+    def test_all_names(self, name, expected_type):
+        compression = CompressionConfig(modulus=2**14, gamma=64.0)
+        assert isinstance(build_mechanism(name, compression), expected_type)
+
+    def test_distributed_mechanism_requires_compression(self):
+        with pytest.raises(SystemExit):
+            build_mechanism("smm", None)
+
+
+class TestCommands:
+    def test_calibrate_smm(self, capsys):
+        exit_code = main(
+            [
+                "calibrate",
+                "--mechanism", "smm",
+                "--bits", "14",
+                "--epsilons", "3",
+                "--dimension", "256",
+                "--participants", "50",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "lambda_per_participant" in captured.out
+        assert "achieved_epsilon" in captured.out
+
+    def test_calibrate_gaussian(self, capsys):
+        exit_code = main(
+            ["calibrate", "--mechanism", "gaussian", "--epsilons", "2"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "sigma" in captured.out
+
+    def test_sum_command_small(self, capsys):
+        exit_code = main(
+            [
+                "sum",
+                "--dimension", "128",
+                "--participants", "10",
+                "--epsilons", "3",
+                "--mechanisms", "gaussian", "smm",
+                "--bits", "16",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "gaussian" in captured.out
+        assert "smm" in captured.out
+        assert "mse" in captured.out
+
+    def test_fl_command_tiny(self, capsys):
+        exit_code = main(
+            [
+                "fl",
+                "--participants", "200",
+                "--test-records", "50",
+                "--batch", "20",
+                "--rounds", "3",
+                "--hidden", "4",
+                "--epsilons", "5",
+                "--mechanisms", "gaussian",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "acc=" in captured.out
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestNewCommands:
+    def test_secagg_command(self, capsys):
+        exit_code = main(
+            [
+                "secagg",
+                "--clients", "5",
+                "--dimension", "16",
+                "--bits", "8",
+                "--threshold", "3",
+                "--dropouts", "1",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "sum correct: True" in captured.out
+
+    def test_secagg_no_dropouts(self, capsys):
+        exit_code = main(
+            [
+                "secagg",
+                "--clients", "4",
+                "--dimension", "8",
+                "--threshold", "2",
+                "--dropouts", "0",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "dropped: none" in captured.out
+        assert "included in sum: 4 clients" in captured.out
+
+    def test_account_command(self, capsys):
+        exit_code = main(["account", "--lambdas", "200", "--value", "1.5"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "RDP eps" in captured.out
+        assert "200.0" in captured.out
+
+    def test_attack_command(self, capsys):
+        exit_code = main(
+            [
+                "attack",
+                "--trials", "100",
+                "--uniform-points", "256",
+                "--seed", "1",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "identified outright" in captured.out
+        assert "wrong identifications: 0" in captured.out

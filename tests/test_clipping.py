@@ -1,0 +1,167 @@
+"""Tests for the mixture-sensitivity clipping (Algorithm 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ClipConfig
+from repro.core.clipping import (
+    clip_gradient,
+    clip_linf_ceiling,
+    invert_sensitivity_helper,
+    mixture_sensitivity,
+    sensitivity_helper,
+)
+from repro.errors import ConfigurationError
+
+finite_vectors = st.lists(
+    st.floats(min_value=-50, max_value=50, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=16,
+)
+
+
+class TestMixtureSensitivity:
+    def test_integer_values(self):
+        # phi(k) = k^2 for integers.
+        assert mixture_sensitivity(np.array([2.0, -3.0])) == pytest.approx(13.0)
+
+    def test_fractional_identity(self):
+        # phi(k + p) = k^2 + p (2k + 1).
+        x = 2.3
+        k, p = 2, 0.3
+        assert mixture_sensitivity(np.array([x])) == pytest.approx(
+            k**2 + p * (2 * k + 1)
+        )
+
+    def test_zero(self):
+        assert mixture_sensitivity(np.zeros(5)) == 0.0
+
+    def test_dominates_squared_l2(self):
+        # phi(x) >= x^2 always (p - p^2 >= 0).
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=100) * 5
+        assert mixture_sensitivity(values) >= float(np.sum(values**2))
+
+
+class TestSensitivityHelper:
+    def test_sign_convention(self):
+        helper = sensitivity_helper(np.array([1.5, -1.5, 0.0]))
+        assert helper[0] > 0
+        assert helper[1] < 0
+        assert helper[2] == 0.0
+
+    def test_l1_norm_equals_mixture_sensitivity(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=40) * 3
+        assert np.abs(sensitivity_helper(values)).sum() == pytest.approx(
+            mixture_sensitivity(values)
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(finite_vectors)
+    def test_property_inverse_roundtrip(self, values):
+        array = np.array(values)
+        recovered = invert_sensitivity_helper(sensitivity_helper(array))
+        assert np.allclose(recovered, array, atol=1e-8)
+
+    def test_monotone_in_magnitude(self):
+        xs = np.array([0.1, 0.9, 1.0, 1.1, 2.7, 10.0])
+        phis = np.abs(sensitivity_helper(xs))
+        assert np.all(np.diff(phis) > 0)
+
+
+class TestInvertHelper:
+    def test_perfect_squares(self):
+        # |v| = k^2 maps back to exactly k.
+        values = np.array([1.0, 4.0, 9.0, 16.0])
+        assert np.allclose(invert_sensitivity_helper(values), [1, 2, 3, 4])
+
+    def test_zero(self):
+        assert invert_sensitivity_helper(np.zeros(3)).tolist() == [0, 0, 0]
+
+    def test_scaling_down_shrinks_magnitude(self):
+        values = np.array([3.7, -2.2, 0.5])
+        helper = sensitivity_helper(values)
+        shrunk = invert_sensitivity_helper(helper * 0.5)
+        assert np.all(np.abs(shrunk) <= np.abs(values))
+
+
+class TestClipLinfCeiling:
+    def test_ceiling_constraint_satisfied(self):
+        clipped = clip_linf_ceiling(np.array([-1.9, 0.4, 2.6]), 1.0)
+        assert np.all(np.ceil(np.abs(clipped)) <= 1.0)
+
+    def test_paper_example(self):
+        # "for Delta_inf = 1 and x = -1.9, we simply increase x to -1".
+        assert clip_linf_ceiling(np.array([-1.9]), 1.0)[0] == -1.0
+
+    def test_fractional_bound_uses_floor(self):
+        clipped = clip_linf_ceiling(np.array([2.3]), 2.5)
+        assert np.ceil(abs(clipped[0])) <= 2.5
+
+    def test_rejects_non_positive_bound(self):
+        with pytest.raises(ConfigurationError):
+            clip_linf_ceiling(np.array([1.0]), 0.0)
+
+
+class TestClipGradient:
+    def test_no_op_below_threshold(self):
+        values = np.array([0.1, -0.2, 0.3])
+        clip = ClipConfig(c=100.0, delta_inf=5.0)
+        assert np.allclose(clip_gradient(values, clip), values)
+
+    def test_sensitivity_bound_enforced(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(size=64) * 10
+        clip = ClipConfig(c=30.0, delta_inf=4.0)
+        clipped = clip_gradient(values, clip)
+        assert mixture_sensitivity(clipped) <= 30.0 + 1e-6
+
+    def test_linf_bound_enforced(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(size=64) * 10
+        clip = ClipConfig(c=1e6, delta_inf=2.0)
+        clipped = clip_gradient(values, clip)
+        assert np.all(np.ceil(np.abs(clipped)) <= 2.0)
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(4)
+        values = rng.normal(size=32) * 8
+        clip = ClipConfig(c=20.0, delta_inf=3.0)
+        once = clip_gradient(values, clip)
+        twice = clip_gradient(once, clip)
+        assert np.allclose(once, twice, atol=1e-9)
+
+    def test_batch_rows_clip_independently(self):
+        rng = np.random.default_rng(5)
+        batch = rng.normal(size=(6, 32)) * 8
+        clip = ClipConfig(c=20.0, delta_inf=3.0)
+        clipped = clip_gradient(batch, clip)
+        for row_in, row_out in zip(batch, clipped):
+            assert np.allclose(clip_gradient(row_in, clip), row_out)
+
+    def test_preserves_signs(self):
+        values = np.array([5.0, -5.0, 2.0, -2.0])
+        clip = ClipConfig(c=4.0, delta_inf=10.0)
+        clipped = clip_gradient(values, clip)
+        assert np.all(np.sign(clipped) == np.sign(values))
+
+    def test_zero_vector_unchanged(self):
+        clip = ClipConfig(c=1.0, delta_inf=1.0)
+        assert np.allclose(clip_gradient(np.zeros(8), clip), 0.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        finite_vectors,
+        st.floats(min_value=0.5, max_value=1000.0),
+        st.floats(min_value=1.0, max_value=50.0),
+    )
+    def test_property_eq4_invariants(self, values, c, delta_inf):
+        array = np.array(values)
+        clip = ClipConfig(c=c, delta_inf=delta_inf)
+        clipped = clip_gradient(array, clip)
+        # Both Corollary 1 preconditions hold after clipping.
+        assert mixture_sensitivity(clipped) <= c * (1 + 1e-9)
+        assert np.all(np.ceil(np.abs(clipped)) <= delta_inf)

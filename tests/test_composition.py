@@ -1,0 +1,81 @@
+"""Tests for (epsilon, delta) composition (repro.accounting.composition)."""
+
+import math
+
+import pytest
+
+from repro.accounting.composition import (
+    advanced_composition,
+    best_composition,
+    linear_composition,
+)
+from repro.errors import PrivacyAccountingError
+
+
+class TestLinearComposition:
+    def test_sums(self):
+        assert linear_composition(0.1, 1e-7, 10) == (
+            pytest.approx(1.0),
+            pytest.approx(1e-6),
+        )
+
+    def test_single_round_identity(self):
+        assert linear_composition(0.5, 1e-6, 1) == (0.5, 1e-6)
+
+    def test_rejects_negative_epsilon(self):
+        with pytest.raises(PrivacyAccountingError):
+            linear_composition(-0.1, 1e-7, 10)
+
+    def test_rejects_zero_rounds(self):
+        with pytest.raises(PrivacyAccountingError):
+            linear_composition(0.1, 1e-7, 0)
+
+
+class TestAdvancedComposition:
+    def test_dwork_roth_formula(self):
+        eps, delta, rounds, slack = 0.01, 1e-8, 1000, 1e-6
+        expected_eps = math.sqrt(
+            2 * rounds * math.log(1 / slack)
+        ) * eps + rounds * eps * (math.exp(eps) - 1)
+        got_eps, got_delta = advanced_composition(eps, delta, rounds, slack)
+        assert got_eps == pytest.approx(expected_eps)
+        assert got_delta == pytest.approx(rounds * delta + slack)
+
+    def test_beats_linear_for_many_small_rounds(self):
+        eps, delta, rounds = 0.01, 1e-9, 10_000
+        linear_eps, _ = linear_composition(eps, delta, rounds)
+        advanced_eps, _ = advanced_composition(eps, delta, rounds, 1e-6)
+        assert advanced_eps < linear_eps
+
+    def test_loses_to_linear_for_few_rounds(self):
+        eps, delta, rounds = 0.5, 1e-9, 2
+        linear_eps, _ = linear_composition(eps, delta, rounds)
+        advanced_eps, _ = advanced_composition(eps, delta, rounds, 1e-6)
+        assert advanced_eps > linear_eps
+
+    def test_rejects_zero_slack(self):
+        with pytest.raises(PrivacyAccountingError):
+            advanced_composition(0.1, 1e-8, 10, 0.0)
+
+
+class TestBestComposition:
+    def test_takes_minimum(self):
+        # Many small rounds: advanced wins and best matches it.
+        eps, delta, rounds, target = 0.01, 1e-10, 10_000, 1e-5
+        slack = (target - rounds * delta) / 2
+        advanced_eps, _ = advanced_composition(eps, delta, rounds, slack)
+        assert best_composition(eps, delta, rounds, target) == pytest.approx(
+            min(advanced_eps, rounds * eps)
+        )
+
+    def test_linear_when_no_slack_left(self):
+        # All of delta consumed by the rounds: only linear is possible.
+        eps, rounds, target = 0.05, 10, 1e-5
+        delta = target / rounds
+        assert best_composition(eps, delta, rounds, target) == pytest.approx(
+            rounds * eps
+        )
+
+    def test_delta_budget_violation_raises(self):
+        with pytest.raises(PrivacyAccountingError):
+            best_composition(0.1, 1e-5, 10, 1e-5)

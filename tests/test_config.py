@@ -1,0 +1,114 @@
+"""Tests for the configuration dataclasses (repro.config)."""
+
+import math
+
+import pytest
+
+from repro.config import (
+    DEFAULT_DELTA,
+    DEFAULT_ORDERS,
+    ClipConfig,
+    CompressionConfig,
+    PrivacyBudget,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPrivacyBudget:
+    def test_valid_budget(self):
+        budget = PrivacyBudget(epsilon=3.0)
+        assert budget.epsilon == 3.0
+        assert budget.delta == DEFAULT_DELTA
+
+    def test_default_orders_match_paper(self):
+        # Section 6.1: optimal order chosen from integers 2 to 100.
+        assert DEFAULT_ORDERS[0] == 2
+        assert DEFAULT_ORDERS[-1] == 100
+        assert len(DEFAULT_ORDERS) == 99
+
+    def test_custom_delta(self):
+        budget = PrivacyBudget(epsilon=1.0, delta=1e-6)
+        assert budget.delta == 1e-6
+
+    def test_zero_epsilon_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PrivacyBudget(epsilon=0.0)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PrivacyBudget(epsilon=-1.0)
+
+    def test_delta_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PrivacyBudget(epsilon=1.0, delta=0.0)
+
+    def test_delta_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PrivacyBudget(epsilon=1.0, delta=1.0)
+
+    def test_empty_orders_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PrivacyBudget(epsilon=1.0, orders=())
+
+    def test_order_below_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PrivacyBudget(epsilon=1.0, orders=(1, 2, 3))
+
+    def test_budget_is_immutable(self):
+        budget = PrivacyBudget(epsilon=1.0)
+        with pytest.raises(Exception):
+            budget.epsilon = 2.0
+
+
+class TestCompressionConfig:
+    def test_valid_config(self):
+        config = CompressionConfig(modulus=256, gamma=64.0)
+        assert config.modulus == 256
+        assert config.gamma == 64.0
+
+    def test_bitwidth(self):
+        assert CompressionConfig(modulus=2**8, gamma=1.0).bitwidth == 8.0
+        assert CompressionConfig(modulus=2**18, gamma=1.0).bitwidth == 18.0
+
+    def test_non_power_of_two_modulus_allowed_if_even(self):
+        # The wraparound codec only needs an even modulus.
+        config = CompressionConfig(modulus=6, gamma=1.0)
+        assert math.isclose(config.bitwidth, math.log2(6))
+
+    def test_odd_modulus_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompressionConfig(modulus=255, gamma=1.0)
+
+    def test_modulus_below_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompressionConfig(modulus=0, gamma=1.0)
+
+    def test_zero_gamma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompressionConfig(modulus=256, gamma=0.0)
+
+    def test_negative_gamma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompressionConfig(modulus=256, gamma=-4.0)
+
+
+class TestClipConfig:
+    def test_valid_config(self):
+        clip = ClipConfig(c=4096.0, delta_inf=6.0)
+        assert clip.c == 4096.0
+        assert clip.delta_inf == 6.0
+
+    def test_fractional_delta_inf_allowed(self):
+        assert ClipConfig(c=1.0, delta_inf=0.5).delta_inf == 0.5
+
+    def test_zero_c_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClipConfig(c=0.0, delta_inf=1.0)
+
+    def test_negative_c_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClipConfig(c=-1.0, delta_inf=1.0)
+
+    def test_zero_delta_inf_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClipConfig(c=1.0, delta_inf=0.0)

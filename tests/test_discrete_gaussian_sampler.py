@@ -1,0 +1,152 @@
+"""Tests for the exact discrete Gaussian sampler (Canonne et al.)."""
+
+import fractions
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sampling.discrete_gaussian import (
+    DiscreteGaussianDistribution,
+    ExactDiscreteGaussianSampler,
+    sample_bernoulli_exp,
+    sample_bernoulli_exp_sub_one,
+    sample_discrete_laplace,
+    sample_geometric_exp_slow,
+)
+from repro.sampling.rng import RandIntSource
+
+Fraction = fractions.Fraction
+
+
+class TestBernoulliExp:
+    def test_exp_zero_always_succeeds(self):
+        source = RandIntSource(seed=0)
+        assert all(
+            sample_bernoulli_exp_sub_one(Fraction(0), source) == 1
+            for _ in range(50)
+        )
+
+    def test_sub_one_mean(self):
+        source = RandIntSource(seed=1)
+        x = Fraction(1, 2)
+        draws = [sample_bernoulli_exp_sub_one(x, source) for _ in range(40_000)]
+        assert abs(np.mean(draws) - math.exp(-0.5)) < 0.01
+
+    def test_general_mean_above_one(self):
+        source = RandIntSource(seed=2)
+        x = Fraction(5, 2)
+        draws = [sample_bernoulli_exp(x, source) for _ in range(40_000)]
+        assert abs(np.mean(draws) - math.exp(-2.5)) < 0.01
+
+    def test_sub_one_rejects_out_of_range(self):
+        source = RandIntSource(seed=0)
+        with pytest.raises(ConfigurationError):
+            sample_bernoulli_exp_sub_one(Fraction(3, 2), source)
+
+    def test_general_rejects_negative(self):
+        source = RandIntSource(seed=0)
+        with pytest.raises(ConfigurationError):
+            sample_bernoulli_exp(Fraction(-1), source)
+
+
+class TestGeometric:
+    def test_slow_mean(self):
+        source = RandIntSource(seed=3)
+        x = Fraction(1)
+        draws = [sample_geometric_exp_slow(x, source) for _ in range(30_000)]
+        # Geometric with success prob 1 - e^-1 has mean e^-1 / (1 - e^-1).
+        expected = math.exp(-1.0) / (1.0 - math.exp(-1.0))
+        assert abs(np.mean(draws) - expected) < 0.02
+
+    def test_slow_rejects_non_positive(self):
+        source = RandIntSource(seed=0)
+        with pytest.raises(ConfigurationError):
+            sample_geometric_exp_slow(Fraction(0), source)
+
+
+class TestDiscreteLaplace:
+    def test_symmetry_and_mean(self):
+        source = RandIntSource(seed=4)
+        draws = [
+            sample_discrete_laplace(Fraction(2), source) for _ in range(30_000)
+        ]
+        assert abs(np.mean(draws)) < 0.05
+
+    def test_variance(self):
+        source = RandIntSource(seed=5)
+        scale = 2.0
+        draws = np.array(
+            [sample_discrete_laplace(Fraction(2), source) for _ in range(30_000)]
+        )
+        # Var = 2 e^{1/t} / (e^{1/t} - 1)^2 for discrete Laplace scale t.
+        ratio = math.exp(1.0 / scale)
+        expected = 2.0 * ratio / (ratio - 1.0) ** 2
+        assert abs(draws.var() - expected) < 0.3
+
+    def test_rejects_non_positive_scale(self):
+        source = RandIntSource(seed=0)
+        with pytest.raises(ConfigurationError):
+            sample_discrete_laplace(Fraction(0), source)
+
+
+class TestExactDiscreteGaussian:
+    def test_moments(self):
+        sampler = ExactDiscreteGaussianSampler(sigma_squared=4, seed=0)
+        draws = np.array(sampler.sample_many(20_000))
+        assert abs(draws.mean()) < 0.05
+        assert abs(draws.var() - 4.0) < 0.2
+
+    def test_distribution_chi_square(self):
+        sampler = ExactDiscreteGaussianSampler(sigma_squared=2, seed=1)
+        draws = np.array(sampler.sample_many(30_000))
+        dist = DiscreteGaussianDistribution(sigma_squared=2.0)
+        cutoff = 5
+        clipped = np.clip(draws, -cutoff, cutoff)
+        counts = np.bincount(clipped + cutoff, minlength=2 * cutoff + 1)
+        ks = np.arange(-cutoff, cutoff + 1)
+        probs = np.asarray(dist.pmf(ks), dtype=float)
+        tail = 1.0 - probs.sum()
+        probs[0] += tail / 2.0
+        probs[-1] += tail / 2.0
+        expected = probs * len(draws)
+        mask = expected > 5
+        chi_square = float(
+            ((counts[mask] - expected[mask]) ** 2 / expected[mask]).sum()
+        )
+        assert chi_square < 35.0
+
+    def test_small_sigma(self):
+        sampler = ExactDiscreteGaussianSampler(sigma_squared=Fraction(1, 4), seed=2)
+        draws = np.array(sampler.sample_many(5_000))
+        dist = DiscreteGaussianDistribution(sigma_squared=0.25)
+        assert abs(draws.var() - dist.variance) < 0.05
+
+    def test_seed_reproducibility(self):
+        first = ExactDiscreteGaussianSampler(sigma_squared=4, seed=9)
+        second = ExactDiscreteGaussianSampler(sigma_squared=4, seed=9)
+        assert first.sample_many(100) == second.sample_many(100)
+
+    def test_invalid_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExactDiscreteGaussianSampler(sigma_squared=0)
+
+
+class TestDiscreteGaussianDistribution:
+    def test_pmf_sums_to_one(self):
+        dist = DiscreteGaussianDistribution(sigma_squared=3.0)
+        assert abs(float(np.sum(dist.pmf(dist.support()))) - 1.0) < 1e-9
+
+    def test_variance_close_to_parameter_for_large_sigma(self):
+        # Canonne et al.: variance -> sigma^2 rapidly as sigma grows.
+        dist = DiscreteGaussianDistribution(sigma_squared=9.0)
+        assert abs(dist.variance - 9.0) < 0.01
+
+    def test_variance_below_parameter_for_tiny_sigma(self):
+        dist = DiscreteGaussianDistribution(sigma_squared=0.1)
+        assert dist.variance < 0.1
+
+    def test_invalid_parameter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiscreteGaussianDistribution(sigma_squared=-1.0)

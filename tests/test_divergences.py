@@ -1,0 +1,229 @@
+"""Tests for the RDP divergence curves (repro.accounting.divergences)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accounting.divergences import (
+    ddg_rdp,
+    dgm_feasible,
+    dgm_max_delta_inf,
+    dgm_rdp,
+    discrete_gaussian_sum_gap,
+    discrete_gaussian_sum_tau,
+    gaussian_rdp,
+    skellam_mechanism_rdp,
+    skellam_rdp,
+    smm_feasible,
+    smm_max_delta_inf,
+    smm_rdp,
+)
+from repro.errors import PrivacyAccountingError
+
+
+class TestGaussianRdp:
+    def test_closed_form(self):
+        # tau = alpha s^2 / (2 sigma^2)
+        assert gaussian_rdp(2.0, 1.0, 1.0) == 1.0
+        assert gaussian_rdp(4.0, 2.0, 2.0) == pytest.approx(2.0)
+
+    def test_linear_in_alpha(self):
+        assert gaussian_rdp(10, 1.0, 3.0) == pytest.approx(
+            5 * gaussian_rdp(2, 1.0, 3.0)
+        )
+
+    def test_rejects_order_one(self):
+        with pytest.raises(PrivacyAccountingError):
+            gaussian_rdp(1.0, 1.0, 1.0)
+
+    def test_rejects_zero_sigma(self):
+        with pytest.raises(PrivacyAccountingError):
+            gaussian_rdp(2.0, 1.0, 0.0)
+
+
+class TestSkellamRdp:
+    def test_theorem_3_constant(self):
+        # tau = (1.09 alpha + 0.91)/2 * s^2/(2 lam)
+        tau = skellam_rdp(3.0, 4.0, 10.0, 1.0)
+        assert tau == pytest.approx((1.09 * 3 + 0.91) / 2 * 4.0 / 20.0)
+
+    def test_comparable_to_gaussian_within_constant(self):
+        # Theorem 3 remark: within a small constant of Gaussian of the
+        # same variance (sigma^2 = 2 lam).
+        lam = 50.0
+        for alpha in [2, 4, 8, 16]:
+            skellam = skellam_rdp(alpha, 1.0, lam, 1.0)
+            gaussian = gaussian_rdp(alpha, 1.0, math.sqrt(2 * lam))
+            assert gaussian <= skellam <= 2.0 * gaussian
+
+    def test_feasibility_constraint_enforced(self):
+        # alpha >= 2 lam / Delta_inf + 1 must raise.
+        with pytest.raises(PrivacyAccountingError):
+            skellam_rdp(22.0, 1.0, 10.0, 1.0)
+
+    def test_decreases_with_lambda(self):
+        taus = [skellam_rdp(2.0, 1.0, lam, 1.0) for lam in [5, 10, 100]]
+        assert taus[0] > taus[1] > taus[2]
+
+
+class TestSmmRdp:
+    def test_corollary_1_constant(self):
+        # tau = (1.2 alpha + 1)/2 * c/(2 n lam)
+        tau = smm_rdp(3.0, 16.0, 240.0, 1.0)
+        assert tau == pytest.approx((1.2 * 3 + 1) / 2 * 16.0 / 480.0)
+
+    def test_feasibility_eq3(self):
+        assert smm_feasible(2.0, 100.0, 1.0)
+        assert not smm_feasible(2.0, 100.0, 1000.0)
+
+    def test_infeasible_raises(self):
+        with pytest.raises(PrivacyAccountingError):
+            smm_rdp(5.0, 1.0, 10.0, 100.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=60),
+        st.floats(min_value=1.0, max_value=1e6),
+    )
+    def test_max_delta_inf_is_tight(self, alpha, total_lam):
+        boundary = smm_max_delta_inf(alpha, total_lam)
+        assert smm_feasible(alpha, total_lam, boundary * 0.999)
+        assert not smm_feasible(alpha, total_lam, boundary * 1.001)
+
+    def test_max_delta_inf_decreases_with_order(self):
+        bounds = [smm_max_delta_inf(a, 1000.0) for a in [2, 5, 10, 50]]
+        assert all(b1 > b2 for b1, b2 in zip(bounds, bounds[1:]))
+
+    def test_slightly_above_gaussian_constant(self):
+        # Corollary 2 remark: leading multiplier (1.2 a + 1)/2 vs a/2.
+        lam = 1000.0
+        for alpha in [2, 8, 32]:
+            ratio = smm_rdp(alpha, 1.0, lam, 0.5) / gaussian_rdp(
+                alpha, 1.0, math.sqrt(2 * lam)
+            )
+            assert 1.0 < ratio < 2.0
+
+
+class TestDiscreteGaussianGap:
+    def test_single_summand_is_zero(self):
+        assert discrete_gaussian_sum_gap(1, 4.0) == 0.0
+
+    def test_negligible_for_large_sigma(self):
+        assert discrete_gaussian_sum_gap(240, 4.0) < 1e-10
+
+    def test_blows_up_for_small_sigma(self):
+        assert discrete_gaussian_sum_gap(240, 0.25) > 1.0
+
+    def test_increases_with_summands(self):
+        gaps = [discrete_gaussian_sum_gap(n, 0.5) for n in [2, 10, 100]]
+        assert gaps[0] < gaps[1] < gaps[2]
+
+    def test_closed_form_small_case(self):
+        expected = 10.0 * (
+            math.exp(-2 * math.pi**2 * 1.0 * 1 / 2)
+            + math.exp(-2 * math.pi**2 * 1.0 * 2 / 3)
+        )
+        assert discrete_gaussian_sum_gap(3, 1.0) == pytest.approx(expected)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(PrivacyAccountingError):
+            discrete_gaussian_sum_gap(0, 1.0)
+        with pytest.raises(PrivacyAccountingError):
+            discrete_gaussian_sum_gap(2, 0.0)
+
+
+class TestDiscreteGaussianSumTau:
+    def test_reduces_to_gaussian_like_at_large_sigma(self):
+        # With negligible gap the first arm is alpha s^2/(2 n sigma^2).
+        tau = discrete_gaussian_sum_tau(2.0, 3.0, 100, 4.0)
+        assert tau == pytest.approx(2.0 * 9.0 / (2 * 400.0), rel=1e-6)
+
+    def test_gap_override(self):
+        with_gap = discrete_gaussian_sum_tau(2.0, 1.0, 100, 4.0, gap=0.5)
+        without = discrete_gaussian_sum_tau(2.0, 1.0, 100, 4.0)
+        assert with_gap > without
+
+
+class TestDdgRdp:
+    def test_leading_term(self):
+        tau = ddg_rdp(2.0, 9.0, 3.0, 100, 4.0, 128)
+        assert tau == pytest.approx(2.0 * 9.0 / (2 * 400.0), rel=1e-6)
+
+    def test_dimension_penalty_at_small_sigma(self):
+        small_d = ddg_rdp(2.0, 1.0, 1.0, 100, 0.25, 10)
+        large_d = ddg_rdp(2.0, 1.0, 1.0, 100, 0.25, 100_000)
+        assert large_d > small_d
+
+    def test_min_of_two_arms(self):
+        # With a huge gap, the L1 arm should win for small Delta_1.
+        tau = ddg_rdp(2.0, 1.0, 0.001, 50, 0.2, 1_000_000)
+        first_arm = 2.0 * 1.0 / (2 * 10.0) + 1_000_000 * discrete_gaussian_sum_gap(
+            50, 0.2
+        )
+        assert tau <= first_arm
+
+
+class TestDgmRdp:
+    def test_mixture_factor_over_ddg(self):
+        # With negligible gap, DGM's bound is 1.1x the DDG leading term.
+        ddg = ddg_rdp(2.0, 9.0, 3.0, 100, 16.0, 128)
+        dgm = dgm_rdp(2.0, 9.0, 100, 16.0, 1.0, 3.0, 128)
+        assert dgm == pytest.approx(1.1 * ddg, rel=1e-6)
+
+    def test_feasibility_eq8(self):
+        assert dgm_feasible(2.0, 100, 16.0, 1.0)
+        assert not dgm_feasible(2.0, 100, 16.0, 1e6)
+
+    def test_infeasible_raises(self):
+        with pytest.raises(PrivacyAccountingError):
+            dgm_rdp(2.0, 1.0, 100, 16.0, 1e6, 1.0, 128)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=20),
+        st.floats(min_value=1.0, max_value=100.0),
+    )
+    def test_max_delta_inf_is_feasible(self, alpha, sigma_squared):
+        boundary = dgm_max_delta_inf(alpha, 100, sigma_squared)
+        if boundary > 0:
+            assert dgm_feasible(alpha, 100, sigma_squared, boundary * 0.999)
+            assert not dgm_feasible(alpha, 100, sigma_squared, boundary * 1.001)
+
+    def test_empty_range_at_tiny_sigma(self):
+        # tau_n explodes, leaving no feasible Delta_inf.
+        assert dgm_max_delta_inf(2.0, 1000, 0.05) == 0.0
+
+
+class TestSkellamMechanismRdp:
+    def test_leading_term_matches_gaussian_variance(self):
+        lam = 10_000.0
+        tau = skellam_mechanism_rdp(4.0, 9.0, 3.0, lam)
+        assert tau == pytest.approx(4.0 * 9.0 / (4 * lam), rel=1e-2)
+
+    def test_l1_term_contributes(self):
+        small_l1 = skellam_mechanism_rdp(2.0, 1.0, 0.1, 10.0)
+        large_l1 = skellam_mechanism_rdp(2.0, 1.0, 100.0, 10.0)
+        assert large_l1 > small_l1
+
+    def test_rejects_invalid_lambda(self):
+        with pytest.raises(PrivacyAccountingError):
+            skellam_mechanism_rdp(2.0, 1.0, 1.0, 0.0)
+
+    def test_smm_beats_skellam_mechanism_on_rounded_inputs(self):
+        # The headline comparison: for the same aggregate noise, SMM's
+        # bound on raw inputs (c = gamma^2) beats the Skellam mechanism's
+        # bound on conditionally rounded inputs (inflated Delta_2) in the
+        # low-bitwidth regime (gamma small relative to sqrt(d)).
+        gamma, dimension, n_lam = 4.0, 65536, 4000.0
+        smm_tau = smm_rdp(2.0, gamma**2, n_lam, 1.0)
+        rounded_l2_sq = gamma**2 + dimension / 4.0  # ~Eq. (6) dominant terms
+        rounded_l1 = min(
+            math.sqrt(dimension) * math.sqrt(rounded_l2_sq), rounded_l2_sq
+        )
+        skellam_tau = skellam_mechanism_rdp(
+            2.0, rounded_l2_sq, rounded_l1, n_lam
+        )
+        assert smm_tau < skellam_tau / 100.0

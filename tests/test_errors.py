@@ -1,0 +1,43 @@
+"""Tests for the exception hierarchy (repro.errors)."""
+
+import pytest
+
+from repro.errors import (
+    AggregationError,
+    CalibrationError,
+    ConfigurationError,
+    OverflowWarning,
+    PrivacyAccountingError,
+    ReproError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_class",
+        [
+            AggregationError,
+            CalibrationError,
+            ConfigurationError,
+            PrivacyAccountingError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception_class):
+        assert issubclass(exception_class, ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        # Callers using standard idioms (except ValueError) still work.
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_overflow_warning_is_user_warning(self):
+        assert issubclass(OverflowWarning, UserWarning)
+
+    def test_single_except_catches_library_errors(self):
+        for exception_class in (
+            AggregationError,
+            CalibrationError,
+            ConfigurationError,
+            PrivacyAccountingError,
+        ):
+            with pytest.raises(ReproError):
+                raise exception_class("boom")

@@ -1,0 +1,105 @@
+"""Tests for the exact Poisson samplers (Appendix A, Algorithms 7-10)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.errors import ConfigurationError
+from repro.sampling.exact_poisson import (
+    sample_poisson,
+    sample_poisson_one,
+    sample_poisson_sub_one,
+)
+from repro.sampling.rng import RandIntSource
+
+
+def _chi_square_vs_poisson(samples, lam, cutoff=None):
+    """Chi-square statistic of empirical counts against Poisson(lam)."""
+    samples = np.asarray(samples)
+    cutoff = cutoff or int(samples.max())
+    counts = np.bincount(np.minimum(samples, cutoff), minlength=cutoff + 1)
+    probs = stats.poisson.pmf(np.arange(cutoff + 1), lam)
+    probs[-1] += stats.poisson.sf(cutoff, lam)
+    expected = probs * len(samples)
+    mask = expected > 5  # Standard chi-square validity rule.
+    return float(((counts[mask] - expected[mask]) ** 2 / expected[mask]).sum()), int(
+        mask.sum()
+    )
+
+
+class TestPoissonOne:
+    def test_moments(self):
+        source = RandIntSource(seed=0)
+        draws = [sample_poisson_one(source) for _ in range(30_000)]
+        assert abs(np.mean(draws) - 1.0) < 0.03
+        assert abs(np.var(draws) - 1.0) < 0.05
+
+    def test_distribution_chi_square(self):
+        source = RandIntSource(seed=1)
+        draws = [sample_poisson_one(source) for _ in range(30_000)]
+        chi_square, bins = _chi_square_vs_poisson(draws, 1.0)
+        # 0.999 quantile of chi2 with <=8 dof is < 27.
+        assert chi_square < 27.0, (chi_square, bins)
+
+    def test_non_negative(self):
+        source = RandIntSource(seed=2)
+        assert all(sample_poisson_one(source) >= 0 for _ in range(500))
+
+
+class TestPoissonSubOne:
+    def test_moments(self):
+        source = RandIntSource(seed=3)
+        draws = [sample_poisson_sub_one(3, 10, source) for _ in range(30_000)]
+        assert abs(np.mean(draws) - 0.3) < 0.015
+        assert abs(np.var(draws) - 0.3) < 0.02
+
+    def test_distribution_chi_square(self):
+        source = RandIntSource(seed=4)
+        draws = [sample_poisson_sub_one(7, 10, source) for _ in range(30_000)]
+        chi_square, _ = _chi_square_vs_poisson(draws, 0.7)
+        assert chi_square < 27.0
+
+    def test_rejects_rate_of_one(self):
+        source = RandIntSource(seed=0)
+        with pytest.raises(ConfigurationError):
+            sample_poisson_sub_one(10, 10, source)
+
+    def test_rejects_zero_rate(self):
+        source = RandIntSource(seed=0)
+        with pytest.raises(ConfigurationError):
+            sample_poisson_sub_one(0, 10, source)
+
+
+class TestGeneralPoisson:
+    def test_zero_rate_returns_zero(self):
+        source = RandIntSource(seed=0)
+        assert all(sample_poisson(0, 1, source) == 0 for _ in range(10))
+
+    def test_integer_rate_moments(self):
+        source = RandIntSource(seed=5)
+        draws = [sample_poisson(4, 1, source) for _ in range(20_000)]
+        assert abs(np.mean(draws) - 4.0) < 0.06
+        assert abs(np.var(draws) - 4.0) < 0.15
+
+    def test_fractional_rate_moments(self):
+        source = RandIntSource(seed=6)
+        # lambda = 5/2
+        draws = [sample_poisson(5, 2, source) for _ in range(20_000)]
+        assert abs(np.mean(draws) - 2.5) < 0.05
+        assert abs(np.var(draws) - 2.5) < 0.12
+
+    def test_distribution_chi_square(self):
+        source = RandIntSource(seed=7)
+        draws = [sample_poisson(3, 2, source) for _ in range(30_000)]
+        chi_square, _ = _chi_square_vs_poisson(draws, 1.5)
+        assert chi_square < 32.0
+
+    def test_negative_rate_rejected(self):
+        source = RandIntSource(seed=0)
+        with pytest.raises(ConfigurationError):
+            sample_poisson(-1, 2, source)
+
+    def test_zero_denominator_rejected(self):
+        source = RandIntSource(seed=0)
+        with pytest.raises(ConfigurationError):
+            sample_poisson(1, 0, source)

@@ -1,0 +1,86 @@
+"""Tests for the exact Skellam sampler and distribution helpers."""
+
+import fractions
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.errors import ConfigurationError
+from repro.sampling.skellam import ExactSkellamSampler, SkellamDistribution
+
+
+class TestSkellamDistribution:
+    def test_variance(self):
+        assert SkellamDistribution(lam=4.0).variance == 8.0
+
+    def test_pmf_matches_scipy(self):
+        dist = SkellamDistribution(lam=2.0)
+        ks = np.arange(-10, 11)
+        assert np.allclose(dist.pmf(ks), stats.skellam.pmf(ks, 2.0, 2.0))
+
+    def test_pmf_symmetric(self):
+        dist = SkellamDistribution(lam=3.0)
+        ks = np.arange(1, 8)
+        assert np.allclose(dist.pmf(ks), dist.pmf(-ks))
+
+    def test_pmf_sums_to_one(self):
+        dist = SkellamDistribution(lam=1.5)
+        ks = np.arange(-60, 61)
+        assert abs(float(np.sum(dist.pmf(ks))) - 1.0) < 1e-12
+
+    def test_invalid_lambda_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SkellamDistribution(lam=0.0)
+
+
+class TestExactSkellamSampler:
+    def test_moments(self):
+        sampler = ExactSkellamSampler(lam=2, seed=0)
+        draws = np.array(sampler.sample_many(20_000))
+        assert abs(draws.mean()) < 0.05
+        assert abs(draws.var() - 4.0) < 0.15
+
+    def test_symmetry(self):
+        sampler = ExactSkellamSampler(lam=3, seed=1)
+        draws = np.array(sampler.sample_many(20_000))
+        assert abs((draws > 0).mean() - (draws < 0).mean()) < 0.02
+
+    def test_distribution_chi_square(self):
+        sampler = ExactSkellamSampler(lam=1, seed=2)
+        draws = np.array(sampler.sample_many(30_000))
+        cutoff = 6
+        clipped = np.clip(draws, -cutoff, cutoff)
+        counts = np.bincount(clipped + cutoff, minlength=2 * cutoff + 1)
+        ks = np.arange(-cutoff, cutoff + 1)
+        probs = stats.skellam.pmf(ks, 1, 1)
+        probs[0] += stats.skellam.cdf(-cutoff - 1, 1, 1)
+        probs[-1] += stats.skellam.sf(cutoff, 1, 1)
+        expected = probs * len(draws)
+        mask = expected > 5
+        chi_square = float(
+            ((counts[mask] - expected[mask]) ** 2 / expected[mask]).sum()
+        )
+        assert chi_square < 35.0
+
+    def test_rational_lambda(self):
+        sampler = ExactSkellamSampler(lam=fractions.Fraction(1, 2), seed=3)
+        draws = np.array(sampler.sample_many(20_000))
+        assert abs(draws.var() - 1.0) < 0.05
+
+    def test_float_lambda_coerced_exactly(self):
+        sampler = ExactSkellamSampler(lam=0.25, seed=0)
+        assert sampler.lam == fractions.Fraction(1, 4)
+
+    def test_seed_reproducibility(self):
+        first = ExactSkellamSampler(lam=2, seed=9)
+        second = ExactSkellamSampler(lam=2, seed=9)
+        assert first.sample_many(100) == second.sample_many(100)
+
+    def test_invalid_lambda_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExactSkellamSampler(lam=0)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExactSkellamSampler(lam=1, seed=0).sample_many(-1)

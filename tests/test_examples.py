@@ -1,0 +1,71 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the library's public face; a refactor that silently breaks
+one is a release blocker.  Each test executes the script as a real
+subprocess (the way a user would) and checks the exit status plus a
+fingerprint of the expected output.  The federated-learning and
+accounting-comparison walkthroughs train/compose for minutes and are
+marked slow; enable with ``-m slow`` or by deselecting the marker
+filter.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+#: (script, substring expected on stdout, timeout seconds)
+FAST_EXAMPLES = [
+    ("quickstart.py", "per-dimension mse", 120),
+    ("exact_sampling.py", "", 120),
+    ("sum_estimation.py", "", 180),
+    ("dgm_vs_smm.py", "", 180),
+    ("privacy_audit.py", "", 120),
+    ("secure_aggregation.py", "matches the survivors' true sum: True", 120),
+    ("floating_point_attack.py", "0 wrong", 120),
+]
+
+
+def run_example(name: str, timeout: int) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=EXAMPLES.parent,
+    )
+
+
+@pytest.mark.parametrize(
+    "name, fingerprint, timeout",
+    FAST_EXAMPLES,
+    ids=[name for name, _, _ in FAST_EXAMPLES],
+)
+def test_example_runs(name, fingerprint, timeout):
+    result = run_example(name, timeout)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert fingerprint in result.stdout
+
+
+def test_examples_directory_is_fully_covered():
+    """Every example script is exercised by some test (fast or slow)."""
+    slow = {"federated_learning.py", "accounting_comparison.py"}
+    fast = {name for name, _, _ in FAST_EXAMPLES}
+    on_disk = {path.name for path in EXAMPLES.glob("*.py")}
+    assert on_disk == fast | slow
+
+
+@pytest.mark.slow
+def test_example_federated_learning():
+    result = run_example("federated_learning.py", 600)
+    assert result.returncode == 0, result.stderr[-2000:]
+
+
+@pytest.mark.slow
+def test_example_accounting_comparison():
+    result = run_example("accounting_comparison.py", 600)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "single release" in result.stdout

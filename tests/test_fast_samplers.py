@@ -1,0 +1,141 @@
+"""Tests for the fast vectorised samplers (repro.sampling.fast)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.errors import ConfigurationError
+from repro.sampling.fast import (
+    bernoulli_round,
+    binomial_noise,
+    discrete_gaussian_noise,
+    skellam_noise,
+)
+
+
+class TestSkellamNoise:
+    def test_moments(self):
+        rng = np.random.default_rng(0)
+        draws = skellam_noise(8.0, 200_000, rng)
+        assert abs(draws.mean()) < 0.05
+        assert abs(draws.var() - 16.0) < 0.3
+
+    def test_dtype_and_shape(self):
+        rng = np.random.default_rng(0)
+        draws = skellam_noise(1.0, (3, 4), rng)
+        assert draws.shape == (3, 4)
+        assert draws.dtype == np.int64
+
+    def test_distribution_matches_scipy(self):
+        rng = np.random.default_rng(1)
+        draws = skellam_noise(2.0, 100_000, rng)
+        cutoff = 8
+        clipped = np.clip(draws, -cutoff, cutoff)
+        counts = np.bincount(clipped + cutoff, minlength=2 * cutoff + 1)
+        ks = np.arange(-cutoff, cutoff + 1)
+        probs = stats.skellam.pmf(ks, 2.0, 2.0)
+        probs[0] += stats.skellam.cdf(-cutoff - 1, 2.0, 2.0)
+        probs[-1] += stats.skellam.sf(cutoff, 2.0, 2.0)
+        expected = probs * len(draws)
+        mask = expected > 5
+        chi_square = float(
+            ((counts[mask] - expected[mask]) ** 2 / expected[mask]).sum()
+        )
+        assert chi_square < 42.0  # ~dof 16, 0.999 quantile
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ConfigurationError):
+            skellam_noise(0.0, 3, np.random.default_rng(0))
+
+
+class TestDiscreteGaussianNoise:
+    def test_moments(self):
+        rng = np.random.default_rng(2)
+        draws = discrete_gaussian_noise(9.0, 200_000, rng)
+        assert abs(draws.mean()) < 0.05
+        assert abs(draws.var() - 9.0) < 0.25
+
+    def test_small_sigma_concentrates(self):
+        rng = np.random.default_rng(3)
+        draws = discrete_gaussian_noise(0.01, 10_000, rng)
+        assert np.all(np.abs(draws) <= 1)
+        assert (draws == 0).mean() > 0.99
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(4)
+        draws = discrete_gaussian_noise(4.0, 100_000, rng)
+        assert abs((draws > 0).mean() - (draws < 0).mean()) < 0.01
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ConfigurationError):
+            discrete_gaussian_noise(-1.0, 3, np.random.default_rng(0))
+
+
+class TestBinomialNoise:
+    def test_moments(self):
+        rng = np.random.default_rng(5)
+        draws = binomial_noise(100, 100_000, rng)
+        assert abs(draws.mean()) < 0.1
+        assert abs(draws.var() - 25.0) < 0.5
+
+    def test_zero_trials(self):
+        rng = np.random.default_rng(0)
+        assert np.all(binomial_noise(0, (2, 3), rng) == 0)
+
+    def test_odd_trials_rejected(self):
+        with pytest.raises(ConfigurationError):
+            binomial_noise(7, 3, np.random.default_rng(0))
+
+    def test_negative_trials_rejected(self):
+        with pytest.raises(ConfigurationError):
+            binomial_noise(-2, 3, np.random.default_rng(0))
+
+    def test_support_bounds(self):
+        rng = np.random.default_rng(6)
+        draws = binomial_noise(10, 10_000, rng)
+        assert draws.min() >= -5
+        assert draws.max() <= 5
+
+
+class TestBernoulliRound:
+    def test_integers_pass_through(self):
+        rng = np.random.default_rng(0)
+        values = np.array([-3.0, 0.0, 7.0])
+        assert np.array_equal(bernoulli_round(values, rng), [-3, 0, 7])
+
+    def test_output_is_neighbouring_integer(self):
+        rng = np.random.default_rng(1)
+        values = np.array([0.3, -1.7, 2.5])
+        for _ in range(200):
+            rounded = bernoulli_round(values, rng)
+            assert np.all((rounded == np.floor(values)) | (rounded == np.ceil(values)))
+
+    def test_unbiasedness(self):
+        rng = np.random.default_rng(2)
+        values = np.array([0.25, -0.75, 1.5, 3.999])
+        rounds = np.stack([bernoulli_round(values, rng) for _ in range(40_000)])
+        assert np.allclose(rounds.mean(axis=0), values, atol=0.02)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=1,
+            max_size=10,
+        ),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_property_neighbouring_integers(self, values, seed):
+        rng = np.random.default_rng(seed)
+        array = np.array(values)
+        rounded = bernoulli_round(array, rng)
+        assert np.all(rounded >= np.floor(array))
+        assert np.all(rounded <= np.floor(array) + 1)
+
+    def test_variance_is_p_one_minus_p(self):
+        rng = np.random.default_rng(3)
+        value = np.full(100_000, 0.3)
+        rounded = bernoulli_round(value, rng)
+        assert abs(rounded.var() - 0.21) < 0.01

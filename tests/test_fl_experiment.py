@@ -1,0 +1,90 @@
+"""Tests for the FL experiment harness (repro.fl.experiment)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import CompressionConfig
+from repro.fl.data import make_synthetic_images
+from repro.fl.experiment import (
+    FlPointResult,
+    format_accuracy_table,
+    run_fl_point,
+)
+from repro.mechanisms import GaussianMechanism, SkellamMixtureMechanism
+
+
+@pytest.fixture(scope="module")
+def tiny_task():
+    rng = np.random.default_rng(0)
+    return make_synthetic_images(300, 80, noise_scale=0.25, rng=rng)
+
+
+class TestRunFlPoint:
+    def test_non_private_point(self, tiny_task):
+        train, test = tiny_task
+        result = run_fl_point(
+            None, train, test, rounds=25, expected_batch=30, epsilon=None,
+            hidden=8, learning_rate=0.005,
+        )
+        assert result.mechanism == "none"
+        assert math.isnan(result.epsilon)
+        assert 0.0 <= result.accuracy <= 1.0
+
+    def test_gaussian_point(self, tiny_task):
+        train, test = tiny_task
+        result = run_fl_point(
+            GaussianMechanism(), train, test, rounds=10, expected_batch=30,
+            epsilon=5.0, hidden=8,
+        )
+        assert result.mechanism == "gaussian"
+        assert result.epsilon == 5.0
+        assert result.summary["achieved_epsilon"] <= 5.0 + 1e-6
+
+    def test_smm_point(self, tiny_task):
+        train, test = tiny_task
+        mechanism = SkellamMixtureMechanism(
+            CompressionConfig(modulus=2**12, gamma=64.0)
+        )
+        result = run_fl_point(
+            mechanism, train, test, rounds=10, expected_batch=30,
+            epsilon=5.0, hidden=8,
+        )
+        assert result.mechanism == "smm"
+        assert 0.0 <= result.accuracy <= 1.0
+
+    def test_same_seed_reproducible(self, tiny_task):
+        train, test = tiny_task
+        first = run_fl_point(
+            None, train, test, rounds=10, expected_batch=30, epsilon=None,
+            seed=3, hidden=8,
+        )
+        second = run_fl_point(
+            None, train, test, rounds=10, expected_batch=30, epsilon=None,
+            seed=3, hidden=8,
+        )
+        assert first.accuracy == second.accuracy
+
+
+class TestFormatAccuracyTable:
+    def test_renders_grid(self):
+        results = [
+            FlPointResult("smm", 1.0, 0.8, {}),
+            FlPointResult("smm", 3.0, 0.9, {}),
+            FlPointResult("ddg", 1.0, 0.5, {}),
+            FlPointResult("ddg", 3.0, 0.7, {}),
+        ]
+        table = format_accuracy_table(results)
+        lines = table.splitlines()
+        assert len(lines) == 3
+        assert "smm" in table and "ddg" in table
+        assert "80.0" in table and "50.0" in table
+
+    def test_missing_cells_render_nan(self):
+        results = [
+            FlPointResult("smm", 1.0, 0.8, {}),
+            FlPointResult("ddg", 3.0, 0.7, {}),
+        ]
+        table = format_accuracy_table(results)
+        assert "nan" in table

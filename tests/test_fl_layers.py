@@ -1,0 +1,137 @@
+"""Tests for the neural-network layers (repro.fl.layers)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fl.layers import (
+    DenseLayer,
+    relu,
+    relu_grad,
+    softmax,
+    softmax_cross_entropy,
+)
+
+
+class TestDenseLayer:
+    def test_forward_affine(self):
+        layer = DenseLayer(
+            weights=np.array([[1.0, 2.0], [3.0, 4.0]]), bias=np.array([10.0, 20.0])
+        )
+        output = layer.forward(np.array([[1.0, 1.0]]))
+        assert np.allclose(output, [[14.0, 26.0]])
+
+    def test_initialise_he_scale(self):
+        rng = np.random.default_rng(0)
+        layer = DenseLayer.initialise(1000, 50, rng)
+        assert layer.weights.shape == (1000, 50)
+        assert np.allclose(layer.bias, 0.0)
+        assert abs(layer.weights.std() - np.sqrt(2.0 / 1000)) < 0.005
+
+    def test_num_parameters(self):
+        layer = DenseLayer.initialise(784, 80, np.random.default_rng(0))
+        assert layer.num_parameters == 784 * 80 + 80
+
+    def test_per_example_gradients_shapes(self):
+        rng = np.random.default_rng(1)
+        layer = DenseLayer.initialise(6, 4, rng)
+        inputs = rng.normal(size=(5, 6))
+        output_grads = rng.normal(size=(5, 4))
+        w_grads, b_grads, in_grads = layer.per_example_gradients(
+            inputs, output_grads
+        )
+        assert w_grads.shape == (5, 6, 4)
+        assert b_grads.shape == (5, 4)
+        assert in_grads.shape == (5, 6)
+
+    def test_per_example_gradients_are_outer_products(self):
+        rng = np.random.default_rng(2)
+        layer = DenseLayer.initialise(3, 2, rng)
+        inputs = rng.normal(size=(4, 3))
+        output_grads = rng.normal(size=(4, 2))
+        w_grads, _, _ = layer.per_example_gradients(inputs, output_grads)
+        for b in range(4):
+            assert np.allclose(w_grads[b], np.outer(inputs[b], output_grads[b]))
+
+    def test_mean_of_per_example_matches_batch_gradient(self):
+        rng = np.random.default_rng(3)
+        layer = DenseLayer.initialise(3, 2, rng)
+        inputs = rng.normal(size=(8, 3))
+        output_grads = rng.normal(size=(8, 2))
+        w_grads, _, _ = layer.per_example_gradients(inputs, output_grads)
+        batch_grad = inputs.T @ output_grads / 8
+        assert np.allclose(w_grads.mean(axis=0), batch_grad)
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            DenseLayer(weights=np.ones((2, 3)), bias=np.ones(2))
+        with pytest.raises(ConfigurationError):
+            DenseLayer(weights=np.ones(3), bias=np.ones(3))
+
+
+class TestActivations:
+    def test_relu(self):
+        assert np.allclose(relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0])
+
+    def test_relu_grad(self):
+        assert np.allclose(
+            relu_grad(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 1.0]
+        )
+
+    def test_softmax_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        probs = softmax(rng.normal(size=(5, 10)) * 3)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert np.all(probs >= 0)
+
+    def test_softmax_shift_invariant(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_softmax_stable_for_large_logits(self):
+        probs = softmax(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_loss_of_perfect_prediction_is_small(self):
+        logits = np.array([[100.0, 0.0, 0.0]])
+        losses, _ = softmax_cross_entropy(logits, np.array([0]))
+        assert losses[0] < 1e-6
+
+    def test_loss_of_uniform_prediction(self):
+        logits = np.zeros((1, 10))
+        losses, _ = softmax_cross_entropy(logits, np.array([3]))
+        assert losses[0] == pytest.approx(np.log(10))
+
+    def test_gradient_is_probs_minus_onehot(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(4, 5))
+        labels = np.array([0, 1, 2, 3])
+        probs = softmax(logits)
+        _, grads = softmax_cross_entropy(logits, labels)
+        onehot = np.zeros((4, 5))
+        onehot[np.arange(4), labels] = 1.0
+        assert np.allclose(grads, probs - onehot)
+
+    def test_numeric_gradient_check(self):
+        rng = np.random.default_rng(2)
+        logits = rng.normal(size=(1, 4))
+        labels = np.array([2])
+        _, analytic = softmax_cross_entropy(logits, labels)
+        eps = 1e-6
+        for j in range(4):
+            bumped = logits.copy()
+            bumped[0, j] += eps
+            loss_plus, _ = softmax_cross_entropy(bumped, labels)
+            bumped[0, j] -= 2 * eps
+            loss_minus, _ = softmax_cross_entropy(bumped, labels)
+            numeric = (loss_plus[0] - loss_minus[0]) / (2 * eps)
+            assert numeric == pytest.approx(analytic[0, j], abs=1e-5)
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            softmax_cross_entropy(np.zeros(3), np.array([0]))
+        with pytest.raises(ConfigurationError):
+            softmax_cross_entropy(np.zeros((2, 3)), np.array([0]))

@@ -1,0 +1,137 @@
+"""Tests for the classification metrics module."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.fl.metrics import (
+    classification_report,
+    confusion_matrix,
+    evaluate_model,
+)
+
+
+class TestConfusionMatrix:
+    def test_perfect_predictions_are_diagonal(self):
+        labels = np.array([0, 1, 2, 1, 0])
+        matrix = confusion_matrix(labels, labels, 3)
+        np.testing.assert_array_equal(matrix, np.diag([2, 2, 1]))
+
+    def test_off_diagonal_counts(self):
+        labels = np.array([0, 0, 1])
+        predictions = np.array([1, 0, 1])
+        matrix = confusion_matrix(labels, predictions, 2)
+        np.testing.assert_array_equal(matrix, [[1, 1], [0, 1]])
+
+    def test_total_equals_sample_count(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 4, size=100)
+        predictions = rng.integers(0, 4, size=100)
+        assert confusion_matrix(labels, predictions, 4).sum() == 100
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError, match="equal-length"):
+            confusion_matrix(np.array([0, 1]), np.array([0]), 2)
+
+    def test_out_of_range_labels_rejected(self):
+        with pytest.raises(ConfigurationError, match="labels"):
+            confusion_matrix(np.array([0, 5]), np.array([0, 1]), 2)
+
+    def test_out_of_range_predictions_rejected(self):
+        with pytest.raises(ConfigurationError, match="predictions"):
+            confusion_matrix(np.array([0, 1]), np.array([0, -1]), 2)
+
+    def test_empty_inputs_allowed(self):
+        matrix = confusion_matrix(np.array([], dtype=int), np.array([], dtype=int), 3)
+        assert matrix.sum() == 0
+
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        num_classes=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=30)
+    def test_row_sums_are_class_counts(self, seed, num_classes):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, num_classes, size=50)
+        predictions = rng.integers(0, num_classes, size=50)
+        matrix = confusion_matrix(labels, predictions, num_classes)
+        np.testing.assert_array_equal(
+            matrix.sum(axis=1), np.bincount(labels, minlength=num_classes)
+        )
+
+
+class TestClassificationReport:
+    def test_perfect_classifier(self):
+        labels = np.array([0, 1, 2, 0, 1, 2])
+        report = classification_report(labels, labels, 3)
+        assert report.accuracy == 1.0
+        np.testing.assert_allclose(report.precision, 1.0)
+        np.testing.assert_allclose(report.recall, 1.0)
+        assert report.macro_f1 == 1.0
+        assert report.worst_class_recall == 1.0
+
+    def test_constant_classifier_collapses_macro_f1(self):
+        """Predicting one class keeps some accuracy but destroys macro-F1
+        — the signature of DP noise collapsing classes."""
+        labels = np.array([0] * 50 + [1] * 50)
+        predictions = np.zeros(100, dtype=int)
+        report = classification_report(labels, predictions, 2)
+        assert report.accuracy == 0.5
+        assert report.macro_f1 == pytest.approx(1 / 3)
+        assert report.worst_class_recall == 0.0
+
+    def test_known_precision_recall(self):
+        labels = np.array([0, 0, 0, 1, 1])
+        predictions = np.array([0, 0, 1, 1, 0])
+        report = classification_report(labels, predictions, 2)
+        assert report.precision[0] == pytest.approx(2 / 3)
+        assert report.recall[0] == pytest.approx(2 / 3)
+        assert report.precision[1] == pytest.approx(1 / 2)
+        assert report.recall[1] == pytest.approx(1 / 2)
+
+    def test_absent_class_has_zero_metrics(self):
+        labels = np.array([0, 0])
+        predictions = np.array([0, 0])
+        report = classification_report(labels, predictions, 3)
+        assert report.recall[2] == 0.0
+        assert report.precision[2] == 0.0
+        assert report.f1[2] == 0.0
+
+    def test_f1_is_harmonic_mean(self):
+        labels = np.array([0, 0, 0, 1])
+        predictions = np.array([0, 1, 1, 1])
+        report = classification_report(labels, predictions, 2)
+        p, r = report.precision[0], report.recall[0]
+        assert report.f1[0] == pytest.approx(2 * p * r / (p + r))
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=25)
+    def test_accuracy_matches_direct_computation(self, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 3, size=60)
+        predictions = rng.integers(0, 3, size=60)
+        report = classification_report(labels, predictions, 3)
+        assert report.accuracy == pytest.approx(
+            float(np.mean(labels == predictions))
+        )
+
+
+class TestEvaluateModel:
+    def test_with_mlp_classifier(self):
+        from repro.fl.data import mnist_surrogate
+        from repro.fl.model import MLPClassifier
+
+        rng = np.random.default_rng(3)
+        train, test = mnist_surrogate(rng, 300, 100)
+        model = MLPClassifier(
+            [train.num_features, 16, train.num_classes],
+            np.random.default_rng(4),
+        )
+        report = evaluate_model(model, test.features, test.labels)
+        assert report.matrix.sum() == test.num_records
+        assert 0.0 <= report.accuracy <= 1.0
+        assert report.accuracy == pytest.approx(
+            model.accuracy(test.features, test.labels)
+        )

@@ -1,0 +1,133 @@
+"""Tests for the MLP classifier (repro.fl.model)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fl.model import MLPClassifier, paper_mlp
+
+
+@pytest.fixture
+def small_model():
+    return MLPClassifier([6, 5, 4, 3], np.random.default_rng(0))
+
+
+class TestConstruction:
+    def test_paper_architecture_parameter_count(self):
+        # Section 6.2: d = 63,610 with 80 neurons per layer.
+        model = paper_mlp(np.random.default_rng(0))
+        assert model.num_parameters == 63_610
+
+    def test_layer_count(self, small_model):
+        assert len(small_model.layers) == 3
+
+    def test_rejects_single_size(self):
+        with pytest.raises(ConfigurationError):
+            MLPClassifier([10], np.random.default_rng(0))
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ConfigurationError):
+            MLPClassifier([10, 0, 2], np.random.default_rng(0))
+
+
+class TestForward:
+    def test_logit_shape(self, small_model):
+        inputs = np.random.default_rng(1).normal(size=(7, 6))
+        assert small_model.forward(inputs).shape == (7, 3)
+
+    def test_predict_labels_in_range(self, small_model):
+        inputs = np.random.default_rng(2).normal(size=(20, 6))
+        predictions = small_model.predict(inputs)
+        assert predictions.min() >= 0
+        assert predictions.max() <= 2
+
+    def test_probabilities_normalised(self, small_model):
+        inputs = np.random.default_rng(3).normal(size=(5, 6))
+        assert np.allclose(small_model.probabilities(inputs).sum(axis=1), 1.0)
+
+    def test_accuracy_bounds(self, small_model):
+        rng = np.random.default_rng(4)
+        inputs = rng.normal(size=(30, 6))
+        labels = rng.integers(0, 3, size=30)
+        assert 0.0 <= small_model.accuracy(inputs, labels) <= 1.0
+
+
+class TestFlatParameters:
+    def test_roundtrip(self, small_model):
+        flat = small_model.get_flat_parameters()
+        assert flat.shape == (small_model.num_parameters,)
+        modified = flat + 0.5
+        small_model.set_flat_parameters(modified)
+        assert np.allclose(small_model.get_flat_parameters(), modified)
+
+    def test_set_changes_forward(self, small_model):
+        inputs = np.random.default_rng(5).normal(size=(3, 6))
+        before = small_model.forward(inputs)
+        small_model.set_flat_parameters(
+            small_model.get_flat_parameters() * 2.0
+        )
+        after = small_model.forward(inputs)
+        assert not np.allclose(before, after)
+
+    def test_wrong_size_rejected(self, small_model):
+        with pytest.raises(ConfigurationError):
+            small_model.set_flat_parameters(np.zeros(3))
+
+
+class TestPerExampleGradients:
+    def test_shape(self, small_model):
+        rng = np.random.default_rng(6)
+        inputs = rng.normal(size=(9, 6))
+        labels = rng.integers(0, 3, size=9)
+        grads = small_model.per_example_gradients(inputs, labels)
+        assert grads.shape == (9, small_model.num_parameters)
+
+    def test_numeric_gradient_check(self, small_model):
+        rng = np.random.default_rng(7)
+        inputs = rng.normal(size=(3, 6))
+        labels = np.array([0, 1, 2])
+        analytic = small_model.per_example_gradients(inputs, labels)
+        flat = small_model.get_flat_parameters()
+        eps = 1e-6
+        indices = rng.integers(0, small_model.num_parameters, size=12)
+        for index in indices:
+            bumped = flat.copy()
+            bumped[index] += eps
+            small_model.set_flat_parameters(bumped)
+            loss_plus = np.array(
+                [
+                    small_model.loss(inputs[b : b + 1], labels[b : b + 1])
+                    for b in range(3)
+                ]
+            )
+            bumped[index] -= 2 * eps
+            small_model.set_flat_parameters(bumped)
+            loss_minus = np.array(
+                [
+                    small_model.loss(inputs[b : b + 1], labels[b : b + 1])
+                    for b in range(3)
+                ]
+            )
+            small_model.set_flat_parameters(flat)
+            numeric = (loss_plus - loss_minus) / (2 * eps)
+            assert np.allclose(numeric, analytic[:, index], atol=1e-5)
+
+    def test_mean_gradient_consistency(self, small_model):
+        rng = np.random.default_rng(8)
+        inputs = rng.normal(size=(5, 6))
+        labels = rng.integers(0, 3, size=5)
+        per_example = small_model.per_example_gradients(inputs, labels)
+        mean = small_model.mean_gradient(inputs, labels)
+        assert np.allclose(mean, per_example.mean(axis=0))
+
+    def test_gradient_descent_reduces_loss(self, small_model):
+        rng = np.random.default_rng(9)
+        inputs = rng.normal(size=(20, 6))
+        labels = rng.integers(0, 3, size=20)
+        initial_loss = small_model.loss(inputs, labels)
+        for _ in range(30):
+            gradient = small_model.mean_gradient(inputs, labels)
+            small_model.set_flat_parameters(
+                small_model.get_flat_parameters() - 0.5 * gradient
+            )
+        assert small_model.loss(inputs, labels) < initial_loss

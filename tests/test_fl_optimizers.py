@@ -1,0 +1,81 @@
+"""Tests for the server-side optimisers (repro.fl.optimizers)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fl.optimizers import Adam, Sgd, make_optimizer
+
+
+class TestSgd:
+    def test_single_step(self):
+        optimizer = Sgd(learning_rate=0.1)
+        updated = optimizer.step(np.array([1.0, 2.0]), np.array([1.0, -1.0]))
+        assert np.allclose(updated, [0.9, 2.1])
+
+    def test_momentum_accumulates(self):
+        optimizer = Sgd(learning_rate=0.1, momentum=0.9)
+        params = np.array([0.0])
+        gradient = np.array([1.0])
+        params = optimizer.step(params, gradient)  # v = 1, step 0.1
+        params = optimizer.step(params, gradient)  # v = 1.9, step 0.19
+        assert params[0] == pytest.approx(-0.29)
+
+    def test_rejects_bad_learning_rate(self):
+        with pytest.raises(ConfigurationError):
+            Sgd(learning_rate=0.0)
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ConfigurationError):
+            Sgd(learning_rate=0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_first_step_size_is_learning_rate(self):
+        # With bias correction, |first step| ~ lr regardless of scale.
+        optimizer = Adam(learning_rate=0.01)
+        updated = optimizer.step(np.zeros(3), np.array([1e-4, 1.0, 1e4]))
+        assert np.allclose(np.abs(updated), 0.01, rtol=1e-3)
+
+    def test_converges_on_quadratic(self):
+        optimizer = Adam(learning_rate=0.1)
+        params = np.array([5.0, -3.0])
+        for _ in range(500):
+            params = optimizer.step(params, 2.0 * params)  # grad of ||x||^2
+        assert np.abs(params).max() < 0.05
+
+    def test_descends_faster_than_sgd_on_ill_conditioned(self):
+        # Quadratic with condition number 1e4.
+        scales = np.array([1.0, 1e4])
+
+        def grad(x):
+            return 2.0 * scales * x
+
+        adam_params = np.array([1.0, 1.0])
+        adam = Adam(learning_rate=0.05)
+        sgd_params = np.array([1.0, 1.0])
+        sgd = Sgd(learning_rate=5e-5)  # largest stable lr ~ 1/1e4
+        for _ in range(200):
+            adam_params = adam.step(adam_params, grad(adam_params))
+            sgd_params = sgd.step(sgd_params, grad(sgd_params))
+        adam_loss = float(np.sum(scales * adam_params**2))
+        sgd_loss = float(np.sum(scales * sgd_params**2))
+        assert adam_loss < sgd_loss
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(ConfigurationError):
+            Adam(learning_rate=0.1, beta1=1.0)
+        with pytest.raises(ConfigurationError):
+            Adam(learning_rate=0.1, beta2=-0.1)
+
+
+class TestMakeOptimizer:
+    def test_builds_adam(self):
+        assert isinstance(make_optimizer("adam", 0.005), Adam)
+
+    def test_builds_sgd(self):
+        assert isinstance(make_optimizer("sgd", 0.1), Sgd)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_optimizer("rmsprop", 0.1)

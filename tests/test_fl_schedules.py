@@ -1,0 +1,125 @@
+"""Tests for the server-side learning-rate schedules."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.fl.schedules import (
+    ConstantSchedule,
+    CosineAnnealing,
+    LinearWarmup,
+    StepDecay,
+    make_schedule,
+)
+
+
+class TestConstant:
+    def test_rate_never_changes(self):
+        schedule = ConstantSchedule(0.005)
+        assert schedule.rate(1) == schedule.rate(1000) == 0.005
+
+    def test_invalid_base_rate_rejected(self):
+        with pytest.raises(ConfigurationError, match="base_rate"):
+            ConstantSchedule(0.0)
+
+    def test_invalid_round_rejected(self):
+        with pytest.raises(ConfigurationError, match="round_index"):
+            ConstantSchedule(0.1).rate(0)
+
+
+class TestStepDecay:
+    def test_first_period_at_base_rate(self):
+        schedule = StepDecay(1.0, period=10, factor=0.5)
+        assert schedule.rate(1) == schedule.rate(10) == 1.0
+
+    def test_decays_at_period_boundary(self):
+        schedule = StepDecay(1.0, period=10, factor=0.5)
+        assert schedule.rate(11) == 0.5
+        assert schedule.rate(21) == 0.25
+
+    def test_factor_one_is_constant(self):
+        schedule = StepDecay(0.7, period=5, factor=1.0)
+        assert schedule.rate(100) == 0.7
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ConfigurationError, match="period"):
+            StepDecay(1.0, period=0)
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ConfigurationError, match="factor"):
+            StepDecay(1.0, period=5, factor=1.5)
+
+
+class TestCosine:
+    def test_starts_at_base_and_ends_at_floor(self):
+        schedule = CosineAnnealing(1.0, total_rounds=100, floor_rate=0.1)
+        assert schedule.rate(1) == pytest.approx(1.0)
+        assert schedule.rate(100) == pytest.approx(0.1)
+
+    def test_midpoint_is_mean(self):
+        schedule = CosineAnnealing(1.0, total_rounds=101, floor_rate=0.0)
+        assert schedule.rate(51) == pytest.approx(0.5)
+
+    def test_clamps_beyond_total_rounds(self):
+        schedule = CosineAnnealing(1.0, total_rounds=10)
+        assert schedule.rate(50) == pytest.approx(schedule.rate(10))
+
+    def test_single_round_schedule(self):
+        schedule = CosineAnnealing(0.3, total_rounds=1)
+        assert schedule.rate(1) == pytest.approx(0.3)
+
+    def test_invalid_floor_rejected(self):
+        with pytest.raises(ConfigurationError, match="floor_rate"):
+            CosineAnnealing(1.0, total_rounds=10, floor_rate=2.0)
+
+    @given(round_index=st.integers(min_value=1, max_value=200))
+    @settings(max_examples=40)
+    def test_monotone_nonincreasing(self, round_index):
+        schedule = CosineAnnealing(1.0, total_rounds=200)
+        assert (
+            schedule.rate(round_index + 1) <= schedule.rate(round_index) + 1e-12
+        )
+
+
+class TestWarmup:
+    def test_ramps_linearly(self):
+        schedule = LinearWarmup(ConstantSchedule(1.0), warmup_rounds=4)
+        assert schedule.rate(1) == pytest.approx(0.25)
+        assert schedule.rate(2) == pytest.approx(0.5)
+        assert schedule.rate(4) == pytest.approx(1.0)
+
+    def test_follows_inner_after_warmup(self):
+        inner = StepDecay(1.0, period=10, factor=0.5)
+        schedule = LinearWarmup(inner, warmup_rounds=2)
+        assert schedule.rate(15) == inner.rate(15)
+
+    def test_invalid_warmup_rejected(self):
+        with pytest.raises(ConfigurationError, match="warmup"):
+            LinearWarmup(ConstantSchedule(1.0), warmup_rounds=0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name", ["constant", "step", "cosine", "warmup-cosine"]
+    )
+    def test_known_names_build(self, name):
+        schedule = make_schedule(name, 0.01, 100)
+        rate = schedule.rate(50)
+        assert 0 < rate <= 0.01 + 1e-12
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown schedule"):
+            make_schedule("polynomial", 0.01, 100)
+
+    def test_warmup_cosine_starts_low(self):
+        schedule = make_schedule("warmup-cosine", 1.0, 100)
+        assert schedule.rate(1) < 0.5
+
+    def test_all_rates_finite_over_run(self):
+        for name in ("constant", "step", "cosine", "warmup-cosine"):
+            schedule = make_schedule(name, 0.005, 50)
+            for round_index in range(1, 51):
+                assert math.isfinite(schedule.rate(round_index))

@@ -1,0 +1,190 @@
+"""Tests for the Mironov floating-point attack demonstration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.floating_point import (
+    attack_success_rate,
+    integer_mechanism_support,
+    mironov_distinguisher,
+    porous_support,
+    quantize,
+    round_to_precision,
+)
+from repro.errors import ConfigurationError
+
+
+class TestQuantize:
+    def test_exact_multiples_fixed(self):
+        assert quantize(0.5, 2.0**-10) == 0.5
+
+    def test_rounds_to_nearest(self):
+        grid = 0.25
+        assert quantize(0.3, grid) == 0.25
+        assert quantize(0.4, grid) == 0.5
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ConfigurationError, match="grid"):
+            quantize(1.0, 0.0)
+
+    @given(value=st.floats(min_value=-100, max_value=100))
+    @settings(max_examples=50)
+    def test_idempotent(self, value):
+        grid = 2.0**-8
+        assert quantize(quantize(value, grid), grid) == quantize(value, grid)
+
+
+class TestRoundToPrecision:
+    def test_zero_is_fixed(self):
+        assert round_to_precision(0.0, 8) == 0.0
+
+    def test_doubles_are_fixed_at_53_bits(self):
+        # IEEE doubles carry 53 significand bits (52 explicit + 1 implicit).
+        assert round_to_precision(1.0 / 3.0, 53) == 1.0 / 3.0
+
+    def test_rounds_mantissa(self):
+        # 1/3 at 2 mantissa bits: mantissa 0.666... -> 0.75, value 0.375?
+        # frexp(1/3) = (0.666..., -1); round(0.6667 * 4)/4 = 0.75 -> 0.375.
+        assert round_to_precision(1.0 / 3.0, 2) == 0.375
+
+    def test_grid_scales_with_magnitude(self):
+        """The defining float property: large values round coarsely."""
+        bits = 8
+        small = round_to_precision(1.0 + 2.0**-7, bits)
+        large = round_to_precision(1024.0 + 2.0**-7, bits)
+        assert small != 1.0  # a 2^-7 step is representable near 1.0 ...
+        assert large == 1024.0  # ... but rounds away near 1024
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ConfigurationError, match="bits"):
+            round_to_precision(1.0, 0)
+
+    @given(value=st.floats(min_value=-1e6, max_value=1e6))
+    @settings(max_examples=50)
+    def test_idempotent(self, value):
+        once = round_to_precision(value, 10)
+        assert round_to_precision(once, 10) == once
+
+    @given(
+        value=st.floats(min_value=1e-3, max_value=1e6),
+        bits=st.integers(min_value=4, max_value=20),
+    )
+    @settings(max_examples=50)
+    def test_relative_error_bounded(self, value, bits):
+        rounded = round_to_precision(value, bits)
+        assert abs(rounded - value) <= value * 2.0 ** (-bits)
+
+
+class TestPorousSupport:
+    def test_support_is_finite_and_sparse(self):
+        support = porous_support(0.0, scale=1.0, uniform_points=512)
+        # At most 2 * 511 distinct outputs from 511 uniform points.
+        assert 0 < len(support) <= 2 * 511
+
+    def test_support_depends_on_answer(self):
+        """The heart of the attack: different answers reach mostly
+        different output sets."""
+        s0 = porous_support(0.0, scale=1.0, uniform_points=512)
+        s1 = porous_support(1.0 / 3.0, scale=1.0, uniform_points=512)
+        only_zero = s0 - s1
+        only_one = s1 - s0
+        assert len(only_zero) > 0.5 * len(s0)
+        assert len(only_one) > 0.5 * len(s1)
+
+    def test_power_of_two_scaling_preserves_support_shape(self):
+        """Mantissa rounding is exactly scale-invariant under powers of
+        two, so doubling (answer, scale) doubles every reachable value."""
+        s1 = porous_support(1.0, 1.0, 256)
+        s2 = porous_support(2.0, 2.0, 256)
+        assert frozenset(2.0 * v for v in s1) == s2
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigurationError, match="scale"):
+            porous_support(0.0, scale=-1.0)
+
+    def test_too_few_uniform_points_rejected(self):
+        with pytest.raises(ConfigurationError, match="uniform"):
+            porous_support(0.0, scale=1.0, uniform_points=1)
+
+
+class TestDistinguisher:
+    def test_unique_membership_identifies_answer(self):
+        s0 = frozenset({0.0, 1.0})
+        s1 = frozenset({1.0, 2.0})
+        assert mironov_distinguisher(0.0, s0, s1) == 0
+        assert mironov_distinguisher(2.0, s0, s1) == 1
+
+    def test_shared_membership_is_inconclusive(self):
+        s0 = frozenset({0.0, 1.0})
+        s1 = frozenset({1.0, 2.0})
+        assert mironov_distinguisher(1.0, s0, s1) is None
+
+    def test_unreachable_output_is_inconclusive(self):
+        s0 = frozenset({0.0})
+        s1 = frozenset({1.0})
+        assert mironov_distinguisher(5.0, s0, s1) is None
+
+
+class TestAttack:
+    def test_attack_breaks_float_mechanism(self):
+        """A single observation identifies the answer almost always —
+        the Mironov phenomenon (privacy failure despite 'DP' noise)."""
+        report = attack_success_rate(
+            scale=1.0,
+            rng=np.random.default_rng(0),
+            trials=400,
+            answers=(0.0, 1.0 / 3.0),
+            uniform_points=512,
+        )
+        assert report.errors == 0
+        assert report.success_rate > 0.8
+
+    def test_attack_never_wrong(self):
+        """Support membership cannot produce a false identification."""
+        for seed in range(3):
+            report = attack_success_rate(
+                scale=0.5,
+                rng=np.random.default_rng(seed),
+                trials=200,
+                answers=(0.0, np.pi / 10),
+                uniform_points=256,
+            )
+            assert report.errors == 0
+
+    def test_success_rate_zero_trials(self):
+        report = attack_success_rate(
+            scale=1.0,
+            rng=np.random.default_rng(1),
+            trials=0,
+            uniform_points=128,
+        )
+        assert report.success_rate == 0.0
+
+    def test_integer_mechanism_is_immune(self):
+        """Integer noise with full-range support: translated supports
+        coincide on the bulk, so the distinguisher stays inconclusive."""
+        noise = np.arange(-100, 101)  # truncated Skellam support
+        s0 = integer_mechanism_support(0, noise)
+        s1 = integer_mechanism_support(1, noise)
+        rng = np.random.default_rng(7)
+        inconclusive = 0
+        trials = 300
+        for _ in range(trials):
+            secret = int(rng.integers(0, 2))
+            # Any output in the overlap region (all but the extreme edge).
+            observed = secret + int(rng.integers(-99, 100))
+            if mironov_distinguisher(observed, s0, s1) is None:
+                inconclusive += 1
+        assert inconclusive == trials
+
+    def test_integer_support_requires_integers(self):
+        with pytest.raises(ConfigurationError, match="integer"):
+            integer_mechanism_support(0, np.array([0.5, 1.5]))
+
+    def test_integer_support_is_translate(self):
+        noise = np.arange(-3, 4)
+        s0 = integer_mechanism_support(0, noise)
+        s5 = integer_mechanism_support(5, noise)
+        assert s5 == frozenset(v + 5 for v in s0)

@@ -1,0 +1,125 @@
+"""Cross-module integration tests.
+
+These verify end-to-end properties that no single module can check in
+isolation: the empirical error of a calibrated pipeline against the
+paper's utility formula (Corollary 2), exact-vs-fast sampler agreement,
+and the public API surface.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+from scipy import stats
+
+import repro
+from repro.config import CompressionConfig, PrivacyBudget
+from repro.core.calibration import AccountingSpec
+from repro.mechanisms import InputSpec, SkellamMixtureMechanism
+from repro.sampling.fast import skellam_noise
+from repro.sampling.skellam import ExactSkellamSampler
+from repro.sumestimation.datasets import sample_sphere
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_docstring_flow(self):
+        # The module docstring's quickstart must actually run.
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=(50, 128))
+        values /= np.linalg.norm(values, axis=1, keepdims=True)
+        mechanism = repro.SkellamMixtureMechanism(
+            repro.CompressionConfig(modulus=2**14, gamma=64.0)
+        )
+        mechanism.calibrate(
+            repro.InputSpec(num_participants=50, dimension=128),
+            repro.AccountingSpec(budget=repro.PrivacyBudget(epsilon=3.0)),
+        )
+        estimate = mechanism.estimate_sum(values, rng)
+        assert estimate.shape == (128,)
+
+
+class TestSmmErrorMatchesCorollary2:
+    def test_empirical_vs_theoretical_error(self):
+        # Calibrate SMM on a wide pipe, then compare the measured
+        # per-dimension mse with the Corollary 2 decomposition:
+        # (noise variance 2 n lam + Bernoulli variance) / gamma^2 / d,
+        # all expressed back in the un-scaled domain.
+        rng = np.random.default_rng(1)
+        n, d = 30, 256
+        values = sample_sphere(n, d, rng)
+        compression = CompressionConfig(modulus=2**18, gamma=256.0)
+        mechanism = SkellamMixtureMechanism(compression)
+        mechanism.calibrate(
+            InputSpec(num_participants=n, dimension=d),
+            AccountingSpec(budget=PrivacyBudget(epsilon=3.0)),
+        )
+        truth = values.sum(axis=0)
+        squared_errors = []
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            for _ in range(40):
+                estimate = mechanism.estimate_sum(values, rng)
+                squared_errors.append(np.mean((estimate - truth) ** 2))
+        measured = float(np.mean(squared_errors))
+        padded = mechanism.spec.padded_dimension
+        skellam_var = 2.0 * n * mechanism.lam
+        bernoulli_var_worst = n / 4.0
+        predicted_upper = (skellam_var + bernoulli_var_worst) / compression.gamma**2
+        predicted_lower = skellam_var / compression.gamma**2
+        # Padded coordinates carry noise that folds back into d dims.
+        predicted_upper *= padded / d
+        predicted_lower *= 0.9 * padded / d
+        assert predicted_lower * 0.7 < measured < predicted_upper * 1.3
+
+
+class TestExactVsFastSamplers:
+    def test_same_distribution_two_sample(self):
+        # Two-sample chi-square: exact sampler vs vectorised sampler.
+        lam = 2.0
+        exact = np.array(ExactSkellamSampler(lam=2, seed=0).sample_many(8000))
+        fast = skellam_noise(lam, 8000, np.random.default_rng(1))
+        cutoff = 6
+        bins = np.arange(-cutoff, cutoff + 2)
+        exact_counts, _ = np.histogram(np.clip(exact, -cutoff, cutoff), bins)
+        fast_counts, _ = np.histogram(np.clip(fast, -cutoff, cutoff), bins)
+        totals = exact_counts + fast_counts
+        mask = totals > 10
+        expected_exact = totals[mask] / 2.0
+        chi_square = float(
+            (
+                (exact_counts[mask] - expected_exact) ** 2 / expected_exact
+                + (fast_counts[mask] - expected_exact) ** 2 / expected_exact
+            ).sum()
+        )
+        # dof ~ 12; 0.999 quantile ~32.9.
+        assert chi_square < 40.0
+
+    def test_moments_agree(self):
+        exact = np.array(ExactSkellamSampler(lam=4, seed=2).sample_many(5000))
+        fast = skellam_noise(4.0, 5000, np.random.default_rng(3))
+        assert abs(exact.var() - fast.var()) < 0.5
+
+
+class TestDistributionalSanity:
+    def test_aggregate_skellam_additivity(self):
+        # Sum of n Skellam(lam) variates is Skellam(n lam) — the property
+        # underpinning the distributed accounting (Section 2.1).
+        rng = np.random.default_rng(4)
+        n, lam = 16, 0.5
+        sums = skellam_noise(lam, (4000, n), rng).sum(axis=1)
+        ks = np.arange(-15, 16)
+        probs = stats.skellam.pmf(ks, n * lam, n * lam)
+        counts = np.array([(sums == k).sum() for k in ks])
+        expected = probs * len(sums)
+        mask = expected > 5
+        chi_square = float(
+            ((counts[mask] - expected[mask]) ** 2 / expected[mask]).sum()
+        )
+        assert chi_square < 52.0  # dof ~22, 0.999 quantile

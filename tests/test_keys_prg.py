@@ -1,0 +1,177 @@
+"""Tests for DH key agreement and the deterministic mask PRG."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.secagg.keys import (
+    OAKLEY_GROUP_2_PRIME,
+    TOY_GROUP,
+    DhGroup,
+    KeyPair,
+    agree,
+    generate_keypair,
+)
+from repro.secagg.prg import expand_mask, pairwise_delta
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestDhGroup:
+    def test_oakley_prime_has_expected_size(self):
+        assert OAKLEY_GROUP_2_PRIME.bit_length() == 1024
+
+    def test_default_group_is_oakley(self):
+        group = DhGroup()
+        assert group.prime == OAKLEY_GROUP_2_PRIME
+        assert group.generator == 2
+
+    def test_composite_modulus_rejected(self):
+        with pytest.raises(ConfigurationError, match="prime"):
+            DhGroup(prime=2**61, generator=3)
+
+    def test_generator_bounds_enforced(self):
+        with pytest.raises(ConfigurationError, match="generator"):
+            DhGroup(prime=101, generator=1)
+        with pytest.raises(ConfigurationError, match="generator"):
+            DhGroup(prime=101, generator=101)
+
+
+class TestKeyAgreement:
+    def test_keypair_consistency_enforced(self):
+        with pytest.raises(ConfigurationError, match="public key"):
+            KeyPair(private=5, public=7, group=TOY_GROUP)
+
+    def test_agreement_is_symmetric(self, rng):
+        alice = generate_keypair(rng, TOY_GROUP)
+        bob = generate_keypair(rng, TOY_GROUP)
+        assert agree(alice.private, bob.public, TOY_GROUP) == agree(
+            bob.private, alice.public, TOY_GROUP
+        )
+
+    def test_agreement_symmetric_in_full_size_group(self, rng):
+        group = DhGroup()
+        alice = generate_keypair(rng, group)
+        bob = generate_keypair(rng, group)
+        assert agree(alice.private, bob.public, group) == agree(
+            bob.private, alice.public, group
+        )
+
+    def test_derived_key_is_32_bytes(self, rng):
+        alice = generate_keypair(rng, TOY_GROUP)
+        bob = generate_keypair(rng, TOY_GROUP)
+        assert len(agree(alice.private, bob.public, TOY_GROUP)) == 32
+
+    def test_distinct_pairs_get_distinct_keys(self, rng):
+        alice, bob, carol = (
+            generate_keypair(rng, TOY_GROUP) for _ in range(3)
+        )
+        ab = agree(alice.private, bob.public, TOY_GROUP)
+        ac = agree(alice.private, carol.public, TOY_GROUP)
+        assert ab != ac
+
+    def test_identity_public_key_rejected(self, rng):
+        alice = generate_keypair(rng, TOY_GROUP)
+        with pytest.raises(ConfigurationError, match="peer public"):
+            agree(alice.private, 1, TOY_GROUP)
+
+    def test_out_of_group_public_key_rejected(self, rng):
+        alice = generate_keypair(rng, TOY_GROUP)
+        with pytest.raises(ConfigurationError):
+            agree(alice.private, TOY_GROUP.prime, TOY_GROUP)
+
+    def test_keypairs_are_fresh(self, rng):
+        first = generate_keypair(rng, TOY_GROUP)
+        second = generate_keypair(rng, TOY_GROUP)
+        assert first.private != second.private
+
+    def test_private_exponent_covers_large_group(self, rng):
+        """Private keys in the 1024-bit group must exceed 63 bits —
+        a regression guard for limb-wise sampling."""
+        group = DhGroup()
+        pairs = [generate_keypair(rng, group) for _ in range(8)]
+        assert max(pair.private.bit_length() for pair in pairs) > 100
+
+
+class TestExpandMask:
+    def test_deterministic(self):
+        a = expand_mask(b"seed", 64, 2**16)
+        b = expand_mask(b"seed", 64, 2**16)
+        np.testing.assert_array_equal(a, b)
+
+    def test_distinct_seeds_differ(self):
+        a = expand_mask(b"seed-a", 64, 2**16)
+        b = expand_mask(b"seed-b", 64, 2**16)
+        assert not np.array_equal(a, b)
+
+    def test_range_power_of_two(self):
+        mask = expand_mask(b"x", 1000, 256)
+        assert mask.min() >= 0 and mask.max() < 256
+
+    def test_range_general_modulus(self):
+        mask = expand_mask(b"x", 1000, 1000)
+        assert mask.min() >= 0 and mask.max() < 1000
+
+    def test_prefix_stability(self):
+        """Longer expansions of the same seed extend shorter ones."""
+        short = expand_mask(b"s", 10, 2**20)
+        long = expand_mask(b"s", 50, 2**20)
+        np.testing.assert_array_equal(short, long[:10])
+
+    def test_zero_dimension(self):
+        assert expand_mask(b"s", 0, 256).shape == (0,)
+
+    def test_bad_modulus_rejected(self):
+        with pytest.raises(ConfigurationError, match="modulus"):
+            expand_mask(b"s", 4, 1)
+
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(ConfigurationError, match="dimension"):
+            expand_mask(b"s", -1, 256)
+
+    def test_uniformity_power_of_two(self):
+        mask = expand_mask(b"uniformity", 200_000, 8)
+        counts = np.bincount(mask, minlength=8)
+        # Chi-square against uniform: 7 dof, 99.9% quantile ~ 24.3.
+        expected = len(mask) / 8
+        chi2 = float(((counts - expected) ** 2 / expected).sum())
+        assert chi2 < 30
+
+    def test_uniformity_general_modulus(self):
+        mask = expand_mask(b"uniformity", 120_000, 6)
+        counts = np.bincount(mask, minlength=6)
+        expected = len(mask) / 6
+        chi2 = float(((counts - expected) ** 2 / expected).sum())
+        assert chi2 < 25
+
+    @given(
+        modulus=st.integers(min_value=2, max_value=2**20),
+        dimension=st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_range_property(self, modulus, dimension):
+        mask = expand_mask(b"prop", dimension, modulus)
+        assert mask.shape == (dimension,)
+        if dimension:
+            assert mask.min() >= 0 and mask.max() < modulus
+
+
+class TestPairwiseDelta:
+    def test_signs_cancel(self):
+        plus = pairwise_delta(b"shared", 128, 2**12, sign=1)
+        minus = pairwise_delta(b"shared", 128, 2**12, sign=-1)
+        np.testing.assert_array_equal(np.mod(plus + minus, 2**12), 0)
+
+    def test_invalid_sign_rejected(self):
+        with pytest.raises(ConfigurationError, match="sign"):
+            pairwise_delta(b"s", 4, 256, sign=0)
+
+    def test_positive_delta_is_raw_mask(self):
+        np.testing.assert_array_equal(
+            pairwise_delta(b"s", 16, 256, sign=1), expand_mask(b"s", 16, 256)
+        )

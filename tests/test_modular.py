@@ -1,0 +1,84 @@
+"""Tests for the modular wraparound codec (repro.linalg.modular)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.linalg.modular import decode_centered, encode_mod, wraps_around
+
+
+class TestEncodeMod:
+    def test_range(self):
+        values = np.array([-300, -1, 0, 1, 300])
+        encoded = encode_mod(values, 256)
+        assert encoded.min() >= 0
+        assert encoded.max() < 256
+
+    def test_negative_values_wrap(self):
+        assert np.array_equal(encode_mod(np.array([-1]), 256), [255])
+        assert np.array_equal(encode_mod(np.array([-128]), 256), [128])
+
+    def test_odd_modulus_rejected(self):
+        with pytest.raises(ConfigurationError):
+            encode_mod(np.array([1]), 7)
+
+
+class TestDecodeCentered:
+    def test_positive_half_unchanged(self):
+        residues = np.arange(0, 128)
+        assert np.array_equal(decode_centered(residues, 256), residues)
+
+    def test_negative_half_shifts(self):
+        # Values m/2..m-1 map to -m/2..-1 (line 1 of Algorithm 6).
+        residues = np.arange(128, 256)
+        decoded = decode_centered(residues, 256)
+        assert np.array_equal(decoded, residues - 256)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            decode_centered(np.array([256]), 256)
+        with pytest.raises(ConfigurationError):
+            decode_centered(np.array([-1]), 256)
+
+    def test_empty_array(self):
+        assert decode_centered(np.array([], dtype=np.int64), 256).size == 0
+
+
+class TestRoundtrip:
+    def test_exact_recovery_in_centered_range(self):
+        values = np.arange(-128, 128)
+        assert np.array_equal(
+            decode_centered(encode_mod(values, 256), 256), values
+        )
+
+    def test_wraparound_outside_range(self):
+        # 130 is outside [-128, 128) so it comes back as 130 - 256.
+        assert decode_centered(encode_mod(np.array([130]), 256), 256)[0] == -126
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=-10**9, max_value=10**9), min_size=1),
+        st.integers(min_value=1, max_value=15),
+    )
+    def test_property_roundtrip_iff_in_range(self, values, log_modulus):
+        modulus = 2**log_modulus
+        array = np.array(values, dtype=np.int64)
+        decoded = decode_centered(encode_mod(array, modulus), modulus)
+        half = modulus // 2
+        in_range = (array >= -half) & (array < half)
+        assert np.array_equal(decoded[in_range], array[in_range])
+        # All decoded values are congruent to the originals mod m.
+        assert np.all((decoded - array) % modulus == 0)
+
+
+class TestWrapsAround:
+    def test_within_range(self):
+        assert not wraps_around(np.array([-128, 127]), 256)
+
+    def test_above_range(self):
+        assert wraps_around(np.array([128]), 256)
+
+    def test_below_range(self):
+        assert wraps_around(np.array([-129]), 256)

@@ -1,0 +1,183 @@
+"""Numerical validation of Theorems 3 and 5 against exact divergences."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.numerical import (
+    bound_tightness,
+    exact_skellam_divergence,
+    exact_smm_divergence,
+    gaussian_reference_divergence,
+    numerical_renyi_divergence,
+    theorem3_bound,
+    theorem5_bound,
+)
+from repro.errors import PrivacyAccountingError
+
+
+class TestNumericalDivergence:
+    def test_identical_distributions_have_zero_divergence(self):
+        p = np.array([0.25, 0.5, 0.25])
+        assert numerical_renyi_divergence(p, p, 2.0) == pytest.approx(0.0)
+
+    def test_disjoint_support_is_infinite(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert numerical_renyi_divergence(p, q, 2.0) == math.inf
+
+    def test_known_bernoulli_value(self):
+        """D_2(Bern(3/4) || Bern(1/4)) = log(9/4 * ... ) computed by hand:
+        sum p^2/q = (0.75^2/0.25 + 0.25^2/0.75) = 2.25 + 1/12."""
+        p = np.array([0.75, 0.25])
+        q = np.array([0.25, 0.75])
+        expected = math.log(0.75**2 / 0.25 + 0.25**2 / 0.75)
+        assert numerical_renyi_divergence(p, q, 2.0) == pytest.approx(expected)
+
+    def test_order_must_exceed_one(self):
+        p = np.array([1.0])
+        with pytest.raises(PrivacyAccountingError, match="order"):
+            numerical_renyi_divergence(p, p, 1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(PrivacyAccountingError, match="shapes"):
+            numerical_renyi_divergence(
+                np.array([1.0]), np.array([0.5, 0.5]), 2.0
+            )
+
+    @given(
+        alpha_low=st.floats(min_value=1.1, max_value=5.0),
+        gap=st.floats(min_value=0.1, max_value=5.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_order(self, alpha_low, gap):
+        """Renyi divergence is non-decreasing in alpha."""
+        p = np.array([0.6, 0.3, 0.1])
+        q = np.array([0.2, 0.3, 0.5])
+        low = numerical_renyi_divergence(p, q, alpha_low)
+        high = numerical_renyi_divergence(p, q, alpha_low + gap)
+        assert high >= low - 1e-12
+
+    def test_zero_shift_skellam_divergence_is_zero(self):
+        assert exact_skellam_divergence(0, 20.0, 3.0) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+
+class TestTheorem3:
+    @pytest.mark.parametrize("shift", [1, 2, 3, 5])
+    @pytest.mark.parametrize("total_lambda", [10.0, 40.0, 160.0])
+    @pytest.mark.parametrize("alpha", [2.0, 4.0, 8.0])
+    def test_bound_dominates_exact(self, shift, total_lambda, alpha):
+        """Theorem 3 must upper-bound the exact divergence everywhere the
+        theorem's precondition alpha < 2 lam / s + 1 holds."""
+        if not alpha < 2 * total_lambda / shift + 1:
+            pytest.skip("outside the theorem's validity range")
+        exact = exact_skellam_divergence(shift, total_lambda, alpha)
+        assert exact <= theorem3_bound(shift, total_lambda, alpha) + 1e-12
+
+    def test_bound_within_constant_factor_at_large_lambda(self):
+        """At lam >> s^2 the Skellam is near-Gaussian, so the bound's
+        (1.09 a + 0.91)/2 constant should be within ~2.2x of exact."""
+        exact = exact_skellam_divergence(2, 400.0, 4.0)
+        bound = theorem3_bound(2, 400.0, 4.0)
+        assert 1.0 <= bound / exact < 2.2
+
+    def test_exact_approaches_gaussian_at_large_lambda(self):
+        """Sk(lam) -> N(0, 2 lam): exact divergence must approach
+        alpha s^2 / (2 * 2 lam)."""
+        shift, lam, alpha = 3, 2000.0, 2.0
+        exact = exact_skellam_divergence(shift, lam, alpha)
+        gaussian = gaussian_reference_divergence(shift, 2.0 * lam, alpha)
+        assert exact == pytest.approx(gaussian, rel=0.05)
+
+    def test_divergence_scales_with_shift_squared(self):
+        lam, alpha = 300.0, 2.0
+        d1 = exact_skellam_divergence(1, lam, alpha)
+        d3 = exact_skellam_divergence(3, lam, alpha)
+        assert d3 / d1 == pytest.approx(9.0, rel=0.1)
+
+    def test_gaussian_reference_validation(self):
+        with pytest.raises(PrivacyAccountingError, match="variance"):
+            gaussian_reference_divergence(1.0, 0.0, 2.0)
+        with pytest.raises(PrivacyAccountingError, match="order"):
+            gaussian_reference_divergence(1.0, 1.0, 1.0)
+
+
+class TestTheorem5:
+    @pytest.mark.parametrize("value", [0.3, 0.5, 1.0, 1.5, 1.9, 2.5])
+    @pytest.mark.parametrize("total_lambda", [50.0, 200.0])
+    @pytest.mark.parametrize("alpha", [2.0, 3.0])
+    def test_bound_dominates_exact_both_directions(
+        self, value, total_lambda, alpha
+    ):
+        delta_inf = math.ceil(value)
+        feasible = alpha < 2 * total_lambda / delta_inf + 1 and (
+            10.9 * alpha**2 - 1.8 * alpha - 9.1
+        ) < 4 * total_lambda / delta_inf**2
+        if not feasible:
+            pytest.skip("outside Eq. (3) feasibility")
+        exact = exact_smm_divergence(value, total_lambda, alpha, "worst")
+        assert exact <= theorem5_bound(value, total_lambda, alpha) + 1e-12
+
+    def test_direction_a_and_b_both_below_worst(self):
+        value, lam, alpha = 1.5, 100.0, 2.0
+        worst = exact_smm_divergence(value, lam, alpha, "worst")
+        assert exact_smm_divergence(value, lam, alpha, "A") <= worst + 1e-15
+        assert exact_smm_divergence(value, lam, alpha, "B") <= worst + 1e-15
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(PrivacyAccountingError, match="direction"):
+            exact_smm_divergence(1.0, 10.0, 2.0, "C")
+
+    def test_integer_value_reduces_to_pure_skellam(self):
+        """At integer x the mixture degenerates; exact divergences agree."""
+        lam, alpha = 80.0, 3.0
+        mixture = exact_smm_divergence(2.0, lam, alpha, "B")
+        pure = exact_skellam_divergence(2, lam, alpha)
+        assert mixture == pytest.approx(pure, rel=1e-9)
+
+    def test_quasi_convexity_between_endpoints(self):
+        """Theorem 2: the mixture divergence is at most the max of the
+        floor and ceil shifted-Skellam divergences."""
+        lam, alpha = 100.0, 2.0
+        mid = exact_smm_divergence(1.5, lam, alpha, "B")
+        floor = exact_skellam_divergence(1, lam, alpha)
+        ceil = exact_skellam_divergence(2, lam, alpha)
+        assert mid <= max(floor, ceil) + 1e-12
+
+    def test_tightness_ratio_exceeds_one(self):
+        assert bound_tightness(1.5, 100.0, 2.0) > 1.0
+
+    def test_tightness_ratio_is_moderate(self):
+        """The paper's future work says the constants can be reduced; the
+        slack should be a small constant factor, not orders of
+        magnitude, in the Gaussian-like regime."""
+        ratio = bound_tightness(1.5, 400.0, 3.0)
+        assert 1.0 < ratio < 4.0
+
+    def test_zero_value_gives_infinite_ratio(self):
+        assert bound_tightness(0.0, 50.0, 2.0) == math.inf
+
+    @given(
+        value=st.floats(min_value=0.05, max_value=2.95),
+        seed_lambda=st.integers(min_value=1, max_value=4),
+        alpha=st.sampled_from([2.0, 3.0]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_bound_holds_property(self, value, seed_lambda, alpha):
+        """Random spot checks of Theorem 5 across the feasible region."""
+        from hypothesis import assume
+
+        total_lambda = 100.0 * seed_lambda
+        delta_inf = max(1, math.ceil(value))
+        assume(
+            alpha < 2 * total_lambda / delta_inf + 1
+            and (10.9 * alpha**2 - 1.8 * alpha - 9.1)
+            < 4 * total_lambda / delta_inf**2
+        )
+        exact = exact_smm_divergence(value, total_lambda, alpha, "worst")
+        assert exact <= theorem5_bound(value, total_lambda, alpha) + 1e-12

@@ -1,0 +1,303 @@
+"""Tests for the privacy-loss-distribution (FFT) accountant."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accounting.divergences import skellam_rdp, smm_rdp
+from repro.accounting.pld import (
+    PrivacyLossDistribution,
+    pld_from_pmfs,
+    skellam_pair_pmfs,
+    skellam_pmf,
+    smm_pair_pmfs,
+    subsampled_pair,
+    tight_epsilon,
+)
+from repro.accounting.rdp import best_epsilon
+from repro.errors import PrivacyAccountingError
+
+
+def randomized_response_pmfs(p):
+    """Worst-case pair for randomized response with truth probability p."""
+    return np.array([p, 1.0 - p]), np.array([1.0 - p, p])
+
+
+def direct_hockey_stick(p, q, epsilon):
+    """Reference delta(eps) computed directly from the PMFs."""
+    ratio_mass = 0.0
+    for pi, qi in zip(p, q):
+        if pi > 0 and (qi == 0 or math.log(pi / qi) > epsilon):
+            ratio_mass += pi - (math.exp(epsilon) * qi if qi > 0 else 0.0)
+    return max(0.0, ratio_mass)
+
+
+class TestPldConstruction:
+    def test_identical_pmfs_give_zero_epsilon(self):
+        p = np.array([0.2, 0.5, 0.3])
+        pld = pld_from_pmfs(p, p)
+        assert pld.epsilon(1e-5) == 0.0
+
+    def test_disjoint_supports_are_pure_infinity(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        pld = pld_from_pmfs(p, q)
+        assert pld.infinity_mass == pytest.approx(1.0)
+        with pytest.raises(PrivacyAccountingError, match="no finite"):
+            pld.epsilon(1e-5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(PrivacyAccountingError, match="shapes"):
+            pld_from_pmfs(np.array([1.0]), np.array([0.5, 0.5]))
+
+    def test_negative_mass_rejected(self):
+        with pytest.raises(PrivacyAccountingError, match="non-negative"):
+            pld_from_pmfs(np.array([-0.1, 1.1]), np.array([0.5, 0.5]))
+
+    def test_truncated_tail_goes_to_infinity_bucket(self):
+        p = np.array([0.5, 0.4])  # sums to 0.9: 0.1 missing
+        q = np.array([0.5, 0.5])
+        pld = pld_from_pmfs(p, q)
+        assert pld.infinity_mass == pytest.approx(0.1, abs=1e-12)
+
+    def test_delta_at_zero_is_total_variation(self):
+        p = np.array([0.7, 0.2, 0.1])
+        q = np.array([0.4, 0.35, 0.25])
+        pld = pld_from_pmfs(p, q, grid_step=1e-6)
+        tv = 0.5 * float(np.abs(p - q).sum())
+        assert pld.delta(0.0) == pytest.approx(tv, abs=1e-4)
+
+    def test_randomized_response_epsilon(self):
+        """RR(p) has pure-DP epsilon log(p/(1-p)); at tiny delta the PLD
+        epsilon must approach it (from below)."""
+        p = 0.75
+        pld = pld_from_pmfs(*randomized_response_pmfs(p), grid_step=1e-5)
+        true_eps = math.log(p / (1.0 - p))
+        assert pld.epsilon(1e-9) == pytest.approx(true_eps, abs=1e-3)
+
+    def test_pessimistic_rounding(self):
+        """Grid rounding must never under-report delta."""
+        p = np.array([0.6, 0.4])
+        q = np.array([0.3, 0.7])
+        coarse = pld_from_pmfs(p, q, grid_step=0.25)
+        for eps in (0.0, 0.1, 0.5):
+            assert coarse.delta(eps) >= direct_hockey_stick(p, q, eps) - 1e-12
+
+    @given(
+        masses=st.lists(
+            st.floats(min_value=0.01, max_value=1.0), min_size=2, max_size=6
+        ),
+        shift=st.integers(min_value=1, max_value=3),
+        epsilon=st.floats(min_value=0.0, max_value=2.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_delta_dominates_exact_value(self, masses, shift, epsilon):
+        weights = np.array(masses)
+        p = weights / weights.sum()
+        q = np.roll(p, shift)
+        pld = pld_from_pmfs(p, q, grid_step=1e-3)
+        exact = direct_hockey_stick(p, q, epsilon)
+        assert pld.delta(epsilon) >= exact - 1e-9
+        # ... and is within one grid step's worth of pessimism.
+        assert pld.delta(epsilon) <= direct_hockey_stick(
+            p, q, epsilon - 1e-3
+        ) + 1e-9
+
+
+class TestComposition:
+    def test_point_mass_composes_linearly(self):
+        pld = PrivacyLossDistribution(
+            grid_step=0.1,
+            min_index=5,  # loss 0.5 with certainty
+            probabilities=np.array([1.0]),
+            infinity_mass=0.0,
+        )
+        composed = pld.compose(4)  # loss 2.0 with certainty
+        assert composed.delta(1.9) == pytest.approx(1.0 - math.exp(-0.1))
+        assert composed.delta(2.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_compose_one_is_identity(self):
+        p, q = randomized_response_pmfs(0.7)
+        pld = pld_from_pmfs(p, q)
+        assert pld.compose(1) is pld
+
+    def test_invalid_count_rejected(self):
+        p, q = randomized_response_pmfs(0.7)
+        with pytest.raises(PrivacyAccountingError, match="count"):
+            pld_from_pmfs(p, q).compose(0)
+
+    def test_epsilon_grows_sublinearly(self):
+        """Strong composition: eps(T) ~ sqrt(T) for small per-step loss."""
+        p, q = skellam_pair_pmfs(shift=1, total_lambda=50.0)
+        pld = pld_from_pmfs(p, q)
+        eps_1 = pld.epsilon(1e-5)
+        eps_100 = pld.compose(100).epsilon(1e-5)
+        assert eps_100 < 100 * eps_1
+        assert eps_100 > math.sqrt(100) * eps_1 * 0.3
+
+    def test_composition_matches_two_step_convolution(self):
+        p, q = randomized_response_pmfs(0.6)
+        pld = pld_from_pmfs(p, q, grid_step=1e-4)
+        via_fft = pld.compose(2)
+        # The two-step delta can be computed exactly from the four
+        # composed outcomes of the product mechanism.
+        p2 = np.outer(p, p).ravel()
+        q2 = np.outer(q, q).ravel()
+        exact = direct_hockey_stick(p2, q2, 0.5)
+        assert via_fft.delta(0.5) == pytest.approx(exact, abs=1e-3)
+
+    def test_infinity_mass_accumulates(self):
+        p = np.array([0.9, 0.1])
+        q = np.array([1.0, 0.0])
+        pld = pld_from_pmfs(p, q)
+        composed = pld.compose(3)
+        # Survives only if all three runs avoid the q=0 outcome.
+        assert composed.infinity_mass == pytest.approx(
+            1.0 - 0.9**3, abs=1e-9
+        )
+
+
+class TestSkellamPld:
+    def test_pmf_is_normalised(self):
+        support = np.arange(-200, 201)
+        assert skellam_pmf(support, 10.0).sum() == pytest.approx(1.0)
+
+    def test_invalid_lambda_rejected(self):
+        with pytest.raises(PrivacyAccountingError, match="lambda"):
+            skellam_pmf(np.arange(-5, 6), 0.0)
+
+    def test_pair_pmfs_are_shifted_copies(self):
+        p, q = skellam_pair_pmfs(shift=3, total_lambda=20.0)
+        np.testing.assert_allclose(p[3:], q[:-3], atol=1e-15)
+
+    def test_pld_epsilon_below_rdp_epsilon(self):
+        """The tight PLD epsilon must be dominated by the RDP bound
+        (Theorem 3 + Lemma 3 conversion) — the key cross-check."""
+        total_lambda, shift, delta = 30.0, 2, 1e-5
+        p, q = skellam_pair_pmfs(shift, total_lambda)
+        pld_eps = tight_epsilon(p, q, delta)
+        rdp_eps, _ = best_epsilon(
+            range(2, 101),
+            lambda a: skellam_rdp(a, shift**2, total_lambda, shift),
+            delta,
+        )
+        assert pld_eps < rdp_eps
+
+    def test_pld_epsilon_close_to_rdp_for_gaussian_regime(self):
+        """At large lambda the RDP bound is near-tight: the gap should be
+        a modest constant factor, not orders of magnitude."""
+        total_lambda, shift, delta = 500.0, 2, 1e-5
+        p, q = skellam_pair_pmfs(shift, total_lambda)
+        pld_eps = tight_epsilon(p, q, delta)
+        rdp_eps, _ = best_epsilon(
+            range(2, 101),
+            lambda a: skellam_rdp(a, shift**2, total_lambda, shift),
+            delta,
+        )
+        assert rdp_eps / pld_eps < 3.0
+
+    def test_epsilon_decreases_with_noise(self):
+        p1, q1 = skellam_pair_pmfs(1, 10.0)
+        p2, q2 = skellam_pair_pmfs(1, 100.0)
+        assert tight_epsilon(p2, q2, 1e-5) < tight_epsilon(p1, q1, 1e-5)
+
+    def test_epsilon_increases_with_shift(self):
+        p1, q1 = skellam_pair_pmfs(1, 50.0)
+        p2, q2 = skellam_pair_pmfs(4, 50.0)
+        assert tight_epsilon(p1, q1, 1e-5) < tight_epsilon(p2, q2, 1e-5)
+
+
+class TestSmmPld:
+    def test_integer_value_matches_pure_skellam(self):
+        p_smm, q_smm = smm_pair_pmfs(2.0, 40.0)
+        p_sk, q_sk = skellam_pair_pmfs(2, 40.0)
+        np.testing.assert_allclose(p_smm, p_sk, atol=1e-15)
+        np.testing.assert_allclose(q_smm, q_sk, atol=1e-15)
+
+    def test_mixture_mean_is_value(self):
+        value = 1.3
+        p, _ = smm_pair_pmfs(value, 25.0)
+        support = np.arange(len(p)) - (len(p) - 1) // 2
+        assert float(np.sum(support * p)) == pytest.approx(value, abs=1e-9)
+
+    def test_pld_epsilon_below_theorem5_epsilon(self):
+        """Tight PLD accounting must be dominated by Theorem 5's bound."""
+        value, total_lambda, delta = 1.5, 200.0, 1e-5
+        frac = value - math.floor(value)
+        c = value**2 + frac - frac**2
+        p, q = smm_pair_pmfs(value, total_lambda)
+        pld_eps = tight_epsilon(p, q, delta)
+        rdp_eps, _ = best_epsilon(
+            range(2, 101),
+            lambda a: smm_rdp(a, c, total_lambda, math.ceil(value)),
+            delta,
+        )
+        assert pld_eps < rdp_eps
+
+    def test_fractional_value_costs_more_than_floor_less_than_ceil(self):
+        """Monotonicity of the mixture loss in the record value."""
+        total_lambda, delta = 40.0, 1e-5
+        eps_floor = tight_epsilon(*smm_pair_pmfs(1.0, total_lambda), delta)
+        eps_mid = tight_epsilon(*smm_pair_pmfs(1.5, total_lambda), delta)
+        eps_ceil = tight_epsilon(*smm_pair_pmfs(2.0, total_lambda), delta)
+        assert eps_floor < eps_mid < eps_ceil
+
+
+class TestSubsampling:
+    def test_rate_one_is_identity(self):
+        p, q = randomized_response_pmfs(0.8)
+        mixture, base = subsampled_pair(p, q, 1.0)
+        np.testing.assert_array_equal(mixture, p)
+        np.testing.assert_array_equal(base, q)
+
+    def test_rate_zero_removes_all_loss(self):
+        p, q = randomized_response_pmfs(0.8)
+        mixture, base = subsampled_pair(p, q, 0.0)
+        np.testing.assert_allclose(mixture, base)
+
+    def test_invalid_rate_rejected(self):
+        p, q = randomized_response_pmfs(0.8)
+        with pytest.raises(PrivacyAccountingError, match="sampling rate"):
+            subsampled_pair(p, q, 1.5)
+
+    def test_subsampling_amplifies_privacy(self):
+        p, q = skellam_pair_pmfs(2, 25.0)
+        full = tight_epsilon(p, q, 1e-5)
+        sampled = tight_epsilon(p, q, 1e-5, sampling_rate=0.1)
+        assert sampled < 0.5 * full
+
+    def test_composed_subsampled_run_matches_fl_setting(self):
+        """A miniature Algorithm-3 accounting run: T subsampled rounds."""
+        p, q = smm_pair_pmfs(1.2, 60.0)
+        eps = tight_epsilon(
+            p, q, 1e-5, compositions=50, sampling_rate=0.05
+        )
+        single = tight_epsilon(p, q, 1e-5)
+        assert 0 < eps < 50 * single
+
+
+class TestEpsilonSearch:
+    def test_epsilon_monotone_in_delta(self):
+        p, q = skellam_pair_pmfs(2, 25.0)
+        pld = pld_from_pmfs(p, q)
+        assert pld.epsilon(1e-7) > pld.epsilon(1e-4) > pld.epsilon(1e-2)
+
+    def test_delta_roundtrip(self):
+        p, q = skellam_pair_pmfs(1, 30.0)
+        pld = pld_from_pmfs(p, q)
+        eps = pld.epsilon(1e-5)
+        assert pld.delta(eps) <= 1e-5 + 1e-12
+
+    def test_invalid_delta_rejected(self):
+        p, q = randomized_response_pmfs(0.7)
+        pld = pld_from_pmfs(p, q)
+        with pytest.raises(PrivacyAccountingError, match="delta"):
+            pld.epsilon(0.0)
+
+    def test_negative_epsilon_rejected(self):
+        p, q = randomized_response_pmfs(0.7)
+        with pytest.raises(PrivacyAccountingError, match="epsilon"):
+            pld_from_pmfs(p, q).delta(-0.1)

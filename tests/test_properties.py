@@ -1,0 +1,148 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Invariants that must hold across the whole parameter space, not just the
+hand-picked values of the per-module tests: accounting monotonicity,
+mechanism-pipeline algebra, and clipping/encoding safety.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accounting.divergences import gaussian_rdp, smm_rdp
+from repro.accounting.rdp import rdp_to_dp, subsampled_rdp
+from repro.config import ClipConfig
+from repro.core.clipping import clip_gradient, mixture_sensitivity
+from repro.core.skellam_mixture import smm_perturb
+from repro.linalg.modular import decode_centered, encode_mod
+from repro.sampling.fast import bernoulli_round
+
+orders = st.integers(min_value=2, max_value=64)
+small_floats = st.floats(min_value=0.01, max_value=100.0, allow_nan=False)
+
+
+class TestAccountingProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(orders, small_floats, st.floats(min_value=1e-9, max_value=1e-2))
+    def test_conversion_monotone_in_tau(self, alpha, tau, delta):
+        assert rdp_to_dp(alpha, tau, delta) <= rdp_to_dp(alpha, tau * 2, delta)
+
+    @settings(max_examples=60, deadline=None)
+    @given(orders, small_floats)
+    def test_conversion_monotone_in_delta(self, alpha, tau):
+        # A larger delta can only shrink epsilon.
+        assert rdp_to_dp(alpha, tau, 1e-6) >= rdp_to_dp(alpha, tau, 1e-4)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        orders,
+        st.floats(min_value=0.001, max_value=0.999),
+        st.floats(min_value=0.5, max_value=20.0),
+    )
+    def test_subsampling_never_hurts(self, alpha, q, sigma):
+        curve = lambda a: gaussian_rdp(a, 1.0, sigma)
+        assert subsampled_rdp(alpha, q, curve) <= curve(alpha) + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(min_value=0.1, max_value=100.0),
+        st.floats(min_value=10.0, max_value=1e5),
+    )
+    def test_smm_rdp_monotone_in_order(self, c, total_lam):
+        # tau(alpha) grows with the order at fixed noise.
+        taus = []
+        for alpha in (2, 4, 8):
+            try:
+                taus.append(smm_rdp(alpha, c, total_lam, 1.0))
+            except Exception:
+                return  # infeasible corner; nothing to check
+        assert taus[0] <= taus[1] <= taus[2]
+
+
+class TestMechanismAlgebra:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_smm_perturb_preserves_shape_and_dtype(self, n, d, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=(n, d)) * 3
+        out = smm_perturb(values, 1.0, rng)
+        assert out.shape == (n, d)
+        assert out.dtype == np.int64
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        ),
+        st.integers(min_value=1, max_value=20),
+    )
+    def test_encode_decode_congruence(self, values, log_m):
+        modulus = 2**log_m
+        array = np.array(values).astype(np.int64)
+        decoded = decode_centered(encode_mod(array, modulus), modulus)
+        assert np.all((decoded - array) % modulus == 0)
+        half = modulus // 2
+        assert np.all(decoded >= -half)
+        assert np.all(decoded < half)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-30, max_value=30, allow_nan=False),
+            min_size=1,
+            max_size=12,
+        ),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_bernoulli_round_then_clip_sensitivity(self, values, seed):
+        # Rounding a clipped vector never exceeds ceil bounds: every
+        # coordinate of round(clip(x)) is within Delta_inf in magnitude.
+        rng = np.random.default_rng(seed)
+        clip = ClipConfig(c=50.0, delta_inf=4.0)
+        clipped = clip_gradient(np.array(values), clip)
+        rounded = bernoulli_round(clipped, rng)
+        assert np.all(np.abs(rounded) <= 4)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=1,
+            max_size=12,
+        ),
+        st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_clip_scaling_equivariance(self, values, factor):
+        # Scaling the thresholds with phi's homogeneity: clipping with
+        # (c, inf) then measuring sensitivity never exceeds min(c, phi(x)).
+        array = np.array(values)
+        clip = ClipConfig(c=factor, delta_inf=1e9)
+        clipped = clip_gradient(array, clip)
+        assert mixture_sensitivity(clipped) <= min(
+            factor, mixture_sensitivity(array)
+        ) * (1 + 1e-9) + 1e-12
+
+
+class TestGaussianCalibrationProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.2, max_value=8.0))
+    def test_epsilon_decreasing_in_sigma(self, epsilon):
+        from repro.config import PrivacyBudget
+        from repro.core.calibration import AccountingSpec, calibrate_noise
+
+        spec = AccountingSpec(budget=PrivacyBudget(epsilon=epsilon))
+        result = calibrate_noise(
+            lambda sigma: (lambda a: gaussian_rdp(a, 1.0, sigma)), spec
+        )
+        assert result.epsilon <= epsilon
+        # Near-tightness of the bisection.
+        assert result.epsilon >= epsilon * 0.98

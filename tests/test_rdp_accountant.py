@@ -1,0 +1,189 @@
+"""Tests for the RDP accountant (repro.accounting.rdp)."""
+
+import math
+
+import pytest
+
+from repro.accounting.divergences import gaussian_rdp
+from repro.accounting.rdp import (
+    RdpAccountant,
+    best_epsilon,
+    compose,
+    rdp_to_dp,
+    subsampled_rdp,
+)
+from repro.errors import PrivacyAccountingError
+
+
+class TestConversion:
+    def test_lemma_3_formula(self):
+        alpha, tau, delta = 8, 0.5, 1e-5
+        expected = tau + (
+            math.log(1 / delta)
+            + (alpha - 1) * math.log(1 - 1 / alpha)
+            - math.log(alpha)
+        ) / (alpha - 1)
+        assert rdp_to_dp(alpha, tau, delta) == pytest.approx(expected)
+
+    def test_tighter_than_classic_conversion(self):
+        # The CKS conversion never exceeds the classic
+        # eps = tau + log(1/delta)/(alpha-1) (Mironov 2017).
+        for alpha in [2, 5, 20, 100]:
+            classic = 0.3 + math.log(1e5) / (alpha - 1)
+            assert rdp_to_dp(alpha, 0.3, 1e-5) <= classic
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(PrivacyAccountingError):
+            rdp_to_dp(1.0, 0.1, 1e-5)
+        with pytest.raises(PrivacyAccountingError):
+            rdp_to_dp(2.0, 0.1, 0.0)
+        with pytest.raises(PrivacyAccountingError):
+            rdp_to_dp(2.0, -0.1, 1e-5)
+
+
+class TestCompose:
+    def test_sum(self):
+        assert compose([0.1, 0.2, 0.3]) == pytest.approx(0.6)
+
+    def test_empty(self):
+        assert compose([]) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(PrivacyAccountingError):
+            compose([0.1, -0.2])
+
+
+class TestSubsampledRdp:
+    def test_q_zero_gives_zero(self):
+        assert subsampled_rdp(4, 0.0, lambda a: 1.0) == 0.0
+
+    def test_q_one_gives_base(self):
+        curve = lambda a: gaussian_rdp(a, 1.0, 2.0)
+        assert subsampled_rdp(4, 1.0, curve) == pytest.approx(curve(4))
+
+    def test_amplification_shrinks_tau(self):
+        curve = lambda a: gaussian_rdp(a, 1.0, 1.0)
+        amplified = subsampled_rdp(8, 0.01, curve)
+        assert amplified < curve(8) / 10.0
+
+    def test_monotone_in_q(self):
+        curve = lambda a: gaussian_rdp(a, 1.0, 1.0)
+        taus = [subsampled_rdp(6, q, curve) for q in [0.001, 0.01, 0.1, 0.5]]
+        assert all(t1 < t2 for t1, t2 in zip(taus, taus[1:]))
+
+    def test_small_q_quadratic_scaling(self):
+        # For small q, tau_sub ~ O(q^2): halving q quarters tau.
+        curve = lambda a: gaussian_rdp(a, 1.0, 4.0)
+        tau_q = subsampled_rdp(2, 0.002, curve)
+        tau_half = subsampled_rdp(2, 0.001, curve)
+        assert tau_q / tau_half == pytest.approx(4.0, rel=0.1)
+
+    def test_matches_direct_formula_small_alpha(self):
+        # Hand-evaluate Lemma 2 at alpha = 2:
+        # tau = log((1-q)(2q - q + 1) ... ) with the l=2 term.
+        q, sigma = 0.1, 2.0
+        curve = lambda a: gaussian_rdp(a, 1.0, sigma)
+        expected = math.log(
+            (1 - q) ** 1 * (2 * q - q + 1)
+            + (1 - q) ** 0 * q**2 * math.exp(curve(2))
+        )
+        assert subsampled_rdp(2, q, curve) == pytest.approx(expected)
+
+    def test_rejects_non_integer_order(self):
+        with pytest.raises(PrivacyAccountingError):
+            subsampled_rdp(2.5, 0.1, lambda a: 1.0)
+
+    def test_rejects_invalid_rate(self):
+        with pytest.raises(PrivacyAccountingError):
+            subsampled_rdp(2, 1.5, lambda a: 1.0)
+
+
+class TestBestEpsilon:
+    def test_matches_manual_minimum(self):
+        taus = {alpha: gaussian_rdp(alpha, 1.0, 2.0) for alpha in range(2, 101)}
+        manual = min(
+            rdp_to_dp(alpha, tau, 1e-5) for alpha, tau in taus.items()
+        )
+        epsilon, order = best_epsilon(tuple(range(2, 101)), taus, 1e-5)
+        assert epsilon == pytest.approx(manual)
+        assert rdp_to_dp(order, taus[order], 1e-5) == pytest.approx(epsilon)
+
+    def test_skips_infeasible_orders(self):
+        def curve(alpha):
+            if alpha > 5:
+                raise PrivacyAccountingError("infeasible")
+            return 0.1 * alpha
+
+        epsilon, order = best_epsilon((2, 3, 4, 5, 6, 7), curve, 1e-5)
+        assert order <= 5
+
+    def test_all_infeasible_raises(self):
+        def curve(alpha):
+            raise PrivacyAccountingError("infeasible")
+
+        with pytest.raises(PrivacyAccountingError):
+            best_epsilon((2, 3), curve, 1e-5)
+
+
+class TestRdpAccountant:
+    def test_single_gaussian_release(self):
+        accountant = RdpAccountant()
+        accountant.step(lambda a: gaussian_rdp(a, 1.0, 2.0))
+        taus = {a: gaussian_rdp(a, 1.0, 2.0) for a in range(2, 101)}
+        expected, _ = best_epsilon(tuple(range(2, 101)), taus, 1e-5)
+        assert accountant.epsilon(1e-5) == pytest.approx(expected)
+
+    def test_composition_grows_epsilon(self):
+        accountant = RdpAccountant()
+        curve = lambda a: gaussian_rdp(a, 1.0, 5.0)
+        accountant.step(curve)
+        first = accountant.epsilon(1e-5)
+        accountant.step(curve, count=3)
+        assert accountant.epsilon(1e-5) > first
+
+    def test_count_equals_repeated_steps(self):
+        curve = lambda a: gaussian_rdp(a, 1.0, 3.0)
+        bulk = RdpAccountant()
+        bulk.step(curve, count=10)
+        loop = RdpAccountant()
+        for _ in range(10):
+            loop.step(curve)
+        assert bulk.epsilon(1e-5) == pytest.approx(loop.epsilon(1e-5))
+
+    def test_subsampled_step(self):
+        accountant = RdpAccountant()
+        curve = lambda a: gaussian_rdp(a, 1.0, 1.0)
+        accountant.step_subsampled(curve, sampling_rate=0.01, count=100)
+        plain = RdpAccountant()
+        plain.step(curve, count=100)
+        assert accountant.epsilon(1e-5) < plain.epsilon(1e-5)
+
+    def test_infeasible_orders_dropped(self):
+        def curve(alpha):
+            if alpha >= 10:
+                raise PrivacyAccountingError("infeasible above 10")
+            return 0.01 * alpha
+
+        accountant = RdpAccountant()
+        accountant.step(curve)
+        assert max(accountant.orders) == 9
+
+    def test_all_orders_infeasible_raises(self):
+        def curve(alpha):
+            raise PrivacyAccountingError("always infeasible")
+
+        accountant = RdpAccountant()
+        with pytest.raises(PrivacyAccountingError):
+            accountant.step(curve)
+
+    def test_best_order_reported(self):
+        accountant = RdpAccountant()
+        accountant.step(lambda a: gaussian_rdp(a, 1.0, 2.0))
+        order = accountant.best_order(1e-5)
+        assert 2 <= order <= 100
+
+    def test_rejects_bad_orders(self):
+        with pytest.raises(PrivacyAccountingError):
+            RdpAccountant(orders=(1, 2))
+        with pytest.raises(PrivacyAccountingError):
+            RdpAccountant(orders=())

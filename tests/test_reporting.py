@@ -1,0 +1,81 @@
+"""Tests for experiment reporting (repro.reporting)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reporting import (
+    ExperimentRecord,
+    from_json,
+    render_markdown_table,
+    to_json,
+    write_csv,
+)
+
+
+@pytest.fixture
+def records():
+    return [
+        ExperimentRecord("fig1", "smm", "mse", 3.02, {"epsilon": 3.0, "m": 16384}),
+        ExperimentRecord("fig1", "smm", "mse", 20.6, {"epsilon": 1.0, "m": 16384}),
+        ExperimentRecord("fig1", "ddg", "mse", 4.81, {"epsilon": 3.0, "m": 16384}),
+    ]
+
+
+class TestRecord:
+    def test_fields(self, records):
+        assert records[0].experiment == "fig1"
+        assert records[0].parameters["epsilon"] == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentRecord("", "smm", "mse", 1.0, {})
+        with pytest.raises(ConfigurationError):
+            ExperimentRecord("fig1", "", "mse", 1.0, {})
+
+
+class TestJsonRoundtrip:
+    def test_roundtrip(self, records):
+        assert from_json(to_json(records)) == records
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigurationError):
+            from_json("not json")
+
+    def test_non_array_rejected(self):
+        with pytest.raises(ConfigurationError):
+            from_json('{"a": 1}')
+
+
+class TestMarkdownTable:
+    def test_structure(self, records):
+        table = render_markdown_table(records, "epsilon")
+        lines = table.splitlines()
+        assert lines[0].startswith("| mechanism |")
+        assert "epsilon=3.0" in lines[0]
+        assert any(line.startswith("| smm |") for line in lines)
+        assert any(line.startswith("| ddg |") for line in lines)
+
+    def test_missing_cells_dashed(self, records):
+        table = render_markdown_table(records, "epsilon")
+        ddg_row = next(l for l in table.splitlines() if l.startswith("| ddg"))
+        assert "-" in ddg_row  # no eps=1 cell for ddg
+
+    def test_missing_parameter_rejected(self, records):
+        with pytest.raises(ConfigurationError):
+            render_markdown_table(records, "batch")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_markdown_table([], "epsilon")
+
+
+class TestCsv:
+    def test_header_and_rows(self, records):
+        csv_text = write_csv(records)
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "experiment,mechanism,metric,value,epsilon,m"
+        assert len(lines) == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            write_csv([])

@@ -1,0 +1,76 @@
+"""Tests for the exact randomness source (repro.sampling.rng)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sampling.rng import RandIntSource
+
+
+class TestRandInt:
+    def test_bounds_inclusive(self):
+        source = RandIntSource(seed=0)
+        draws = [source.rand_int(6) for _ in range(2000)]
+        assert min(draws) == 1
+        assert max(draws) == 6
+
+    def test_rand_int_one_is_constant(self):
+        source = RandIntSource(seed=0)
+        assert all(source.rand_int(1) == 1 for _ in range(20))
+
+    def test_uniformity_chi_square(self):
+        source = RandIntSource(seed=42)
+        n, k = 60_000, 6
+        counts = np.bincount(
+            [source.rand_int(k) for _ in range(n)], minlength=k + 1
+        )[1:]
+        expected = n / k
+        chi_square = float(((counts - expected) ** 2 / expected).sum())
+        # 5 degrees of freedom; 0.999 quantile is ~20.5.
+        assert chi_square < 25.0
+
+    def test_invalid_bound_rejected(self):
+        source = RandIntSource(seed=0)
+        with pytest.raises(ConfigurationError):
+            source.rand_int(0)
+
+    def test_seed_reproducibility(self):
+        first = RandIntSource(seed=7)
+        second = RandIntSource(seed=7)
+        assert [first.rand_int(100) for _ in range(50)] == [
+            second.rand_int(100) for _ in range(50)
+        ]
+
+
+class TestBernoulli:
+    def test_degenerate_zero(self):
+        source = RandIntSource(seed=0)
+        assert all(source.bernoulli(0, 5) == 0 for _ in range(20))
+
+    def test_degenerate_one(self):
+        source = RandIntSource(seed=0)
+        assert all(source.bernoulli(5, 5) == 1 for _ in range(20))
+
+    def test_mean_matches_probability(self):
+        source = RandIntSource(seed=3)
+        draws = [source.bernoulli(3, 10) for _ in range(40_000)]
+        assert abs(np.mean(draws) - 0.3) < 0.01
+
+    def test_output_is_binary(self):
+        source = RandIntSource(seed=1)
+        assert set(source.bernoulli(1, 2) for _ in range(100)) <= {0, 1}
+
+    def test_negative_numerator_rejected(self):
+        source = RandIntSource(seed=0)
+        with pytest.raises(ConfigurationError):
+            source.bernoulli(-1, 5)
+
+    def test_numerator_above_denominator_rejected(self):
+        source = RandIntSource(seed=0)
+        with pytest.raises(ConfigurationError):
+            source.bernoulli(6, 5)
+
+    def test_zero_denominator_rejected(self):
+        source = RandIntSource(seed=0)
+        with pytest.raises(ConfigurationError):
+            source.bernoulli(1, 0)

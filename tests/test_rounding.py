@@ -1,0 +1,139 @@
+"""Tests for stochastic / conditional rounding (repro.mechanisms.rounding)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CalibrationError, ConfigurationError
+from repro.mechanisms.rounding import (
+    DEFAULT_BETA,
+    conditional_round,
+    conditional_rounding_bound,
+    stochastic_round,
+)
+
+
+class TestStochasticRound:
+    def test_unbiased(self):
+        rng = np.random.default_rng(0)
+        values = np.array([0.3, -1.6, 2.5])
+        rounds = np.stack([stochastic_round(values, rng) for _ in range(30_000)])
+        assert np.allclose(rounds.mean(axis=0), values, atol=0.02)
+
+    def test_norm_inflation_worst_case(self):
+        # The Section 5 example: tiny coordinates can round up to 1,
+        # inflating the L2 norm by ~sqrt(d * p).
+        rng = np.random.default_rng(1)
+        d = 10_000
+        values = np.full(d, 0.01)
+        rounded = stochastic_round(values, rng)
+        original_norm = np.linalg.norm(values)  # = 1.0
+        rounded_norm = np.linalg.norm(rounded.astype(float))
+        assert rounded_norm > 5 * original_norm
+
+
+class TestConditionalRoundingBound:
+    def test_default_beta_matches_paper(self):
+        assert DEFAULT_BETA == pytest.approx(math.exp(-0.5))
+
+    def test_eq6_formula(self):
+        scaled_l2, d, beta = 64.0, 65536, math.exp(-0.5)
+        expected = math.sqrt(
+            scaled_l2**2
+            + d / 4
+            + math.sqrt(2 * math.log(1 / beta)) * (scaled_l2 + math.sqrt(d) / 2)
+        )
+        assert conditional_rounding_bound(scaled_l2, d, beta) == pytest.approx(
+            expected
+        )
+
+    def test_grows_with_dimension(self):
+        bounds = [
+            conditional_rounding_bound(10.0, d) for d in [64, 1024, 65536]
+        ]
+        assert bounds[0] < bounds[1] < bounds[2]
+
+    def test_exceeds_scaled_norm(self):
+        assert conditional_rounding_bound(32.0, 4096) > 32.0
+
+    def test_rejects_bad_beta(self):
+        with pytest.raises(ConfigurationError):
+            conditional_rounding_bound(1.0, 10, beta=0.0)
+        with pytest.raises(ConfigurationError):
+            conditional_rounding_bound(1.0, 10, beta=1.0)
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(ConfigurationError):
+            conditional_rounding_bound(1.0, 0)
+
+
+class TestConditionalRound:
+    def test_norm_bound_enforced(self):
+        rng = np.random.default_rng(2)
+        d = 1024
+        values = rng.normal(size=(8, d))
+        values *= 10.0 / np.linalg.norm(values, axis=1, keepdims=True)
+        bound = conditional_rounding_bound(10.0, d)
+        rounded = conditional_round(values, bound, rng)
+        norms = np.linalg.norm(rounded.astype(float), axis=1)
+        assert np.all(norms <= bound)
+
+    def test_output_integer(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(size=(2, 16))
+        rounded = conditional_round(values, 100.0, rng)
+        assert rounded.dtype == np.int64
+
+    def test_single_vector(self):
+        rng = np.random.default_rng(4)
+        vector = rng.normal(size=16)
+        rounded = conditional_round(vector, 100.0, rng)
+        assert rounded.shape == (16,)
+
+    def test_nearly_unbiased_when_bound_loose(self):
+        # With a bound that never rejects, conditional rounding reduces
+        # to stochastic rounding and is exactly unbiased.
+        rng = np.random.default_rng(5)
+        values = np.array([0.25, -0.5, 1.75])
+        rounds = np.stack(
+            [conditional_round(values, 1e9, rng) for _ in range(30_000)]
+        )
+        assert np.allclose(rounds.mean(axis=0), values, atol=0.02)
+
+    def test_bias_when_bound_tight(self):
+        # A tight bound rejects large roundings: the conditional mean
+        # shifts below the input (the bias the paper criticises).
+        rng = np.random.default_rng(6)
+        d = 64
+        values = np.full(d, 0.5)
+        bound = np.linalg.norm(values) + 1.0  # just above the input norm
+        rounds = np.stack(
+            [conditional_round(values, bound, rng) for _ in range(2000)]
+        ).astype(float)
+        assert rounds.sum(axis=1).mean() < 0.5 * d - 1.0
+
+    def test_impossible_bound_raises(self):
+        rng = np.random.default_rng(7)
+        values = np.full(16, 0.5)  # every rounding has norm >= ... > 0.1
+        with pytest.raises(CalibrationError):
+            conditional_round(values, 0.1, rng, max_attempts=20)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-5, max_value=5, allow_nan=False),
+            min_size=1,
+            max_size=32,
+        ),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_property_rounds_to_neighbouring_integers(self, values, seed):
+        rng = np.random.default_rng(seed)
+        array = np.array(values)
+        bound = np.linalg.norm(np.abs(array) + 1.0) + 1.0  # always feasible
+        rounded = conditional_round(array, bound, rng)
+        assert np.all(rounded >= np.floor(array))
+        assert np.all(rounded <= np.floor(array) + 1)

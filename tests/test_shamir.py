@@ -1,0 +1,192 @@
+"""Unit and property tests for Shamir secret sharing."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AggregationError, ConfigurationError
+from repro.secagg.field import PrimeField
+from repro.secagg.shamir import (
+    Share,
+    reconstruct_large_secret,
+    reconstruct_secret,
+    split_large_secret,
+    split_secret,
+)
+
+FIELD = PrimeField(prime=(1 << 61) - 1)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestSplit:
+    def test_share_count(self, rng):
+        shares = split_secret(123, threshold=3, num_shares=5, rng=rng)
+        assert len(shares) == 5
+        assert [s.x for s in shares] == [1, 2, 3, 4, 5]
+
+    def test_threshold_one_shares_are_the_secret(self, rng):
+        # Degree-0 polynomial: every share equals the secret.
+        shares = split_secret(99, threshold=1, num_shares=4, rng=rng)
+        assert all(s.y == 99 for s in shares)
+
+    def test_secret_outside_field_rejected(self, rng):
+        with pytest.raises(ConfigurationError, match="secret"):
+            split_secret(FIELD.prime, 2, 3, rng, FIELD)
+
+    def test_negative_secret_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            split_secret(-1, 2, 3, rng, FIELD)
+
+    def test_threshold_above_share_count_rejected(self, rng):
+        with pytest.raises(ConfigurationError, match="threshold"):
+            split_secret(5, threshold=4, num_shares=3, rng=rng)
+
+    def test_zero_threshold_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            split_secret(5, threshold=0, num_shares=3, rng=rng)
+
+    def test_too_many_shares_for_tiny_field_rejected(self, rng):
+        tiny = PrimeField(prime=7)
+        with pytest.raises(ConfigurationError, match="at most"):
+            split_secret(3, threshold=2, num_shares=7, rng=rng, field=tiny)
+
+
+class TestReconstruct:
+    def test_roundtrip(self, rng):
+        secret = 987654321
+        shares = split_secret(secret, 3, 6, rng)
+        assert reconstruct_secret(shares[:3]) == secret
+
+    def test_any_subset_of_threshold_size_works(self, rng):
+        secret = 31415926
+        shares = split_secret(secret, 3, 6, rng)
+        for subset in itertools.combinations(shares, 3):
+            assert reconstruct_secret(subset) == secret
+
+    def test_extra_shares_are_harmless(self, rng):
+        secret = 271828
+        shares = split_secret(secret, 2, 5, rng)
+        assert reconstruct_secret(shares) == secret
+
+    def test_below_threshold_gives_wrong_secret(self, rng):
+        # t-1 shares determine a different (effectively random) constant
+        # term; check it is not accidentally the secret for this seed.
+        secret = 55555
+        shares = split_secret(secret, threshold=3, num_shares=5, rng=rng)
+        assert reconstruct_secret(shares[:2]) != secret
+
+    def test_zero_shares_rejected(self):
+        with pytest.raises(AggregationError, match="zero shares"):
+            reconstruct_secret([])
+
+    def test_duplicate_points_rejected(self, rng):
+        shares = split_secret(5, 2, 3, rng)
+        with pytest.raises(AggregationError, match="duplicate"):
+            reconstruct_secret([shares[0], shares[0]])
+
+    def test_out_of_field_value_rejected(self):
+        with pytest.raises(AggregationError, match="outside"):
+            reconstruct_secret([Share(x=1, y=FIELD.prime), Share(x=2, y=0)])
+
+    def test_zero_point_rejected(self):
+        # x = 0 would directly expose the secret as its own share.
+        with pytest.raises(AggregationError, match="outside"):
+            reconstruct_secret([Share(x=0, y=5), Share(x=1, y=6)])
+
+    @given(
+        secret=st.integers(min_value=0, max_value=FIELD.prime - 1),
+        threshold=st.integers(min_value=1, max_value=5),
+        extra=st.integers(min_value=0, max_value=3),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, secret, threshold, extra, seed):
+        rng = np.random.default_rng(seed)
+        shares = split_secret(secret, threshold, threshold + extra, rng)
+        # Reconstruct from a random threshold-sized subset.
+        chosen = rng.choice(len(shares), size=threshold, replace=False)
+        assert reconstruct_secret([shares[i] for i in chosen]) == secret
+
+
+class TestSecrecy:
+    def test_single_share_is_uniform_over_secrets(self):
+        """With t >= 2, share y-values are uniform: the histogram of one
+        share over many polynomial draws must not concentrate."""
+        field = PrimeField(prime=101)
+        rng = np.random.default_rng(3)
+        values = [
+            split_secret(42, 2, 3, rng, field)[0].y for _ in range(2000)
+        ]
+        counts = np.bincount(values, minlength=101)
+        # Expected ~19.8 per bin; a degenerate scheme would pile on few.
+        assert counts.max() < 60
+
+    def test_shares_of_different_secrets_indistinguishable(self):
+        """Mean |share| should not track the secret when t >= 2."""
+        field = PrimeField(prime=101)
+        rng = np.random.default_rng(4)
+        means = []
+        for secret in (0, 50, 100):
+            values = [
+                split_secret(secret, 2, 2, rng, field)[0].y
+                for _ in range(3000)
+            ]
+            means.append(np.mean(values))
+        assert np.ptp(means) < 10  # all near the uniform mean of 50
+
+
+class TestLargeSecrets:
+    def test_roundtrip_dh_sized_secret(self, rng):
+        secret = (1 << 1023) + 987654321987654321
+        shares = split_large_secret(secret, 3, 5, rng)
+        assert reconstruct_large_secret(shares[:3]) == secret
+
+    def test_zero_secret_roundtrips(self, rng):
+        shares = split_large_secret(0, 2, 3, rng)
+        assert reconstruct_large_secret(shares[:2]) == 0
+
+    def test_single_limb_secret(self, rng):
+        shares = split_large_secret(12345, 2, 4, rng)
+        assert len(shares[0].ys) == 1
+        assert reconstruct_large_secret(shares[1:3]) == 12345
+
+    def test_limb_count_matches_bit_length(self, rng):
+        secret = (1 << 180) - 1  # 180 bits -> 3 limbs of 60 bits
+        shares = split_large_secret(secret, 2, 3, rng)
+        assert len(shares[0].ys) == 3
+
+    def test_negative_secret_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            split_large_secret(-5, 2, 3, rng)
+
+    def test_oversized_limb_width_rejected(self, rng):
+        with pytest.raises(ConfigurationError, match="limb"):
+            split_large_secret(5, 2, 3, rng, limb_bits=62)
+
+    def test_mismatched_limb_counts_rejected(self, rng):
+        a = split_large_secret(1 << 100, 2, 3, rng)
+        b = split_large_secret(7, 2, 3, rng)
+        with pytest.raises(AggregationError, match="limb counts"):
+            reconstruct_large_secret([a[0], b[1]])
+
+    def test_zero_shares_rejected(self):
+        with pytest.raises(AggregationError):
+            reconstruct_large_secret([])
+
+    @given(
+        bits=st.integers(min_value=0, max_value=400),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, bits, seed):
+        rng = np.random.default_rng(seed)
+        secret = (1 << bits) | int(rng.integers(0, 1 << min(bits, 60) | 1))
+        shares = split_large_secret(secret, 3, 4, rng)
+        assert reconstruct_large_secret(shares[:3]) == secret

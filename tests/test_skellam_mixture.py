@@ -1,0 +1,132 @@
+"""Tests for the core Skellam mixture mechanism (Algorithms 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.skellam_mixture import (
+    estimate_sum,
+    estimate_sum_1d,
+    mixture_variance,
+    smm_perturb,
+    smm_perturb_exact,
+)
+from repro.errors import ConfigurationError
+from repro.sampling.rng import RandIntSource
+
+
+class TestSmmPerturb:
+    def test_output_is_integer(self):
+        rng = np.random.default_rng(0)
+        values = np.array([0.3, -1.7, 2.5, 0.0])
+        perturbed = smm_perturb(values, 2.0, rng)
+        assert perturbed.dtype == np.int64
+
+    def test_unbiased(self):
+        rng = np.random.default_rng(1)
+        values = np.array([0.25, -0.75, 1.5, 3.999, -2.0])
+        samples = np.stack([smm_perturb(values, 1.0, rng) for _ in range(30_000)])
+        assert np.allclose(samples.mean(axis=0), values, atol=0.05)
+
+    def test_variance_matches_corollary_2(self):
+        # Var per coordinate = 2 lam + p(1-p).
+        rng = np.random.default_rng(2)
+        lam, p = 1.5, 0.3
+        values = np.full(50_000, 7.0 + p)
+        perturbed = smm_perturb(values, lam, rng)
+        expected = 2.0 * lam + p * (1.0 - p)
+        assert abs(perturbed.var() - expected) < 0.1
+
+    def test_integer_input_gets_pure_skellam(self):
+        # Corner case of Section 3.2: integer x has no Bernoulli variance.
+        rng = np.random.default_rng(3)
+        lam = 2.0
+        values = np.full(50_000, 5.0)
+        perturbed = smm_perturb(values, lam, rng)
+        assert abs(perturbed.var() - 2.0 * lam) < 0.1
+        assert abs(perturbed.mean() - 5.0) < 0.05
+
+    def test_matrix_input(self):
+        rng = np.random.default_rng(4)
+        values = rng.normal(size=(7, 11))
+        assert smm_perturb(values, 1.0, rng).shape == (7, 11)
+
+
+class TestSmmPerturbExact:
+    def test_output_shape_and_type(self):
+        source = RandIntSource(seed=0)
+        values = np.array([[0.5, -1.25], [2.0, 0.125]])
+        perturbed = smm_perturb_exact(values, 1, source)
+        assert perturbed.shape == (2, 2)
+        assert perturbed.dtype == np.int64
+
+    def test_unbiased(self):
+        source = RandIntSource(seed=1)
+        values = np.array([0.25, -0.5])
+        samples = np.stack(
+            [smm_perturb_exact(values, 1, source) for _ in range(4000)]
+        )
+        assert np.allclose(samples.mean(axis=0), values, atol=0.1)
+
+    def test_rejects_bad_lambda(self):
+        with pytest.raises(ConfigurationError):
+            smm_perturb_exact(np.array([1.0]), 0, RandIntSource(seed=0))
+
+
+class TestMixtureVariance:
+    def test_integer_inputs_only_skellam(self):
+        values = np.array([1.0, 2.0, -3.0])
+        assert mixture_variance(values, 2.0) == pytest.approx(3 * 2 * 2.0)
+
+    def test_fractional_inputs_add_bernoulli_variance(self):
+        values = np.array([0.5])
+        assert mixture_variance(values, 1.0) == pytest.approx(2.0 + 0.25)
+
+    def test_matrix_input_counts_all_cells(self):
+        values = np.zeros((4, 3))
+        assert mixture_variance(values, 1.0) == pytest.approx(4 * 3 * 2.0)
+
+
+class TestEstimateSum:
+    def test_1d_estimate_close_to_truth(self):
+        rng = np.random.default_rng(5)
+        values = rng.uniform(-2, 2, size=50)
+        estimates = [
+            estimate_sum_1d(values, 0.5, 2**16, rng) for _ in range(300)
+        ]
+        assert abs(np.mean(estimates) - values.sum()) < 1.0
+
+    def test_multidim_estimate_close_to_truth(self):
+        rng = np.random.default_rng(6)
+        values = rng.uniform(-1, 1, size=(20, 8))
+        estimates = np.stack(
+            [estimate_sum(values, 0.5, 2**16, rng) for _ in range(300)]
+        )
+        assert np.allclose(estimates.mean(axis=0), values.sum(axis=0), atol=0.8)
+
+    def test_empirical_variance_matches_theory(self):
+        rng = np.random.default_rng(7)
+        lam = 1.0
+        values = np.full((30, 4), 0.5)
+        estimates = np.stack(
+            [estimate_sum(values, lam, 2**16, rng) for _ in range(2000)]
+        )
+        per_coord_theory = 30 * (2 * lam + 0.25)
+        assert np.allclose(
+            estimates.var(axis=0), per_coord_theory, rtol=0.15
+        )
+
+    def test_1d_rejects_matrix(self):
+        with pytest.raises(ConfigurationError):
+            estimate_sum_1d(np.zeros((2, 2)), 1.0, 16, np.random.default_rng(0))
+
+    def test_multidim_rejects_vector(self):
+        with pytest.raises(ConfigurationError):
+            estimate_sum(np.zeros(5), 1.0, 16, np.random.default_rng(0))
+
+    def test_wraparound_at_tiny_modulus(self):
+        # Sum of 40 ones with modulus 16 must wrap: estimate != truth.
+        rng = np.random.default_rng(8)
+        values = np.ones((40, 1))
+        estimate = estimate_sum(values, 0.25, 16, rng)
+        assert estimate[0] != 40
+        assert -8 <= estimate[0] < 8

@@ -1,0 +1,124 @@
+"""Tests for the sum estimation experiment harness (repro.sumestimation)."""
+
+import numpy as np
+import pytest
+
+from repro.config import CompressionConfig, PrivacyBudget
+from repro.errors import ConfigurationError
+from repro.mechanisms import GaussianMechanism, SkellamMixtureMechanism
+from repro.sumestimation import (
+    format_results_table,
+    run_sum_estimation,
+    sample_sphere,
+    sweep,
+)
+
+
+class TestSampleSphere:
+    def test_norms_equal_radius(self):
+        rng = np.random.default_rng(0)
+        points = sample_sphere(50, 64, rng, radius=2.5)
+        assert np.allclose(np.linalg.norm(points, axis=1), 2.5)
+
+    def test_shape(self):
+        rng = np.random.default_rng(1)
+        assert sample_sphere(10, 16, rng).shape == (10, 16)
+
+    def test_directions_cover_both_signs(self):
+        rng = np.random.default_rng(2)
+        points = sample_sphere(100, 8, rng)
+        assert points.min() < 0 < points.max()
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            sample_sphere(0, 8, rng)
+        with pytest.raises(ConfigurationError):
+            sample_sphere(8, 0, rng)
+        with pytest.raises(ConfigurationError):
+            sample_sphere(8, 8, rng, radius=0.0)
+
+
+class TestRunSumEstimation:
+    def test_gaussian_mse_matches_sigma(self):
+        # For the centralised Gaussian the mse is exactly the noise
+        # variance (in expectation): check within sampling error.
+        rng = np.random.default_rng(3)
+        values = sample_sphere(20, 256, rng)
+        result = run_sum_estimation(
+            GaussianMechanism(), values, PrivacyBudget(3.0), rng, trials=50
+        )
+        sigma = result.summary["sigma"]
+        assert result.mse == pytest.approx(sigma**2, rel=0.25)
+        assert result.mechanism == "gaussian"
+        assert result.trials == 50
+
+    def test_smm_runs(self):
+        rng = np.random.default_rng(4)
+        values = sample_sphere(20, 128, rng)
+        mechanism = SkellamMixtureMechanism(
+            CompressionConfig(modulus=2**16, gamma=256.0)
+        )
+        result = run_sum_estimation(
+            mechanism, values, PrivacyBudget(3.0), rng, trials=2
+        )
+        assert np.isfinite(result.mse)
+        assert result.mse > 0
+
+    def test_rejects_bad_inputs(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            run_sum_estimation(
+                GaussianMechanism(), np.zeros(5), PrivacyBudget(1.0), rng
+            )
+        with pytest.raises(ConfigurationError):
+            run_sum_estimation(
+                GaussianMechanism(),
+                np.zeros((2, 5)),
+                PrivacyBudget(1.0),
+                rng,
+                trials=0,
+            )
+
+
+class TestSweep:
+    def test_grid_shape(self):
+        rng = np.random.default_rng(5)
+        results = sweep(
+            {"gaussian": GaussianMechanism},
+            epsilons=[1.0, 3.0],
+            rng=rng,
+            num_points=10,
+            dimension=64,
+        )
+        assert len(results) == 2
+        assert {r.epsilon for r in results} == {1.0, 3.0}
+
+    def test_mse_decreases_with_epsilon(self):
+        rng = np.random.default_rng(6)
+        results = sweep(
+            {"gaussian": GaussianMechanism},
+            epsilons=[0.5, 5.0],
+            rng=rng,
+            num_points=10,
+            dimension=64,
+            trials=20,
+        )
+        assert results[0].mse > results[1].mse
+
+
+class TestFormatTable:
+    def test_renders_all_cells(self):
+        rng = np.random.default_rng(7)
+        results = sweep(
+            {"gaussian": GaussianMechanism},
+            epsilons=[1.0, 2.0],
+            rng=rng,
+            num_points=5,
+            dimension=32,
+        )
+        table = format_results_table(results)
+        assert "gaussian" in table
+        assert "1.00" in table
+        assert "2.00" in table
+        assert len(table.splitlines()) == 3
