@@ -21,6 +21,8 @@ import math
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow  # figure reproduction: minutes of wall time
+
 from repro.accounting.divergences import gaussian_rdp
 from repro.accounting.rdp import rdp_to_dp
 from repro.config import CompressionConfig, PrivacyBudget

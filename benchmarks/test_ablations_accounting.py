@@ -17,6 +17,8 @@ import math
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow  # figure reproduction: minutes of wall time
+
 from repro.accounting.divergences import smm_rdp
 from repro.accounting.pld import smm_pair_pmfs, tight_epsilon
 from repro.accounting.rdp import RdpAccountant, best_epsilon

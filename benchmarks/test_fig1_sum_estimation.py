@@ -19,6 +19,8 @@ with SMM slightly above at 2^18.
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow  # figure reproduction: minutes of wall time
+
 from repro.config import CompressionConfig, PrivacyBudget
 from repro.mechanisms import (
     CpSgdMechanism,

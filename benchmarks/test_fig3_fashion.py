@@ -15,6 +15,8 @@ import math
 
 import pytest
 
+pytestmark = pytest.mark.slow  # figure reproduction: minutes of wall time
+
 from benchmarks import fl_common
 from benchmarks.fl_common import train_point
 

@@ -12,6 +12,8 @@ smoothly; both sit near the Gaussian baseline at 18 bits.
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow  # figure reproduction: minutes of wall time
+
 from repro.config import CompressionConfig, PrivacyBudget
 from repro.mechanisms import (
     DiscreteGaussianMixtureMechanism,

@@ -14,6 +14,8 @@ strong privacy.
 
 import pytest
 
+pytestmark = pytest.mark.slow  # figure reproduction: minutes of wall time
+
 from benchmarks import fl_common
 from benchmarks.fl_common import train_point
 

@@ -1,0 +1,110 @@
+"""Simulation-engine throughput: rounds/sec vs population size.
+
+Production federated systems sample a bounded cohort per round from an
+arbitrarily large registered population (Bonawitz et al. run cohorts of
+hundreds over fleets of millions), so the default benchmark holds the
+cohort at ``min(population, 48)`` and scales the *population* through
+{32, 128, 512} — measuring registry, sampling and orchestration
+overhead at fixed protocol cost.  The slow tier additionally runs
+full-cohort rounds (cohort == population), where the Bonawitz
+protocol's quadratic pairwise-mask and Shamir-sharing work dominates.
+
+Each measured round is a complete dropout-tolerant async protocol
+execution on the simulated clock, verified exact against the surviving
+cohort's direct modular sum.  Results land in
+``benchmarks/results/sim_throughput.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.simulation import (
+    AsyncSecAggRound,
+    BernoulliDropout,
+    Population,
+    SimulatedClock,
+)
+
+POPULATIONS = [32, 128, 512]
+DIMENSION = 64
+MODULUS = 2**16
+DROPOUT_RATE = 0.1
+RESULTS_FILE = "sim_throughput.txt"
+
+
+def _run_rounds(
+    population_size: int,
+    cohort_cap: int,
+    num_rounds: int,
+    bench_rng: np.random.Generator,
+) -> tuple[float, int]:
+    """Run ``num_rounds`` aggregation rounds; returns (rounds/sec, drops)."""
+    population = Population(
+        population_size,
+        availability=BernoulliDropout(DROPOUT_RATE),
+        seed=20220601,
+    )
+    clock = SimulatedClock()
+    total_dropped = 0
+    started = time.perf_counter()
+    for round_index in range(num_rounds):
+        cohort = population.sample_cohort(round_index, cohort_cap)
+        if len(cohort) < 4:
+            continue
+        vectors = {
+            u: bench_rng.integers(0, MODULUS, size=DIMENSION, dtype=np.int64)
+            for u in cohort
+        }
+        secagg_round = AsyncSecAggRound(
+            vectors=vectors,
+            modulus=MODULUS,
+            threshold=max(2, int(0.6 * len(cohort))),
+            clock=clock,
+            rng=population.round_rng(round_index, purpose=2),
+            plans=population.plans(round_index, cohort),
+            phase_timeout=60.0,
+        )
+        outcome = clock.run(secagg_round.run())
+        expected = np.zeros(DIMENSION, dtype=np.int64)
+        for u in outcome.included:
+            expected = np.mod(expected + vectors[u], MODULUS)
+        assert np.array_equal(outcome.modular_sum, expected)
+        total_dropped += len(outcome.dropped)
+    elapsed = time.perf_counter() - started
+    return num_rounds / elapsed, total_dropped
+
+
+@pytest.mark.parametrize("population_size", POPULATIONS)
+def test_rounds_per_second(population_size, emit, bench_rng):
+    """Bounded-cohort throughput across the population sweep."""
+    cohort = min(population_size, 48)
+    rounds_per_sec, dropped = _run_rounds(
+        population_size, cohort, num_rounds=2, bench_rng=bench_rng
+    )
+    emit(
+        f"sim_throughput population={population_size:4d} cohort<={cohort:3d} "
+        f"dropout={DROPOUT_RATE} rounds_per_sec={rounds_per_sec:8.3f} "
+        f"dropped={dropped}",
+        RESULTS_FILE,
+    )
+    assert rounds_per_sec > 0
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("population_size", [128, 512])
+def test_rounds_per_second_full_cohort(population_size, emit, bench_rng):
+    """Full-cohort throughput: the protocol's quadratic regime."""
+    rounds_per_sec, dropped = _run_rounds(
+        population_size, population_size, num_rounds=1, bench_rng=bench_rng
+    )
+    emit(
+        f"sim_throughput_full population={population_size:4d} "
+        f"dropout={DROPOUT_RATE} rounds_per_sec={rounds_per_sec:8.3f} "
+        f"dropped={dropped}",
+        RESULTS_FILE,
+    )
+    assert rounds_per_sec > 0

@@ -20,6 +20,8 @@ direct comparison with the paper's Table 1.
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow  # figure reproduction: minutes of wall time
+
 from repro.sampling import (
     ExactDiscreteGaussianSampler,
     ExactSkellamSampler,

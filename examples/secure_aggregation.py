@@ -3,20 +3,33 @@
 The paper treats secure aggregation as a black box; this example opens
 the box.  Ten clients run the four-round Bonawitz et al. protocol —
 Diffie-Hellman key advertisement, Shamir key sharing, double-masked
-input collection, and unmasking — while two of them crash mid-protocol:
-one before uploading its masked input and one after.  The survivors'
-shares let the server recover exactly the masks it is entitled to
-remove, so the sum of the nine clients that contributed inputs comes
-out correct, and nothing about any individual input is revealed.
+input collection, and unmasking — while some of them crash
+mid-protocol.  Which clients crash, and at which phase, is decided by
+the *same* availability model the asynchronous simulation engine uses
+(:class:`repro.simulation.BernoulliDropout`), so this walkthrough and
+the engine can never drift apart: ``--dropout-rate 0.2`` here is the
+exact per-client, per-round crash process a
+``python -m repro.cli simulate --dropout-rate 0.2`` run experiences.
+
+Clients that crash *before* uploading their masked input are excluded
+from the sum (their lingering pairwise masks are reconstructed and
+removed); clients that crash *after* uploading stay included (their
+self-mask seed is reconstructed instead).  Either way the recovered
+modular sum is exactly the survivors' true sum, and no individual
+input is revealed.
 
 Run:
-    python examples/secure_aggregation.py
+    python examples/secure_aggregation.py [--dropout-rate 0.2] [--seed 42]
 """
+
+import argparse
 
 import numpy as np
 
+from repro.errors import AggregationError
 from repro.secagg import run_bonawitz
-from repro.secagg.bonawitz import ROUND_MASKED_INPUT, ROUND_UNMASK
+from repro.secagg.bonawitz import ROUND_MASKED_INPUT
+from repro.simulation import BernoulliDropout, Population
 
 NUM_CLIENTS = 10
 DIMENSION = 128
@@ -24,8 +37,17 @@ MODULUS = 2**16
 THRESHOLD = 6
 
 
-def main() -> None:
-    rng = np.random.default_rng(42)
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--dropout-rate", type=float, default=0.2,
+        help="per-client crash probability (same Bernoulli availability "
+             "model as the simulation engine)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+
+    rng = np.random.default_rng(args.seed)
 
     # Each client holds a private integer vector over Z_m (in FL these
     # would be SMM-perturbed gradients; here random data keeps the
@@ -34,26 +56,47 @@ def main() -> None:
         0, MODULUS, size=(NUM_CLIENTS, DIMENSION), dtype=np.int64
     )
 
-    # Client 3 dies before sending its masked input (round 2) and
-    # client 7 dies after sending it but before unmasking (round 3).
-    dropouts = {3: ROUND_MASKED_INPUT, 7: ROUND_UNMASK}
-
-    outcome = run_bonawitz(
-        inputs,
-        modulus=MODULUS,
-        threshold=THRESHOLD,
-        rng=rng,
-        dropouts=dropouts,
+    # Ask the engine's availability model who crashes, and when.  The
+    # model yields one plan per (client, round); we run a single round.
+    population = Population(
+        NUM_CLIENTS,
+        availability=BernoulliDropout(args.dropout_rate),
+        seed=args.seed,
     )
+    plans = population.plans(round_index=0, cohort=population.client_indices)
+    dropouts = {
+        client: plan.drop_phase
+        for client, plan in plans.items()
+        if plan.drop_phase is not None
+    }
 
-    print(f"clients: {NUM_CLIENTS}, Shamir threshold: {THRESHOLD}")
-    print(f"dropped mid-protocol: {sorted(outcome.dropped)}")
+    try:
+        outcome = run_bonawitz(
+            inputs,
+            modulus=MODULUS,
+            threshold=THRESHOLD,
+            rng=rng,
+            dropouts=dropouts,
+        )
+    except AggregationError as error:
+        # Below the Shamir threshold the protocol *must* abort rather
+        # than mis-aggregate — the other core guarantee.
+        raise SystemExit(
+            f"aggregation aborted (dropouts exceeded what threshold "
+            f"{THRESHOLD} tolerates): {error}"
+        )
+
+    print(f"clients: {NUM_CLIENTS}, Shamir threshold: {THRESHOLD}, "
+          f"dropout rate: {args.dropout_rate}")
+    for client in sorted(dropouts):
+        timing = (
+            "before contributing" if dropouts[client] <= ROUND_MASKED_INPUT
+            else "after contributing"
+        )
+        print(f"  client {client} crashed at phase {dropouts[client]} "
+              f"({timing})")
     print(f"inputs included in the sum: {sorted(outcome.included)}")
 
-    # Client 7 dropped *after* contributing, so its input is in the sum
-    # (the survivors reconstructed its self-mask seed).  Client 3
-    # dropped *before* contributing, so its lingering pairwise masks
-    # were reconstructed and removed instead.
     expected = np.mod(
         inputs[[u - 1 for u in sorted(outcome.included)]].sum(axis=0),
         MODULUS,
@@ -63,8 +106,15 @@ def main() -> None:
     print(f"first 8 coordinates: {outcome.modular_sum[:8].tolist()}")
 
     assert correct, "protocol failed to recover the correct sum"
-    assert 7 in outcome.included, "post-input dropout should stay included"
-    assert 3 in outcome.dropped, "pre-input dropout should be excluded"
+    for client, phase in dropouts.items():
+        if phase <= ROUND_MASKED_INPUT:
+            assert client not in outcome.included, (
+                "pre-input dropout should be excluded"
+            )
+        else:
+            assert client in outcome.included, (
+                "post-input dropout should stay included"
+            )
 
 
 if __name__ == "__main__":

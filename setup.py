@@ -1,4 +1,4 @@
-"""Legacy setup shim so editable installs work without the wheel package."""
+"""Legacy setup shim; all metadata lives in pyproject.toml."""
 
 from setuptools import setup
 

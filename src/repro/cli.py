@@ -1,6 +1,7 @@
 """Command-line interface for the reproduction experiments.
 
-Six subcommands mirror the paper's evaluation and motivation sections::
+Seven subcommands mirror the paper's evaluation and motivation sections,
+plus the production-shaped simulation layer::
 
     python -m repro.cli sum       # Section 6.1 distributed sum estimation
     python -m repro.cli fl        # Section 6.2 federated learning
@@ -8,6 +9,7 @@ Six subcommands mirror the paper's evaluation and motivation sections::
     python -m repro.cli secagg    # run the Bonawitz protocol with dropouts
     python -m repro.cli account   # RDP (Theorem 5) vs tight PLD epsilon
     python -m repro.cli attack    # Mironov floating-point attack demo
+    python -m repro.cli simulate  # async dropout-tolerant FL simulation
 
 Each prints the paper-style series rows; the benchmark suite under
 ``benchmarks/`` drives the same code paths with pinned configurations.
@@ -184,6 +186,73 @@ def command_secagg(args) -> int:
     return 0
 
 
+def command_simulate(args) -> int:
+    """Run the async orchestration engine over an unreliable population."""
+    from repro.simulation import (
+        AlwaysAvailable,
+        BernoulliDropout,
+        SimulationConfig,
+        SimulationEngine,
+        StragglerLatency,
+    )
+
+    from repro.errors import ConfigurationError
+
+    try:
+        availability = AlwaysAvailable(latency=args.latency)
+        if args.straggler_sigma > 0:
+            availability = StragglerLatency(
+                median=args.latency, sigma=args.straggler_sigma
+            )
+        if args.dropout_rate > 0:
+            availability = BernoulliDropout(
+                args.dropout_rate, base=availability
+            )
+        config = SimulationConfig(
+            population_size=args.clients,
+            expected_cohort=args.cohort,
+            rounds=args.rounds,
+            modulus=2**args.bits,
+            gamma=args.gamma if args.gamma is not None else 2**args.bits / 256.0,
+            epsilon=args.epsilon if not args.no_privacy else None,
+            delta=args.delta,
+            threshold_fraction=args.threshold_fraction,
+            phase_timeout=args.phase_timeout,
+            hidden=args.hidden,
+            test_records=args.test_records,
+            learning_rate=args.learning_rate,
+            eval_every=args.eval_every,
+            dataset=args.dataset,
+            seed=args.seed,
+            verify_aggregate=args.verify,
+        )
+        engine = SimulationEngine(config, availability=availability)
+    except ConfigurationError as error:
+        raise SystemExit(f"simulate: {error}")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        result = engine.run()
+    for record in result.records:
+        status = "aborted" if record.aborted else (
+            f"included={len(record.included):3d} "
+            f"dropped={len(record.dropped):3d}"
+        )
+        check = (
+            "" if record.aggregate_matches is None
+            else f"  exact={record.aggregate_matches}"
+        )
+        print(f"round {record.index:3d}: cohort={len(record.cohort):3d} "
+              f"{status}  eps={record.epsilon:6.3f}  "
+              f"t={record.completed_at:8.1f}s{check}", flush=True)
+    print(f"\nsimulated time: {result.sim_duration:.1f}s over "
+          f"{len(result.records)} rounds")
+    print(f"cumulative privacy: eps={result.epsilon:.4f} "
+          f"delta={result.delta:g}")
+    print(f"final test accuracy: {100 * result.final_accuracy:.1f}%")
+    print(f"parameters digest: {result.parameters_digest}")
+    return 0
+
+
 def command_account(args) -> int:
     """Compare Theorem-5 RDP accounting against the tight PLD epsilon."""
     from repro.accounting.pld import smm_pair_pmfs, tight_epsilon
@@ -286,6 +355,41 @@ def main(argv: Sequence[str] | None = None) -> int:
     secagg_parser.add_argument("--dropouts", type=int, default=2)
     secagg_parser.add_argument("--seed", type=int, default=0)
     secagg_parser.set_defaults(handler=command_secagg)
+
+    simulate_parser = subparsers.add_parser(
+        "simulate",
+        help="async dropout-tolerant federated simulation",
+    )
+    simulate_parser.add_argument("--clients", type=int, default=32)
+    simulate_parser.add_argument("--cohort", type=int, default=16)
+    simulate_parser.add_argument("--rounds", type=int, default=5)
+    simulate_parser.add_argument("--bits", type=int, default=16)
+    simulate_parser.add_argument("--gamma", type=float, default=None)
+    simulate_parser.add_argument("--epsilon", type=float, default=5.0,
+                                 help="privacy budget for the whole run")
+    simulate_parser.add_argument("--delta", type=float, default=1e-5)
+    simulate_parser.add_argument("--no-privacy", action="store_true",
+                                 help="train without a mechanism")
+    simulate_parser.add_argument("--dropout-rate", type=float, default=0.1,
+                                 help="per-round Bernoulli dropout rate")
+    simulate_parser.add_argument("--straggler-sigma", type=float, default=0.0,
+                                 help="log-normal latency spread (0 = constant)")
+    simulate_parser.add_argument("--latency", type=float, default=0.05,
+                                 help="median per-phase upload latency (s)")
+    simulate_parser.add_argument("--threshold-fraction", type=float,
+                                 default=0.6)
+    simulate_parser.add_argument("--phase-timeout", type=float, default=60.0)
+    simulate_parser.add_argument("--hidden", type=int, default=8)
+    simulate_parser.add_argument("--test-records", type=int, default=128)
+    simulate_parser.add_argument("--learning-rate", type=float, default=0.01)
+    simulate_parser.add_argument("--eval-every", type=int, default=0)
+    simulate_parser.add_argument("--dataset", choices=["mnist", "fashion"],
+                                 default="mnist")
+    simulate_parser.add_argument("--seed", type=int, default=0)
+    simulate_parser.add_argument("--verify", action="store_true",
+                                 help="check each aggregate against the "
+                                      "survivors' direct modular sum")
+    simulate_parser.set_defaults(handler=command_simulate)
 
     account_parser = subparsers.add_parser(
         "account", help="RDP vs tight PLD accounting for SMM"

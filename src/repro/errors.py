@@ -46,6 +46,15 @@ class AggregationError(ReproError):
     """
 
 
+class SimulationError(ReproError):
+    """The event-driven simulation cannot make progress.
+
+    Examples: every task is blocked on the simulated clock with no timer
+    pending (a deadlock), or a coroutine busy-loops without ever awaiting
+    a clock primitive so simulated time can never advance.
+    """
+
+
 class OverflowWarning(UserWarning):
     """The aggregate (signal plus noise) likely exceeded ``[-m/2, m/2)``.
 

@@ -166,10 +166,33 @@ class FederatedTrainer:
         )
         self.mechanism.calibrate(spec, accounting)
 
-    def _noisy_gradient(
-        self, batch: Dataset, rng: np.random.Generator
+    def _select_round_participants(
+        self, rng: np.random.Generator, round_index: int
     ) -> np.ndarray:
-        """The server's gradient estimate for one sampled batch."""
+        """Record indices participating in one round (may be empty).
+
+        The default is the paper's regime: Poisson sampling at rate
+        ``q``, thinned by ``config.dropout_rate``.  Subclasses (e.g. the
+        :mod:`repro.simulation` engine) override this to drive selection
+        from a client population model instead.
+        """
+        selected = rng.random(self.train.num_records) < self.sampling_rate
+        if self.config.dropout_rate > 0:
+            surviving = (
+                rng.random(self.train.num_records) >= self.config.dropout_rate
+            )
+            selected &= surviving
+        return np.flatnonzero(selected)
+
+    def _aggregate_gradients(
+        self, batch: Dataset, rng: np.random.Generator, round_index: int
+    ) -> np.ndarray | None:
+        """The server's gradient estimate for one sampled batch.
+
+        Returns ``None`` to skip the round's model update (the default
+        never does; the async simulation engine does when an aggregation
+        round aborts below the SecAgg threshold).
+        """
         per_example = self.model.per_example_gradients(
             batch.features, batch.labels
         )
@@ -200,20 +223,14 @@ class FederatedTrainer:
             history.mechanism_summary = self.mechanism.describe()
         parameters = self.model.get_flat_parameters()
         for round_index in range(1, self.config.rounds + 1):
-            selected = (
-                rng.random(self.train.num_records) < self.sampling_rate
-            )
-            if self.config.dropout_rate > 0:
-                surviving = (
-                    rng.random(self.train.num_records)
-                    >= self.config.dropout_rate
-                )
-                selected &= surviving
-            if not selected.any():
+            participants = self._select_round_participants(rng, round_index)
+            if participants.size == 0:
                 continue  # Empty Poisson sample: no update this round.
             optimizer.learning_rate = schedule.rate(round_index)
-            batch = self.train.subset(np.flatnonzero(selected))
-            gradient = self._noisy_gradient(batch, rng)
+            batch = self.train.subset(participants)
+            gradient = self._aggregate_gradients(batch, rng, round_index)
+            if gradient is None:
+                continue  # Aggregation aborted: no update this round.
             parameters = optimizer.step(parameters, gradient)
             self.model.set_flat_parameters(parameters)
             if (

@@ -126,6 +126,32 @@ class SumEstimator(abc.ABC):
         """Human-readable calibration summary for experiment logs."""
         return {"name": self.name}
 
+    def per_round_rdp_curve(self, num_participants: int | None = None):
+        """RDP curve of one aggregation at the calibrated noise level.
+
+        Used by running privacy ledgers (the simulation engine's
+        :class:`~repro.accounting.rdp.RdpAccountant`) to charge each
+        executed round and report a cumulative ``(epsilon, delta)``.
+
+        Args:
+            num_participants: Contributors whose noise actually reached
+                the aggregate; ``None`` means the calibrated
+                expectation.
+
+        Returns:
+            An ``alpha -> tau`` callable raising
+            :class:`~repro.errors.PrivacyAccountingError` at infeasible
+            orders.
+
+        Raises:
+            CalibrationError: If the mechanism is uncalibrated or does
+                not expose an RDP curve (cpSGD accounts via
+                ``(epsilon, delta)`` composition instead).
+        """
+        raise CalibrationError(
+            f"{type(self).__name__} does not expose a per-round RDP curve"
+        )
+
 
 class DistributedSumEstimator(SumEstimator):
     """Shared SecAgg pipeline for the integer-noise mechanisms.

@@ -90,6 +90,46 @@ class SkellamMixtureMechanism(DistributedSumEstimator):
         rounded = bernoulli_round(clipped, rng)
         return rounded + skellam_noise(self.lam, rounded.shape, rng)
 
+    def per_round_rdp_curve(self, num_participants: int | None = None):
+        """Theorem-5 RDP curve of one round at the calibrated ``lambda``.
+
+        Args:
+            num_participants: Contributors whose noise shares actually
+                reached the aggregate; defaults to the calibrated
+                expectation.  A running ledger passes the *realized*
+                survivor count, so dropout rounds — which carry less
+                total noise than calibration assumed — are charged
+                their true, higher cost.
+
+        Feasibility mirrors calibration: orders whose Eq. (3) maximum
+        falls below the transmitted ``Delta_inf`` raise, so a ledger
+        composing this curve drops exactly the orders the (possibly
+        reduced) noise level excludes.
+        """
+        if self.lam is None or self.clip is None:
+            raise CalibrationError("SkellamMixtureMechanism is not calibrated")
+        contributors = (
+            num_participants
+            if num_participants is not None
+            else self.spec.num_participants
+        )
+        if contributors < 1:
+            raise CalibrationError(
+                f"num_participants must be >= 1, got {contributors}"
+            )
+        total_lam = contributors * self.lam
+        c = self.clip.c
+        delta_inf = self.clip.delta_inf
+
+        def curve(alpha: int) -> float:
+            if smm_max_delta_inf(alpha, total_lam) < delta_inf:
+                raise PrivacyAccountingError(
+                    f"Delta_inf {delta_inf:g} infeasible at order {alpha}"
+                )
+            return smm_rdp(alpha, c, total_lam, delta_inf)
+
+        return curve
+
     def describe(self) -> dict[str, float | int | str]:
         summary: dict[str, float | int | str] = {
             "name": self.name,

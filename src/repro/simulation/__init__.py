@@ -1,0 +1,62 @@
+"""Event-driven federated orchestration over an unreliable population.
+
+The paper evaluates its mechanisms under fully synchronous, all-online
+aggregation; this subsystem supplies the production-shaped layer on top:
+an asyncio engine that runs whole training rounds over a simulated
+client population with dropouts, stragglers and churn, survives them via
+the Bonawitz protocol's Shamir recovery, and charges a running privacy
+ledger — all on a deterministic simulated clock, so every run is
+bit-reproducible from its seed.
+
+Layering (each module only depends on the ones above it):
+
+* :mod:`~repro.simulation.clock` — deterministic discrete-event clock
+  driving asyncio without wall time.
+* :mod:`~repro.simulation.events` — clock-aware mailboxes and the trace.
+* :mod:`~repro.simulation.population` — client registry, availability
+  models, cohort sampling.
+* :mod:`~repro.simulation.rounds` — dropout-tolerant async SecAgg round
+  driver over the ``secagg.bonawitz`` state machines.
+* :mod:`~repro.simulation.engine` — the training orchestrator wiring
+  encoder/decoder, the Skellam mixture noise, the federated trainer and
+  the accounting ledger into the round loop.
+"""
+
+from repro.simulation.clock import SimulatedClock
+from repro.simulation.engine import (
+    RoundRecord,
+    SimulationConfig,
+    SimulationEngine,
+    SimulationResult,
+)
+from repro.simulation.events import Mailbox, SimulationTrace, TraceEvent
+from repro.simulation.population import (
+    AlwaysAvailable,
+    AvailabilityModel,
+    BernoulliDropout,
+    ClientPlan,
+    Population,
+    RoundChurn,
+    StragglerLatency,
+)
+from repro.simulation.rounds import AsyncSecAggRound, RoundOutcome
+
+__all__ = [
+    "AlwaysAvailable",
+    "AsyncSecAggRound",
+    "AvailabilityModel",
+    "BernoulliDropout",
+    "ClientPlan",
+    "Mailbox",
+    "Population",
+    "RoundChurn",
+    "RoundOutcome",
+    "RoundRecord",
+    "SimulatedClock",
+    "SimulationConfig",
+    "SimulationEngine",
+    "SimulationResult",
+    "SimulationTrace",
+    "StragglerLatency",
+    "TraceEvent",
+]

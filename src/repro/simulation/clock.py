@@ -1,0 +1,225 @@
+"""Deterministic simulated clock: asyncio without wall time.
+
+Federated rounds are full of waiting — upload latencies, phase
+deadlines, straggler timeouts.  Simulating them against the wall clock
+would make every run slow *and* nondeterministic (task wake-up order
+would depend on OS scheduling jitter).  :class:`SimulatedClock` removes
+wall time from the picture entirely:
+
+* coroutines wait with ``await clock.sleep(delay)`` (or via the
+  clock-aware primitives in :mod:`repro.simulation.events`), which
+  registers a timer on the clock's heap instead of the event loop's
+  wall-clock timer wheel;
+* :meth:`SimulatedClock.run` drives the asyncio event loop until every
+  task is blocked on a clock timer (*quiescence*), then pops the
+  earliest timer, advances ``now`` to its due time, fires it, and
+  settles again — the classic discrete-event simulation loop.
+
+Quiescence is detected exactly, not heuristically: the clock runs the
+program on a private event loop that counts ready-queue insertions
+(every task wake-up in asyncio — future resolution, task creation,
+``sleep(0)`` — goes through ``call_soon``).  After yielding, if the only
+insertion was the driver's own re-queue, every other task has run as far
+as it can without the clock advancing.
+
+Determinism: timers fire in (time, registration order) — a total order —
+and asyncio's ready queue is FIFO, so a simulation whose tasks only
+suspend on clock primitives replays bit-identically for a fixed seed.
+
+Constraints on simulation code (enforced by failure, documented here):
+tasks must not await wall-clock primitives (``asyncio.sleep(dt)`` with
+``dt > 0``) and must not busy-loop over bare ``asyncio.sleep(0)``;
+either would stall or break the advance loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+from collections.abc import Callable, Coroutine
+from typing import Any
+
+from repro.errors import ConfigurationError, SimulationError
+
+#: Upper bound on settle passes between clock advances; a simulation that
+#: schedules work this many loop iterations deep without touching the
+#: clock is assumed to be busy-looping.
+DEFAULT_MAX_SETTLE_PASSES = 100_000
+
+
+class _CountingEventLoop(asyncio.SelectorEventLoop):
+    """A selector loop that counts ready-queue insertions.
+
+    Every asyncio wake-up path (future resolution, task creation,
+    ``asyncio.sleep(0)`` re-queues) funnels through :meth:`call_soon`,
+    so the insertion counter is an exact record of scheduling activity.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.insertions = 0
+
+    def call_soon(self, callback, *args, context=None):
+        self.insertions += 1
+        return super().call_soon(callback, *args, context=context)
+
+
+class SimulatedClock:
+    """A discrete-event clock that drives asyncio deterministically.
+
+    Args:
+        start: Initial simulated time (seconds; an arbitrary epoch).
+        max_settle_passes: Safety bound on event-loop iterations between
+            two clock advances, to fail fast on busy-looping tasks.
+    """
+
+    def __init__(
+        self,
+        start: float = 0.0,
+        max_settle_passes: int = DEFAULT_MAX_SETTLE_PASSES,
+    ) -> None:
+        if max_settle_passes < 1:
+            raise ConfigurationError(
+                f"max_settle_passes must be >= 1, got {max_settle_passes}"
+            )
+        self._now = float(start)
+        self._timers: list[tuple[float, int, Any]] = []
+        self._sequence = itertools.count()
+        self._max_settle_passes = max_settle_passes
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def pending_timers(self) -> int:
+        """Number of registered timers that have not fired yet."""
+        return len(self._timers)
+
+    async def sleep(self, delay: float) -> None:
+        """Suspend the calling task for ``delay`` simulated seconds.
+
+        Args:
+            delay: Non-negative simulated duration; ``0`` still suspends
+                until the next clock advance, providing a deterministic
+                yield point.
+        """
+        if delay < 0:
+            raise ConfigurationError(f"delay must be >= 0, got {delay}")
+        future = asyncio.get_running_loop().create_future()
+        self._register(self._now + delay, future)
+        await future
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback()`` at simulated time ``when``.
+
+        Times in the past are clamped to ``now`` (the callback fires on
+        the next advance).  Used by the event primitives to implement
+        deadlines.
+        """
+        self._register(max(when, self._now), callback)
+
+    def _register(self, when: float, action: Any) -> None:
+        heapq.heappush(self._timers, (when, next(self._sequence), action))
+
+    def run(self, main: Coroutine[Any, Any, Any]) -> Any:
+        """Run ``main`` to completion under simulated time.
+
+        Creates a private event loop, so it can be called from ordinary
+        synchronous code (and called again for subsequent rounds — the
+        clock's time and any unfired timers persist across calls).
+
+        Args:
+            main: The root coroutine of the simulation.
+
+        Returns:
+            ``main``'s return value.
+
+        Raises:
+            SimulationError: On deadlock (all tasks blocked, no timer
+                pending) or a busy-looping task.
+        """
+        if self._running:
+            main.close()
+            raise SimulationError("SimulatedClock.run is not reentrant")
+        loop = _CountingEventLoop()
+        self._running = True
+        try:
+            return loop.run_until_complete(self._drive(loop, main))
+        finally:
+            self._running = False
+            loop.close()
+
+    async def _drive(
+        self, loop: _CountingEventLoop, main: Coroutine[Any, Any, Any]
+    ) -> Any:
+        task = asyncio.ensure_future(main)
+        try:
+            while True:
+                await self._settle(loop)
+                if task.done():
+                    break
+                if not self._timers:
+                    raise SimulationError(
+                        "simulation deadlock: every task is waiting and no "
+                        "timer is pending"
+                    )
+                self._fire_next()
+            return task.result()
+        finally:
+            await self._cancel_stragglers(task)
+
+    async def _settle(self, loop: _CountingEventLoop) -> None:
+        """Yield until no task can run without the clock advancing."""
+        for _ in range(self._max_settle_passes):
+            before = loop.insertions
+            await asyncio.sleep(0)
+            # Our own re-queue accounts for exactly one insertion; any
+            # second insertion means some other task was scheduled and
+            # may schedule more once it runs.
+            if loop.insertions == before + 1:
+                return
+        raise SimulationError(
+            f"simulation failed to quiesce within {self._max_settle_passes} "
+            "event-loop passes: a task is busy-looping without awaiting "
+            "the simulated clock"
+        )
+
+    def _fire_next(self) -> None:
+        """Advance to the earliest timer and fire it.
+
+        Timers are fired one at a time (settling in between) so that the
+        consequences of each event are fully processed before the next
+        event of the same timestamp runs — the strictest, and therefore
+        most reproducible, discrete-event semantics.
+        """
+        while self._timers:
+            when, _, action = heapq.heappop(self._timers)
+            if isinstance(action, asyncio.Future):
+                if action.done():
+                    continue  # Waiter was cancelled; drop the timer.
+                self._now = when
+                action.set_result(None)
+                return
+            self._now = when
+            action()
+            return
+
+    async def _cancel_stragglers(self, main_task: asyncio.Future) -> None:
+        """Cancel any tasks the simulation left behind, so the loop
+        closes cleanly even when the run raised mid-protocol."""
+        current = asyncio.current_task()
+        stragglers = [
+            pending
+            for pending in asyncio.all_tasks()
+            if pending is not current and not pending.done()
+        ]
+        for pending in stragglers:
+            pending.cancel()
+        if stragglers:
+            await asyncio.gather(*stragglers, return_exceptions=True)
+        if main_task.done() and not main_task.cancelled():
+            main_task.exception()  # Mark retrieved; avoid warnings.

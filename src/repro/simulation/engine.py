@@ -1,0 +1,542 @@
+"""The simulation engine: full DP-FL training over an unreliable population.
+
+:class:`SimulationEngine` is the top-level orchestrator this package
+exists for.  Each training round it
+
+1. Poisson-samples a cohort from the :class:`~repro.simulation.population.Population`
+   (the sampling the privacy accountant's amplification lemma assumes),
+2. computes each cohort member's per-record gradient and encodes it with
+   the paper's Algorithm-4 pipeline (:class:`~repro.core.client.GradientEncoder`
+   with the calibrated Skellam mixture noise sampler),
+3. drives the encoded vectors through a dropout-tolerant asynchronous
+   Bonawitz round (:class:`~repro.simulation.rounds.AsyncSecAggRound`)
+   on the deterministic simulated clock — crashes and stragglers
+   shrink the cohort, Shamir reconstruction cleans up after them,
+4. decodes the surviving cohort's aggregate with Algorithm 6
+   (:class:`~repro.core.server.GradientDecoder`) and applies the server
+   optimiser step via the :class:`~repro.fl.training.FederatedTrainer`
+   round loop, and
+5. charges one round of Poisson-subsampled composition to a running
+   :class:`~repro.accounting.rdp.RdpAccountant` ledger, so the run
+   reports its cumulative ``(epsilon, delta)`` alongside accuracy.
+
+Ledger policy — honest about dropout: each contributor adds one noise
+share, so a round that lost clients mid-protocol carries less total
+noise than calibration assumed and truly costs *more* epsilon.  The
+ledger charges such rounds at an effective contributor count scaled
+down by the survivor fraction (``floor(expected * |included|/|cohort|)``)
+instead of pretending the cohort was whole.  Poisson fluctuation of the
+cohort size itself is *not* penalized — that randomness belongs to the
+amplification lemma, and following the paper's convention it is
+accounted at the expected batch size.  Rounds skipped for an empty
+cohort or aborted below the SecAgg threshold released nothing and are
+charged at the calibrated expectation.  Consequently the cumulative
+epsilon equals the calibrated budget after ``T`` dropout-free rounds
+and visibly exceeds it under dropout, per round, in the
+:class:`RoundRecord` stream.
+
+Determinism: all randomness flows from ``config.seed`` through the
+population's spawn-keyed streams, and all concurrency runs on the
+simulated clock, so a run is bit-reproducible — asserted via
+:attr:`SimulationResult.parameters_digest`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import math
+
+import numpy as np
+
+from repro.accounting.rdp import RdpAccountant
+from repro.config import CompressionConfig, PrivacyBudget
+from repro.core.calibration import _memoised
+from repro.core.client import GradientEncoder, skellam_encoder
+from repro.core.server import GradientDecoder
+from repro.errors import (
+    AggregationError,
+    ConfigurationError,
+    PrivacyAccountingError,
+)
+from repro.fl.data import Dataset, fashion_mnist_surrogate, mnist_surrogate
+from repro.fl.model import MLPClassifier
+from repro.fl.training import FederatedTrainer, TrainingConfig, TrainingHistory
+from repro.linalg.hadamard import RandomRotation
+from repro.mechanisms.smm import SkellamMixtureMechanism
+from repro.simulation.clock import SimulatedClock
+from repro.simulation.events import SimulationTrace
+from repro.simulation.population import (
+    PURPOSE_ENCODING,
+    PURPOSE_PROTOCOL,
+    AvailabilityModel,
+    Population,
+)
+from repro.simulation.rounds import AsyncSecAggRound
+
+#: Run-scoped spawn-key purposes (distinct namespace from the per-round
+#: purposes in :mod:`repro.simulation.population` by key length).
+_SETUP_DATA = 10
+_SETUP_MODEL = 11
+_SETUP_ROTATION = 12
+_SETUP_TRAINING = 13
+
+_DATASETS = {"mnist": mnist_surrogate, "fashion": fashion_mnist_surrogate}
+
+
+@dataclasses.dataclass(frozen=True)
+class SimulationConfig:
+    """Parameters of one simulated training run.
+
+    Attributes:
+        population_size: Registered clients (one record each).
+        expected_cohort: Expected Poisson cohort size per round ``|B|``.
+        rounds: Training rounds ``T``.
+        modulus: SecAgg modulus ``m``.
+        gamma: Algorithm-4 scale parameter.
+        epsilon: Target DP epsilon for the whole run; ``None`` trains
+            non-privately (and without SecAgg).
+        delta: Target DP delta.
+        threshold_fraction: Shamir threshold as a fraction of the
+            sampled cohort (0.6 tolerates up to 40% dropout).
+        phase_timeout: Server-side phase deadline (simulated seconds).
+        hidden: Hidden width of the surrogate-MNIST classifier.
+        test_records: Held-out evaluation records.
+        learning_rate: Server optimiser step size.
+        optimizer: ``"adam"`` or ``"sgd"``.
+        lr_schedule: Server learning-rate schedule name.
+        eval_every: Evaluate accuracy every this many rounds (0 = only
+            at the end).
+        dataset: ``"mnist"`` or ``"fashion"`` surrogate.
+        seed: Root seed; equal seeds give bit-identical runs.
+        verify_aggregate: Record, per round, whether the SecAgg output
+            exactly equals the survivors' direct modular sum (a
+            simulation-side correctness oracle, not something a real
+            server could compute).
+    """
+
+    population_size: int = 32
+    expected_cohort: int = 16
+    rounds: int = 5
+    modulus: int = 2**16
+    gamma: float = 64.0
+    epsilon: float | None = 5.0
+    delta: float = 1e-5
+    threshold_fraction: float = 0.6
+    phase_timeout: float = 60.0
+    hidden: int = 8
+    test_records: int = 128
+    learning_rate: float = 0.01
+    optimizer: str = "adam"
+    lr_schedule: str = "constant"
+    eval_every: int = 0
+    dataset: str = "mnist"
+    seed: int = 0
+    verify_aggregate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.expected_cohort > self.population_size:
+            raise ConfigurationError(
+                f"expected_cohort {self.expected_cohort} exceeds the "
+                f"population of {self.population_size}"
+            )
+        if not 0 < self.threshold_fraction <= 1:
+            raise ConfigurationError(
+                "threshold_fraction must be in (0, 1], got "
+                f"{self.threshold_fraction}"
+            )
+        if self.dataset not in _DATASETS:
+            raise ConfigurationError(
+                f"dataset must be one of {sorted(_DATASETS)}, "
+                f"got {self.dataset!r}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class RoundRecord:
+    """What happened in one scheduled round.
+
+    Attributes:
+        index: 1-based round number.
+        cohort: Sampled client indices (possibly empty).
+        included: Clients whose input made the aggregate.
+        dropped: Cohort members lost to crashes/stragglers.
+        epsilon: Cumulative ledger epsilon *after* this round.
+        aborted: True if aggregation fell below the SecAgg threshold
+            (no model update happened).
+        aggregate_matches: Exact-match oracle result (``None`` unless
+            ``config.verify_aggregate``).
+        started_at: Simulated start time.
+        completed_at: Simulated completion time.
+    """
+
+    index: int
+    cohort: tuple[int, ...]
+    included: frozenset[int]
+    dropped: frozenset[int]
+    epsilon: float
+    aborted: bool = False
+    aggregate_matches: bool | None = None
+    started_at: float = 0.0
+    completed_at: float = 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of a full simulated training run.
+
+    Attributes:
+        records: One entry per scheduled round.
+        history: The trainer's accuracy/loss history.
+        epsilon: Final cumulative epsilon (``nan`` for non-private).
+        delta: The delta the ledger converted at.
+        mechanism_summary: Calibration description of the mechanism.
+        sim_duration: Total simulated seconds of SecAgg traffic.
+        parameters_digest: SHA-256 of the final model parameters —
+            equal digests prove bit-identical runs.
+    """
+
+    records: tuple[RoundRecord, ...]
+    history: TrainingHistory
+    epsilon: float
+    delta: float
+    mechanism_summary: dict
+    sim_duration: float
+    parameters_digest: str
+
+    @property
+    def final_accuracy(self) -> float:
+        """Test accuracy of the final model."""
+        return self.history.final_accuracy
+
+
+class _AsyncRoundTrainer(FederatedTrainer):
+    """FederatedTrainer whose rounds run through the simulation engine."""
+
+    def __init__(self, engine: "SimulationEngine", *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._engine = engine
+        self._current_cohort: tuple[int, ...] = ()
+
+    def _select_round_participants(
+        self, rng: np.random.Generator, round_index: int
+    ) -> np.ndarray:
+        cohort = self._engine.population.sample_cohort(
+            round_index, self.config.expected_batch
+        )
+        self._current_cohort = cohort
+        if not cohort:
+            self._engine._record_skipped_round(round_index)
+            return np.empty(0, dtype=np.int64)
+        return np.asarray([u - 1 for u in cohort], dtype=np.int64)
+
+    def _aggregate_gradients(
+        self, batch: Dataset, rng: np.random.Generator, round_index: int
+    ) -> np.ndarray | None:
+        return self._engine._aggregate_round(
+            batch, round_index, self._current_cohort
+        )
+
+
+class SimulationEngine:
+    """Orchestrates DP federated training over a simulated population.
+
+    Args:
+        config: Run parameters.
+        availability: Client behaviour model (dropout/stragglers/churn);
+            defaults to everyone always online.
+        train: Override the training dataset (defaults to the surrogate
+            named by ``config.dataset``, one record per client).
+        test: Override the evaluation dataset.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        availability: AvailabilityModel | None = None,
+        train: Dataset | None = None,
+        test: Dataset | None = None,
+    ) -> None:
+        self.config = config
+        self.population = Population(
+            config.population_size, availability, seed=config.seed
+        )
+        if train is None or test is None:
+            maker = _DATASETS[config.dataset]
+            made_train, made_test = maker(
+                self.population.setup_rng(_SETUP_DATA),
+                config.population_size,
+                config.test_records,
+            )
+            train = train if train is not None else made_train
+            test = test if test is not None else made_test
+        if train.num_records != config.population_size:
+            raise ConfigurationError(
+                f"training set has {train.num_records} records for a "
+                f"population of {config.population_size} (one record per "
+                "client)"
+            )
+        self.compression = CompressionConfig(
+            modulus=config.modulus, gamma=config.gamma
+        )
+        self.mechanism = (
+            SkellamMixtureMechanism(self.compression)
+            if config.epsilon is not None
+            else None
+        )
+        # Tiny populations can miss a class entirely; size the softmax
+        # head over both splits so evaluation never indexes past it.
+        num_classes = max(train.num_classes, test.num_classes)
+        self.model = MLPClassifier(
+            [train.num_features, config.hidden, num_classes],
+            self.population.setup_rng(_SETUP_MODEL),
+        )
+        budget = (
+            PrivacyBudget(epsilon=config.epsilon, delta=config.delta)
+            if config.epsilon is not None
+            else None
+        )
+        self._trainer = _AsyncRoundTrainer(
+            self,
+            self.model,
+            self.mechanism,
+            train,
+            test,
+            TrainingConfig(
+                rounds=config.rounds,
+                expected_batch=config.expected_cohort,
+                budget=budget,
+                learning_rate=config.learning_rate,
+                optimizer=config.optimizer,
+                eval_every=config.eval_every,
+                lr_schedule=config.lr_schedule,
+            ),
+        )
+        self.encoder: GradientEncoder | None = None
+        self.decoder: GradientDecoder | None = None
+        self.trace: SimulationTrace | None = None
+        self._clock: SimulatedClock | None = None
+        self._ledger: RdpAccountant | None = None
+        self._curves: dict[int, object] = {}  # survivor count -> RDP curve
+        self._records: list[RoundRecord] = []
+
+    @property
+    def sampling_rate(self) -> float:
+        """Poisson rate ``q`` each client is sampled with per round."""
+        return min(1.0, self.config.expected_cohort / self.config.population_size)
+
+    def run(self) -> SimulationResult:
+        """Execute the full training run; returns the collected result."""
+        self._records = []
+        self._clock = SimulatedClock()
+        self.trace = SimulationTrace(self._clock)
+        self.encoder = self.decoder = self._ledger = None
+        self._curves = {}
+        # trainer.run() calibrates the mechanism before its first round;
+        # the wire pipeline is then built lazily on the first round hook.
+        history = self._trainer.run(self.population.setup_rng(_SETUP_TRAINING))
+        digest = hashlib.sha256(
+            np.ascontiguousarray(self.model.get_flat_parameters()).tobytes()
+        ).hexdigest()
+        return SimulationResult(
+            records=tuple(self._records),
+            history=history,
+            epsilon=self._current_epsilon(),
+            delta=self.config.delta,
+            mechanism_summary=(
+                self.mechanism.describe() if self.mechanism else {}
+            ),
+            sim_duration=self._clock.now,
+            parameters_digest=digest,
+        )
+
+    def _ensure_wired(self) -> None:
+        """Build the shared wire pipeline once the mechanism is calibrated.
+
+        Called lazily from the first round hook, after
+        ``FederatedTrainer.run`` has performed its (single) calibration.
+        """
+        if self.mechanism is None or self.encoder is not None:
+            return
+        rotation = RandomRotation.create(
+            self.model.num_parameters, self.population.setup_rng(_SETUP_ROTATION)
+        )
+        assert self.mechanism.lam is not None  # Set by calibration.
+        self.encoder = skellam_encoder(
+            rotation=rotation,
+            compression=self.compression,
+            clip=self.mechanism.clip,
+            lam=self.mechanism.lam,
+        )
+        self.decoder = GradientDecoder(
+            rotation=rotation,
+            compression=self.compression,
+            warn_on_saturation=False,
+        )
+        self._ledger = RdpAccountant(
+            orders=self._trainer.config.budget.orders
+        )
+
+    def _round_curve(self, contributors: int):
+        """The (memoised) one-round RDP curve at a survivor count."""
+        if contributors not in self._curves:
+            self._curves[contributors] = _memoised(
+                self.mechanism.per_round_rdp_curve(contributors)
+            )
+        return self._curves[contributors]
+
+    def _charge_round(self, contributors: int) -> float:
+        """Charge one round at the realized survivor count.
+
+        Falls back to the calibrated expectation if the reduced noise
+        level is infeasible at every Renyi order the ledger still
+        tracks (an extreme-dropout corner; the fallback under-charges
+        and is surfaced in the trace).
+        """
+        if self._ledger is None:
+            return float("nan")
+        try:
+            self._ledger.step_subsampled(
+                self._round_curve(contributors), self.sampling_rate
+            )
+        except PrivacyAccountingError:
+            self.trace.record(
+                "ledger-fallback", contributors=contributors
+            )
+            self._ledger.step_subsampled(
+                self._round_curve(self.config.expected_cohort),
+                self.sampling_rate,
+            )
+        return self._current_epsilon()
+
+    def _current_epsilon(self) -> float:
+        if self._ledger is None:
+            return float("nan")
+        return self._ledger.epsilon(self.config.delta)
+
+    def _record_skipped_round(self, round_index: int) -> None:
+        """An empty Poisson sample still counts as a scheduled round."""
+        self._ensure_wired()
+        epsilon = self._charge_round(self.config.expected_cohort)
+        now = self._clock.now if self._clock is not None else 0.0
+        self._records.append(
+            RoundRecord(
+                index=round_index,
+                cohort=(),
+                included=frozenset(),
+                dropped=frozenset(),
+                epsilon=epsilon,
+                started_at=now,
+                completed_at=now,
+            )
+        )
+
+    def _aggregate_round(
+        self, batch: Dataset, round_index: int, cohort: tuple[int, ...]
+    ) -> np.ndarray | None:
+        per_example = self.model.per_example_gradients(
+            batch.features, batch.labels
+        )
+        if self.mechanism is None:
+            return self._plain_round(per_example, round_index, cohort)
+        self._ensure_wired()
+        assert self.encoder is not None and self.decoder is not None
+        threshold = max(
+            2, math.ceil(self.config.threshold_fraction * len(cohort))
+        )
+        started_at = self._clock.now
+        if len(cohort) < 2:
+            # Bonawitz needs at least two parties; treat as an abort.
+            return self._abort_round(round_index, cohort, started_at)
+        vectors = {
+            client: self.encoder.encode(
+                per_example[position],
+                self.population.client_rng(
+                    round_index, client, PURPOSE_ENCODING
+                ),
+            )
+            for position, client in enumerate(cohort)
+        }
+        secagg_round = AsyncSecAggRound(
+            vectors=vectors,
+            modulus=self.config.modulus,
+            threshold=threshold,
+            clock=self._clock,
+            rng=self.population.round_rng(round_index, PURPOSE_PROTOCOL),
+            plans=self.population.plans(round_index, cohort),
+            phase_timeout=self.config.phase_timeout,
+            trace=self.trace,
+        )
+        try:
+            outcome = self._clock.run(secagg_round.run())
+        except AggregationError:
+            return self._abort_round(round_index, cohort, started_at)
+        matches: bool | None = None
+        if self.config.verify_aggregate:
+            reference = np.zeros_like(outcome.modular_sum)
+            for client in outcome.included:
+                reference = np.mod(
+                    reference + vectors[client], self.config.modulus
+                )
+            matches = bool(np.array_equal(reference, outcome.modular_sum))
+        # Charge dropout (lost noise shares) honestly while keeping the
+        # paper's expected-batch convention for Poisson size fluctuation.
+        survivor_fraction = len(outcome.included) / len(cohort)
+        contributors = max(
+            1, math.floor(self.config.expected_cohort * survivor_fraction)
+        )
+        epsilon = self._charge_round(contributors)
+        self._records.append(
+            RoundRecord(
+                index=round_index,
+                cohort=cohort,
+                included=outcome.included,
+                dropped=outcome.dropped,
+                epsilon=epsilon,
+                aggregate_matches=matches,
+                started_at=outcome.started_at,
+                completed_at=outcome.completed_at,
+            )
+        )
+        decoded = self.decoder.decode(outcome.modular_sum)
+        return decoded / self.config.expected_cohort
+
+    def _plain_round(
+        self,
+        per_example: np.ndarray,
+        round_index: int,
+        cohort: tuple[int, ...],
+    ) -> np.ndarray:
+        """Non-private baseline: direct sum, no SecAgg, no ledger."""
+        self._records.append(
+            RoundRecord(
+                index=round_index,
+                cohort=cohort,
+                included=frozenset(cohort),
+                dropped=frozenset(),
+                epsilon=float("nan"),
+                started_at=self._clock.now,
+                completed_at=self._clock.now,
+            )
+        )
+        return per_example.sum(axis=0) / self.config.expected_cohort
+
+    def _abort_round(
+        self, round_index: int, cohort: tuple[int, ...], started_at: float
+    ) -> None:
+        """Below-threshold round: no release, conservative ledger charge."""
+        epsilon = self._charge_round(self.config.expected_cohort)
+        self.trace.record("round-aborted", round=round_index)
+        self._records.append(
+            RoundRecord(
+                index=round_index,
+                cohort=cohort,
+                included=frozenset(),
+                dropped=frozenset(cohort),
+                epsilon=epsilon,
+                aborted=True,
+                started_at=started_at,
+                completed_at=self._clock.now,
+            )
+        )
+        return None

@@ -1,0 +1,120 @@
+"""Clock-aware event primitives and the simulation trace.
+
+Tasks in the simulation communicate exclusively through these
+primitives, which suspend on :class:`~repro.simulation.clock.SimulatedClock`
+timers and futures — never on wall time.  That discipline is what makes
+a whole run replayable bit-for-bit from a seed.
+
+* :class:`Mailbox` — a deterministic FIFO channel.  ``put`` is
+  synchronous (messages are "on the wire" instantly; transmission delay
+  is modelled by the *sender* sleeping first), ``get`` suspends until a
+  message arrives, and ``get_before`` additionally gives up at a
+  simulated-time deadline — the primitive from which phase timeouts and
+  straggler cutoffs are built.
+* :class:`SimulationTrace` — an append-only log of timestamped events
+  (arrivals, dropouts, ignored stragglers), the observability surface
+  tests and the CLI report against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from collections.abc import Mapping
+from typing import Any
+
+import asyncio
+
+from repro.simulation.clock import SimulatedClock
+
+#: Sentinel returned by :meth:`Mailbox.get_before` on deadline expiry.
+_DEADLINE = object()
+
+
+class Mailbox:
+    """A deterministic FIFO message channel on the simulated clock.
+
+    Args:
+        clock: The clock deadlines are measured against.
+    """
+
+    def __init__(self, clock: SimulatedClock) -> None:
+        self._clock = clock
+        self._items: deque[Any] = deque()
+        self._getters: deque[asyncio.Future] = deque()
+
+    def put(self, item: Any) -> None:
+        """Deliver ``item``; wakes the oldest pending getter, if any."""
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.done():
+                getter.set_result(item)
+                return
+        self._items.append(item)
+
+    async def get(self) -> Any:
+        """Receive the next message, waiting as long as it takes."""
+        if self._items:
+            return self._items.popleft()
+        getter = asyncio.get_running_loop().create_future()
+        self._getters.append(getter)
+        return await getter
+
+    async def get_before(self, deadline: float) -> Any | None:
+        """Receive the next message, or ``None`` at ``deadline``.
+
+        A message arriving at exactly the deadline wins or loses by
+        timer registration order — deterministic either way.
+        """
+        if self._items:
+            return self._items.popleft()
+        getter = asyncio.get_running_loop().create_future()
+        self._getters.append(getter)
+
+        def expire() -> None:
+            if not getter.done():
+                getter.set_result(_DEADLINE)
+
+        self._clock.call_at(deadline, expire)
+        item = await getter
+        return None if item is _DEADLINE else item
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped simulation event.
+
+    Attributes:
+        time: Simulated time of the event.
+        kind: Short machine-readable label (e.g. ``"client-dropped"``).
+        details: Free-form fields (client index, phase, ...).
+    """
+
+    time: float
+    kind: str
+    details: Mapping[str, Any]
+
+
+class SimulationTrace:
+    """Append-only event log shared by the round driver and the engine."""
+
+    def __init__(self, clock: SimulatedClock) -> None:
+        self._clock = clock
+        self.events: list[TraceEvent] = []
+
+    def record(self, kind: str, **details: Any) -> None:
+        """Append one event stamped with the current simulated time."""
+        self.events.append(
+            TraceEvent(time=self._clock.now, kind=kind, details=details)
+        )
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        """All events with the given label, in order."""
+        return [event for event in self.events if event.kind == kind]
+
+    def count(self, kind: str) -> int:
+        """Number of events with the given label."""
+        return len(self.of_kind(kind))

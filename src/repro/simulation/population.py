@@ -1,0 +1,309 @@
+"""Client population: registry, availability models, cohort sampling.
+
+Production federated learning runs over an *unreliable* population:
+devices go offline between rounds (churn), drop mid-protocol (crashes,
+network loss), or respond so slowly that the server's phase deadline
+passes without them (stragglers).  This module models that population
+as data the round driver consumes:
+
+* :class:`ClientPlan` — one client's behaviour for one round: the first
+  protocol phase at which it stops responding (if any) and its per-phase
+  upload latencies.
+* :class:`AvailabilityModel` — pluggable generators of plans.  Models
+  decorate each other through their ``base`` argument, so scenarios
+  compose: ``BernoulliDropout(0.1, base=StragglerLatency(0.2, 1.0))``
+  gives a population that is both flaky and slow.
+* :class:`Population` — the registry.  All randomness is derived from a
+  single root seed through ``numpy`` ``SeedSequence`` spawn keys of the
+  form ``(round, client, purpose)``, so every client's every decision is
+  reproducible *and* independent of cohort composition — adding a client
+  to a round never perturbs another client's stream.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.secagg.bonawitz import ROUND_ADVERTISE, ROUND_UNMASK
+
+#: Spawn-key purpose codes (third component of the spawn key).
+PURPOSE_AVAILABILITY = 0
+PURPOSE_ENCODING = 1
+PURPOSE_PROTOCOL = 2
+PURPOSE_SAMPLING = 3
+
+#: Number of protocol phases a plan covers (Bonawitz rounds 0-3).
+NUM_PHASES = ROUND_UNMASK - ROUND_ADVERTISE + 1
+
+
+@dataclasses.dataclass(frozen=True)
+class ClientPlan:
+    """One client's scripted behaviour for one protocol round.
+
+    Attributes:
+        drop_phase: First protocol phase (0-3) at which the client stops
+            responding, or ``None`` if it stays online all round.
+        latencies: Per-phase delay between receiving a phase's input and
+            uploading its response (simulated seconds).
+    """
+
+    drop_phase: int | None = None
+    latencies: tuple[float, ...] = (0.0,) * NUM_PHASES
+
+    def __post_init__(self) -> None:
+        if self.drop_phase is not None and not (
+            ROUND_ADVERTISE <= self.drop_phase <= ROUND_UNMASK
+        ):
+            raise ConfigurationError(
+                f"drop_phase must lie in [{ROUND_ADVERTISE}, "
+                f"{ROUND_UNMASK}] or be None, got {self.drop_phase}"
+            )
+        if len(self.latencies) != NUM_PHASES:
+            raise ConfigurationError(
+                f"need {NUM_PHASES} per-phase latencies, got "
+                f"{len(self.latencies)}"
+            )
+        if any(latency < 0 for latency in self.latencies):
+            raise ConfigurationError(
+                f"latencies must be >= 0, got {self.latencies}"
+            )
+
+    def responds_at(self, phase: int) -> bool:
+        """Whether the client is still responding at ``phase``."""
+        return self.drop_phase is None or phase < self.drop_phase
+
+
+class AvailabilityModel(abc.ABC):
+    """Generator of per-(client, round) behaviour plans."""
+
+    @abc.abstractmethod
+    def plan(
+        self, client_index: int, round_index: int, rng: np.random.Generator
+    ) -> ClientPlan:
+        """The plan for one client in one round.
+
+        Args:
+            client_index: 1-based client identifier.
+            round_index: 0-based training round.
+            rng: Stream dedicated to this (client, round) pair; models
+                must draw from it in a fixed order for reproducibility.
+        """
+
+
+class AlwaysAvailable(AvailabilityModel):
+    """Every client online every round with a fixed upload latency.
+
+    Args:
+        latency: Constant per-phase latency (simulated seconds).
+    """
+
+    def __init__(self, latency: float = 0.05) -> None:
+        if latency < 0:
+            raise ConfigurationError(f"latency must be >= 0, got {latency}")
+        self._plan = ClientPlan(latencies=(latency,) * NUM_PHASES)
+
+    def plan(
+        self, client_index: int, round_index: int, rng: np.random.Generator
+    ) -> ClientPlan:
+        return self._plan
+
+
+class BernoulliDropout(AvailabilityModel):
+    """Independent per-round dropout at a uniformly random phase.
+
+    Each round, each client crashes with probability ``rate``; the phase
+    at which it goes silent is uniform over the protocol's four phases,
+    exercising every recovery path of the Bonawitz state machine.
+
+    Args:
+        rate: Dropout probability per client per round, in ``[0, 1)``.
+        base: Model supplying the latencies (and any prior drop
+            decision); defaults to :class:`AlwaysAvailable`.
+    """
+
+    def __init__(
+        self, rate: float, base: AvailabilityModel | None = None
+    ) -> None:
+        if not 0 <= rate < 1:
+            raise ConfigurationError(f"rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._base = base if base is not None else AlwaysAvailable()
+
+    def plan(
+        self, client_index: int, round_index: int, rng: np.random.Generator
+    ) -> ClientPlan:
+        plan = self._base.plan(client_index, round_index, rng)
+        # Fixed draw order: decide-then-phase, so streams stay aligned.
+        drops = rng.random() < self.rate
+        phase = int(rng.integers(ROUND_ADVERTISE, ROUND_UNMASK + 1))
+        if drops and plan.responds_at(phase):
+            plan = dataclasses.replace(plan, drop_phase=phase)
+        return plan
+
+
+class StragglerLatency(AvailabilityModel):
+    """Log-normal per-phase latencies with a heavy tail.
+
+    Clients whose latency exceeds the server's phase deadline are
+    *effective* dropouts for that round even though they never crash —
+    the regime that distinguishes an asynchronous orchestrator from a
+    synchronous one.
+
+    Args:
+        median: Median per-phase latency (simulated seconds).
+        sigma: Log-space standard deviation; ``sigma = 0`` degenerates
+            to a constant latency, larger values fatten the tail.
+        base: Model supplying any drop decision; defaults to
+            :class:`AlwaysAvailable` (whose constant latency is
+            replaced by the sampled one).
+    """
+
+    def __init__(
+        self,
+        median: float,
+        sigma: float = 1.0,
+        base: AvailabilityModel | None = None,
+    ) -> None:
+        if median <= 0:
+            raise ConfigurationError(f"median must be > 0, got {median}")
+        if sigma < 0:
+            raise ConfigurationError(f"sigma must be >= 0, got {sigma}")
+        self.median = median
+        self.sigma = sigma
+        self._base = base if base is not None else AlwaysAvailable()
+
+    def plan(
+        self, client_index: int, round_index: int, rng: np.random.Generator
+    ) -> ClientPlan:
+        plan = self._base.plan(client_index, round_index, rng)
+        latencies = tuple(
+            self.median * math.exp(self.sigma * rng.standard_normal())
+            for _ in range(NUM_PHASES)
+        )
+        return dataclasses.replace(plan, latencies=latencies)
+
+
+class RoundChurn(AvailabilityModel):
+    """Whole-round outages: a churned client never even advertises keys.
+
+    Models device churn (phone left the charger, network switched) as a
+    per-round Bernoulli event that takes the client offline for the
+    entire round — distinct from mid-protocol dropout, which leaves
+    state behind that the protocol must recover.
+
+    Args:
+        churn_rate: Probability a client is offline for a given round.
+        base: Model supplying latencies / mid-round dropout.
+    """
+
+    def __init__(
+        self, churn_rate: float, base: AvailabilityModel | None = None
+    ) -> None:
+        if not 0 <= churn_rate < 1:
+            raise ConfigurationError(
+                f"churn_rate must be in [0, 1), got {churn_rate}"
+            )
+        self.churn_rate = churn_rate
+        self._base = base if base is not None else AlwaysAvailable()
+
+    def plan(
+        self, client_index: int, round_index: int, rng: np.random.Generator
+    ) -> ClientPlan:
+        plan = self._base.plan(client_index, round_index, rng)
+        if rng.random() < self.churn_rate:
+            plan = dataclasses.replace(plan, drop_phase=ROUND_ADVERTISE)
+        return plan
+
+
+class Population:
+    """The client registry: identities, randomness, cohort sampling.
+
+    Args:
+        size: Number of registered clients; indices are ``1..size`` (the
+            Bonawitz protocol reserves 0).
+        availability: Behaviour model; defaults to
+            :class:`AlwaysAvailable`.
+        seed: Root seed from which every client/round stream derives.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        availability: AvailabilityModel | None = None,
+        seed: int = 0,
+    ) -> None:
+        if size < 1:
+            raise ConfigurationError(f"population must be >= 1, got {size}")
+        self.size = size
+        self.availability = (
+            availability if availability is not None else AlwaysAvailable()
+        )
+        self.seed = seed
+
+    @property
+    def client_indices(self) -> tuple[int, ...]:
+        """All registered client indices (1-based)."""
+        return tuple(range(1, self.size + 1))
+
+    def client_rng(
+        self, round_index: int, client_index: int, purpose: int
+    ) -> np.random.Generator:
+        """The dedicated stream for one (round, client, purpose) triple."""
+        return np.random.default_rng(
+            np.random.SeedSequence(
+                self.seed, spawn_key=(round_index, client_index, purpose)
+            )
+        )
+
+    def round_rng(self, round_index: int, purpose: int) -> np.random.Generator:
+        """A round-scoped stream (client slot 0 is reserved for these)."""
+        return self.client_rng(round_index, 0, purpose)
+
+    def setup_rng(self, purpose: int) -> np.random.Generator:
+        """A run-scoped stream (rotation, model init, ...)."""
+        return np.random.default_rng(
+            np.random.SeedSequence(self.seed, spawn_key=(purpose,))
+        )
+
+    def sample_cohort(
+        self, round_index: int, expected_size: int
+    ) -> tuple[int, ...]:
+        """Poisson-sample a round's cohort at rate ``expected_size / size``.
+
+        Poisson sampling (each client tossed independently) is what the
+        privacy accountant's amplification lemma assumes, so the engine
+        samples the same way.  The cohort may be empty.
+
+        Args:
+            round_index: 0-based round (selects the sampling stream).
+            expected_size: Expected cohort size; capped at ``size``.
+
+        Returns:
+            Sorted 1-based client indices.
+        """
+        if expected_size < 1:
+            raise ConfigurationError(
+                f"expected_size must be >= 1, got {expected_size}"
+            )
+        rate = min(1.0, expected_size / self.size)
+        rng = self.round_rng(round_index, PURPOSE_SAMPLING)
+        mask = rng.random(self.size) < rate
+        return tuple(int(i) + 1 for i in np.flatnonzero(mask))
+
+    def plans(
+        self, round_index: int, cohort: tuple[int, ...]
+    ) -> dict[int, ClientPlan]:
+        """Behaviour plans for each cohort member this round."""
+        return {
+            client: self.availability.plan(
+                client,
+                round_index,
+                self.client_rng(round_index, client, PURPOSE_AVAILABILITY),
+            )
+            for client in cohort
+        }

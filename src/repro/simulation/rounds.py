@@ -1,0 +1,365 @@
+"""Async dropout-tolerant SecAgg rounds over the Bonawitz state machines.
+
+:func:`repro.secagg.bonawitz.run_bonawitz` executes the four-round
+protocol synchronously: every phase is a barrier, dropouts are a static
+schedule, and time does not exist.  This module re-hosts the *same*
+client/server state machines (:class:`~repro.secagg.bonawitz.BonawitzClient`
+/ :class:`~repro.secagg.bonawitz.BonawitzServer`) inside an event-driven
+simulation: every client is an asyncio task that sleeps its upload
+latency on the simulated clock before each message, and the server
+collects each phase's messages until either everyone expected has
+responded or the phase deadline passes — whichever comes first.
+
+The consequences are exactly the ones the protocol was designed for:
+
+* a client that crashes (plan says stop) or straggles past the deadline
+  simply misses the phase; the surviving set shrinks monotonically
+  ``U0 ⊇ U1 ⊇ U2 ⊇ U3`` and Shamir reconstruction removes whatever
+  masks the dropouts left behind;
+* if any phase's survivor count falls below the Shamir threshold the
+  server raises :class:`~repro.errors.AggregationError` — the round
+  aborts rather than mis-aggregating;
+* a message arriving after its phase closed is logged and ignored
+  (the straggler is treated as a dropout for the round).
+
+Late in the round the server broadcasts an :class:`UnmaskRequest`; the
+``tamper_unmask_request`` seam lets tests inject the malicious overlap
+request that clients must refuse (the protocol's core security rule).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Mapping
+
+import asyncio
+
+import numpy as np
+
+from repro.errors import AggregationError, ConfigurationError
+from repro.secagg.bonawitz import (
+    ROUND_ADVERTISE,
+    ROUND_MASKED_INPUT,
+    ROUND_SHARE_KEYS,
+    ROUND_UNMASK,
+    BonawitzClient,
+    BonawitzServer,
+    UnmaskRequest,
+)
+from repro.secagg.field import DEFAULT_FIELD, PrimeField
+from repro.secagg.keys import TOY_GROUP, DhGroup
+from repro.simulation.clock import SimulatedClock
+from repro.simulation.events import Mailbox, SimulationTrace
+from repro.simulation.population import ClientPlan
+
+#: Wire tags, one per protocol phase.
+_TAGS = {
+    ROUND_ADVERTISE: "advertise",
+    ROUND_SHARE_KEYS: "share-keys",
+    ROUND_MASKED_INPUT: "masked-input",
+    ROUND_UNMASK: "unmask",
+}
+
+#: Server -> client sentinel: "you are no longer part of this round".
+_EXCLUDED = object()
+
+
+@dataclasses.dataclass(frozen=True)
+class RoundOutcome:
+    """Result of one asynchronous secure-aggregation round.
+
+    Attributes:
+        modular_sum: ``Σ_{u ∈ included} x_u mod m``.
+        included: ``U2`` — clients whose input made the aggregate.
+        dropped: Cohort members that dropped or straggled out.
+        started_at: Simulated time the round began.
+        completed_at: Simulated time the sum was recovered.
+    """
+
+    modular_sum: np.ndarray
+    included: frozenset[int]
+    dropped: frozenset[int]
+    started_at: float
+    completed_at: float
+
+    @property
+    def duration(self) -> float:
+        """Simulated wall time of the round."""
+        return self.completed_at - self.started_at
+
+
+class AsyncSecAggRound:
+    """One event-driven Bonawitz round over a cohort with behaviour plans.
+
+    Args:
+        vectors: Private input per cohort member (1-based index ->
+            length-``d`` integer vector over ``Z_m``).
+        modulus: Aggregation modulus ``m``.
+        threshold: Shamir reconstruction threshold ``t``.
+        clock: The simulated clock all waiting happens on.
+        rng: Round-scoped randomness; per-client protocol generators are
+            spawned from it in sorted index order (mirroring
+            ``run_bonawitz``).
+        plans: Behaviour plan per cohort member; omitted members stay
+            online with zero latency.
+        phase_timeout: Simulated seconds the server waits per phase
+            before moving on without the missing clients.
+        group: DH group (defaults to the fast 61-bit toy group).
+        field: Shamir sharing field.
+        trace: Optional event log for observability.
+        tamper_unmask_request: Test/adversary seam applied to the
+            server's round-3 announcement before broadcast.
+    """
+
+    def __init__(
+        self,
+        vectors: Mapping[int, np.ndarray],
+        modulus: int,
+        threshold: int,
+        clock: SimulatedClock,
+        rng: np.random.Generator,
+        plans: Mapping[int, ClientPlan] | None = None,
+        phase_timeout: float = 60.0,
+        group: DhGroup | None = None,
+        field: PrimeField = DEFAULT_FIELD,
+        trace: SimulationTrace | None = None,
+        tamper_unmask_request: Callable[[UnmaskRequest], UnmaskRequest]
+        | None = None,
+    ) -> None:
+        if not vectors:
+            raise ConfigurationError("cohort must not be empty")
+        if phase_timeout <= 0:
+            raise ConfigurationError(
+                f"phase_timeout must be > 0, got {phase_timeout}"
+            )
+        self._cohort = tuple(sorted(vectors))
+        if not 2 <= threshold <= len(self._cohort):
+            raise ConfigurationError(
+                f"threshold must lie in [2, {len(self._cohort)}], "
+                f"got {threshold}"
+            )
+        dimensions = {np.asarray(v).shape for v in vectors.values()}
+        if len(dimensions) != 1 or len(next(iter(dimensions))) != 1:
+            raise ConfigurationError(
+                f"all vectors must share one 1-d shape, got {dimensions}"
+            )
+        self._vectors = {
+            u: np.asarray(vectors[u], dtype=np.int64) for u in self._cohort
+        }
+        self._dimension = next(iter(dimensions))[0]
+        self._modulus = modulus
+        self._threshold = threshold
+        self._clock = clock
+        self._plans = dict(plans or {})
+        self._phase_timeout = phase_timeout
+        self._group = group if group is not None else TOY_GROUP
+        self._field = field
+        self._trace = trace
+        self._tamper = tamper_unmask_request
+        # Spawn per-client generators in sorted order, like run_bonawitz.
+        self._client_rngs = {
+            u: np.random.default_rng(int(rng.integers(0, 2**63 - 1)))
+            for u in self._cohort
+        }
+        self._inbox = Mailbox(clock)
+        self._boxes = {u: Mailbox(clock) for u in self._cohort}
+
+    def _plan(self, client: int) -> ClientPlan:
+        return self._plans.get(client, ClientPlan())
+
+    def _record(self, kind: str, **details) -> None:
+        if self._trace is not None:
+            self._trace.record(kind, **details)
+
+    async def run(self) -> RoundOutcome:
+        """Execute the round; returns the outcome or raises on failure.
+
+        Raises:
+            AggregationError: If any phase falls below the threshold, or
+                a client refused a (tampered) unmask request.
+        """
+        started_at = self._clock.now
+        tasks = {
+            u: asyncio.ensure_future(self._client_task(u))
+            for u in self._cohort
+        }
+        try:
+            outcome = await self._server_task(started_at)
+        except AggregationError as server_error:
+            # Prefer a client-side protocol rejection as the root cause
+            # (e.g. the overlap-refusal rule): the server's threshold
+            # failure is its downstream symptom.
+            for u in self._cohort:
+                task = tasks[u]
+                if task.done() and not task.cancelled() and task.exception():
+                    raise task.exception() from server_error
+            raise
+        finally:
+            for task in tasks.values():
+                if not task.done():
+                    task.cancel()
+            await asyncio.gather(*tasks.values(), return_exceptions=True)
+        # Surface client failures even when the server recovered a sum.
+        for u in self._cohort:
+            task = tasks[u]
+            if task.done() and not task.cancelled() and task.exception():
+                raise task.exception()
+        return outcome
+
+    async def _server_task(self, started_at: float) -> RoundOutcome:
+        server = BonawitzServer(
+            self._modulus,
+            self._dimension,
+            self._threshold,
+            self._field,
+            self._group,
+        )
+        # Phase 0 — AdvertiseKeys.
+        advertisements = await self._collect(
+            _TAGS[ROUND_ADVERTISE], expected=set(self._cohort)
+        )
+        roster = server.collect_advertisements(list(advertisements.values()))
+        self._broadcast(set(roster), payload_for=lambda u: dict(roster))
+        # Phase 1 — ShareKeys.
+        envelopes = await self._collect(
+            _TAGS[ROUND_SHARE_KEYS], expected=set(roster)
+        )
+        mailbox = server.route_shares(envelopes)
+        participants = server.share_participants
+        self._broadcast(
+            set(mailbox),
+            payload_for=lambda u: (mailbox[u], participants),
+            among=set(roster),
+        )
+        # Phase 2 — MaskedInputCollection.
+        masked = await self._collect(
+            _TAGS[ROUND_MASKED_INPUT], expected=set(mailbox)
+        )
+        request = server.collect_masked_inputs(masked)
+        if self._tamper is not None:
+            request = self._tamper(request)
+            self._record("unmask-request-tampered")
+        self._broadcast(
+            set(request.survivors),
+            payload_for=lambda u: request,
+            among=set(mailbox),
+        )
+        # Phase 3 — Unmasking.
+        responses = await self._collect(
+            _TAGS[ROUND_UNMASK], expected=set(request.survivors)
+        )
+        modular_sum = server.recover_sum(list(responses.values()))
+        completed_at = self._clock.now
+        included = frozenset(request.survivors)
+        self._record(
+            "round-complete",
+            included=len(included),
+            dropped=len(self._cohort) - len(included),
+        )
+        return RoundOutcome(
+            modular_sum=modular_sum,
+            included=included,
+            dropped=frozenset(self._cohort) - included,
+            started_at=started_at,
+            completed_at=completed_at,
+        )
+
+    async def _collect(self, tag: str, expected: set[int]) -> dict[int, object]:
+        """Gather one phase's messages until complete or deadline.
+
+        Messages from unexpected senders, duplicate senders, or earlier
+        phases (stragglers whose phase already closed) are ignored and
+        traced.
+        """
+        deadline = self._clock.now + self._phase_timeout
+        collected: dict[int, object] = {}
+        while len(collected) < len(expected):
+            item = await self._inbox.get_before(deadline)
+            if item is None:
+                self._record(
+                    "phase-timeout",
+                    phase=tag,
+                    missing=sorted(expected - set(collected)),
+                )
+                break
+            sender, sender_tag, payload = item
+            if sender_tag != tag or sender not in expected or (
+                sender in collected
+            ):
+                self._record(
+                    "message-ignored", sender=sender, phase=sender_tag,
+                    during=tag,
+                )
+                continue
+            collected[sender] = payload
+            self._record("message-received", sender=sender, phase=tag)
+        return collected
+
+    def _broadcast(
+        self,
+        recipients: set[int],
+        payload_for: Callable[[int], object],
+        among: set[int] | None = None,
+    ) -> None:
+        """Send each recipient its payload; excluded peers get the
+        shutdown sentinel so their tasks terminate instead of hanging."""
+        pool = self._cohort if among is None else sorted(among)
+        for u in pool:
+            if u in recipients:
+                self._boxes[u].put(payload_for(u))
+            else:
+                self._boxes[u].put(_EXCLUDED)
+                self._record("client-excluded", client=u)
+
+    async def _client_task(self, index: int) -> None:
+        plan = self._plan(index)
+        client = BonawitzClient(
+            index=index,
+            vector=self._vectors[index],
+            modulus=self._modulus,
+            threshold=self._threshold,
+            rng=self._client_rngs[index],
+            group=self._group,
+            field=self._field,
+        )
+        # Phase 0 — advertise both public keys.
+        if not plan.responds_at(ROUND_ADVERTISE):
+            self._record("client-dropped", client=index, phase=ROUND_ADVERTISE)
+            return
+        await self._clock.sleep(plan.latencies[ROUND_ADVERTISE])
+        self._send(index, ROUND_ADVERTISE, client.advertise_keys())
+        roster = await self._boxes[index].get()
+        if roster is _EXCLUDED:
+            return
+        # Phase 1 — Shamir-share b_u and the mask private key.
+        if not plan.responds_at(ROUND_SHARE_KEYS):
+            self._record("client-dropped", client=index, phase=ROUND_SHARE_KEYS)
+            return
+        await self._clock.sleep(plan.latencies[ROUND_SHARE_KEYS])
+        self._send(index, ROUND_SHARE_KEYS, client.share_keys(roster))
+        mail = await self._boxes[index].get()
+        if mail is _EXCLUDED:
+            return
+        envelopes, participants = mail
+        client.receive_shares(envelopes)
+        # Phase 2 — upload the doubly masked input.
+        if not plan.responds_at(ROUND_MASKED_INPUT):
+            self._record(
+                "client-dropped", client=index, phase=ROUND_MASKED_INPUT
+            )
+            return
+        await self._clock.sleep(plan.latencies[ROUND_MASKED_INPUT])
+        self._send(index, ROUND_MASKED_INPUT, client.masked_input(participants))
+        request = await self._boxes[index].get()
+        if request is _EXCLUDED:
+            return
+        # Phase 3 — reveal exactly the requested shares (refusing
+        # overlapping survivor/dropout requests).
+        if not plan.responds_at(ROUND_UNMASK):
+            self._record("client-dropped", client=index, phase=ROUND_UNMASK)
+            return
+        await self._clock.sleep(plan.latencies[ROUND_UNMASK])
+        self._send(index, ROUND_UNMASK, client.unmask(request))
+
+    def _send(self, sender: int, phase: int, payload: object) -> None:
+        self._inbox.put((sender, _TAGS[phase], payload))

@@ -130,6 +130,42 @@ class TestNewCommands:
         assert "dropped: none" in captured.out
         assert "included in sum: 4 clients" in captured.out
 
+    def test_simulate_command(self, capsys):
+        exit_code = main(
+            [
+                "simulate",
+                "--clients", "16",
+                "--cohort", "8",
+                "--rounds", "2",
+                "--hidden", "2",
+                "--test-records", "32",
+                "--dropout-rate", "0.2",
+                "--verify",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "cumulative privacy: eps=" in captured.out
+        assert "exact=True" in captured.out
+        assert "parameters digest:" in captured.out
+
+    def test_simulate_non_private(self, capsys):
+        exit_code = main(
+            [
+                "simulate",
+                "--clients", "16",
+                "--cohort", "6",
+                "--rounds", "1",
+                "--hidden", "2",
+                "--test-records", "32",
+                "--dropout-rate", "0",
+                "--no-privacy",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "eps=nan" in captured.out
+
     def test_account_command(self, capsys):
         exit_code = main(["account", "--lambdas", "200", "--value", "1.5"])
         captured = capsys.readouterr()

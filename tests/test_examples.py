@@ -26,6 +26,7 @@ FAST_EXAMPLES = [
     ("privacy_audit.py", "", 120),
     ("secure_aggregation.py", "matches the survivors' true sum: True", 120),
     ("floating_point_attack.py", "0 wrong", 120),
+    ("async_simulation.py", "bit-reproducible: True", 240),
 ]
 
 

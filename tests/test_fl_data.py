@@ -49,6 +49,7 @@ class TestMakeSyntheticImages:
         assert np.array_equal(first[0].features, second[0].features)
         assert np.array_equal(first[0].labels, second[0].labels)
 
+    @pytest.mark.slow
     def test_noise_scale_controls_difficulty(self):
         # Within-class spread grows with noise while prototypes are fixed
         # per rng stream; verify higher noise means lower separability.

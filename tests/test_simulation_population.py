@@ -1,0 +1,169 @@
+"""Tests for the client population and availability models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.secagg.bonawitz import ROUND_ADVERTISE, ROUND_UNMASK
+from repro.simulation import (
+    AlwaysAvailable,
+    BernoulliDropout,
+    ClientPlan,
+    Population,
+    RoundChurn,
+    StragglerLatency,
+)
+from repro.simulation.population import (
+    NUM_PHASES,
+    PURPOSE_AVAILABILITY,
+    PURPOSE_ENCODING,
+)
+
+
+class TestClientPlan:
+    def test_default_always_responds(self):
+        plan = ClientPlan()
+        for phase in range(NUM_PHASES):
+            assert plan.responds_at(phase)
+
+    def test_drop_phase_silences_later_phases(self):
+        plan = ClientPlan(drop_phase=2)
+        assert plan.responds_at(0) and plan.responds_at(1)
+        assert not plan.responds_at(2) and not plan.responds_at(3)
+
+    @pytest.mark.parametrize("bad", [-1, 4, 99])
+    def test_invalid_drop_phase_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            ClientPlan(drop_phase=bad)
+
+    def test_wrong_latency_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClientPlan(latencies=(0.1, 0.2))
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClientPlan(latencies=(0.1, -0.2, 0.1, 0.1))
+
+
+class TestAvailabilityModels:
+    def test_always_available(self):
+        model = AlwaysAvailable(latency=0.25)
+        plan = model.plan(1, 0, np.random.default_rng(0))
+        assert plan.drop_phase is None
+        assert plan.latencies == (0.25,) * NUM_PHASES
+
+    def test_bernoulli_dropout_rate_is_respected(self):
+        model = BernoulliDropout(0.3)
+        dropped = sum(
+            model.plan(client, 0, np.random.default_rng(client)).drop_phase
+            is not None
+            for client in range(1, 2001)
+        )
+        assert 0.25 < dropped / 2000 < 0.35
+
+    def test_bernoulli_dropout_phase_spans_protocol(self):
+        model = BernoulliDropout(0.9)
+        phases = {
+            model.plan(client, 0, np.random.default_rng(client)).drop_phase
+            for client in range(1, 200)
+        }
+        phases.discard(None)
+        assert phases == set(range(ROUND_ADVERTISE, ROUND_UNMASK + 1))
+
+    def test_straggler_latencies_positive_and_spread(self):
+        model = StragglerLatency(median=0.5, sigma=1.0)
+        latencies = [
+            latency
+            for client in range(1, 101)
+            for latency in model.plan(
+                client, 0, np.random.default_rng(client)
+            ).latencies
+        ]
+        assert min(latencies) > 0
+        assert max(latencies) / min(latencies) > 10  # Heavy tail.
+
+    def test_straggler_sigma_zero_is_constant(self):
+        model = StragglerLatency(median=0.5, sigma=0.0)
+        plan = model.plan(1, 0, np.random.default_rng(0))
+        assert plan.latencies == (0.5,) * NUM_PHASES
+
+    def test_round_churn_is_whole_round(self):
+        model = RoundChurn(0.99)
+        plan = model.plan(1, 0, np.random.default_rng(1))
+        assert plan.drop_phase == ROUND_ADVERTISE
+
+    def test_models_compose_through_base(self):
+        model = BernoulliDropout(
+            0.99, base=StragglerLatency(median=2.0, sigma=0.0)
+        )
+        plan = model.plan(1, 0, np.random.default_rng(3))
+        assert plan.latencies == (2.0,) * NUM_PHASES
+        assert plan.drop_phase is not None
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: BernoulliDropout(1.0),
+            lambda: BernoulliDropout(-0.1),
+            lambda: StragglerLatency(median=0.0),
+            lambda: StragglerLatency(median=1.0, sigma=-1.0),
+            lambda: RoundChurn(1.0),
+            lambda: AlwaysAvailable(latency=-1.0),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, factory):
+        with pytest.raises(ConfigurationError):
+            factory()
+
+
+class TestPopulation:
+    def test_indices_are_one_based(self):
+        population = Population(5)
+        assert population.client_indices == (1, 2, 3, 4, 5)
+
+    def test_cohort_sampling_is_deterministic(self):
+        first = Population(100, seed=9).sample_cohort(3, 20)
+        second = Population(100, seed=9).sample_cohort(3, 20)
+        assert first == second
+
+    def test_cohorts_differ_across_rounds(self):
+        population = Population(100, seed=9)
+        assert population.sample_cohort(0, 20) != population.sample_cohort(1, 20)
+
+    def test_cohort_mean_matches_expectation(self):
+        population = Population(200, seed=1)
+        sizes = [
+            len(population.sample_cohort(r, 40)) for r in range(100)
+        ]
+        assert 35 < np.mean(sizes) < 45
+
+    def test_full_rate_samples_everyone(self):
+        population = Population(10, seed=0)
+        assert population.sample_cohort(0, 10) == population.client_indices
+
+    def test_client_streams_are_purpose_separated(self):
+        population = Population(10, seed=4)
+        a = population.client_rng(1, 3, PURPOSE_AVAILABILITY).integers(0, 2**31)
+        b = population.client_rng(1, 3, PURPOSE_ENCODING).integers(0, 2**31)
+        assert a != b
+
+    def test_client_streams_are_reproducible(self):
+        a = Population(10, seed=4).client_rng(2, 7, PURPOSE_ENCODING)
+        b = Population(10, seed=4).client_rng(2, 7, PURPOSE_ENCODING)
+        assert a.integers(0, 2**31) == b.integers(0, 2**31)
+
+    def test_plans_cover_exactly_the_cohort(self):
+        population = Population(
+            20, availability=BernoulliDropout(0.5), seed=2
+        )
+        cohort = (1, 5, 9)
+        plans = population.plans(0, cohort)
+        assert set(plans) == set(cohort)
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            Population(0)
+
+    def test_expected_size_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            Population(10).sample_cohort(0, 0)
