@@ -26,18 +26,31 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 #: Paper-scale toggle for the heavy FL benches.
 FULL_SCALE = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 
+#: Rolling window per results file: appends beyond this many lines drop
+#: the oldest lines, so repeated benchmark runs stop growing the files
+#: without bound (overridable for archival runs).
+RESULTS_MAX_LINES = int(os.environ.get("REPRO_BENCH_MAX_LINES", "60"))
+
 
 @pytest.fixture
 def emit(capsys):
-    """Print a line through pytest's capture (and persist it to a file)."""
+    """Print a line through pytest's capture (and persist it to a file).
+
+    Persisted files keep a rolling window of the most recent
+    :data:`RESULTS_MAX_LINES` lines.
+    """
 
     def _emit(line: str, filename: str | None = None) -> None:
         with capsys.disabled():
             print(line)
         if filename is not None:
             RESULTS_DIR.mkdir(exist_ok=True)
-            with open(RESULTS_DIR / filename, "a") as handle:
+            path = RESULTS_DIR / filename
+            with open(path, "a") as handle:
                 handle.write(line + "\n")
+            lines = path.read_text().splitlines(keepends=True)
+            if len(lines) > RESULTS_MAX_LINES:
+                path.write_text("".join(lines[-RESULTS_MAX_LINES:]))
 
     return _emit
 

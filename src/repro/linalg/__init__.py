@@ -7,15 +7,31 @@ from repro.linalg.hadamard import (
     naive_walsh_hadamard_matrix,
     next_power_of_two,
 )
-from repro.linalg.modular import decode_centered, encode_mod, wraps_around
+from repro.linalg.modular import (
+    LIMB_SPLIT_MAX_MODULUS,
+    decode_centered,
+    encode_mod,
+    horner_mod,
+    inv_mod,
+    mul_mod,
+    pow_mod,
+    sum_mod,
+    wraps_around,
+)
 
 __all__ = [
+    "LIMB_SPLIT_MAX_MODULUS",
     "RandomRotation",
     "decode_centered",
     "encode_mod",
     "fast_walsh_hadamard",
+    "horner_mod",
+    "inv_mod",
     "is_power_of_two",
+    "mul_mod",
     "naive_walsh_hadamard_matrix",
     "next_power_of_two",
+    "pow_mod",
+    "sum_mod",
     "wraps_around",
 ]

@@ -19,6 +19,15 @@ from repro.secagg.bonawitz import (
     run_bonawitz,
 )
 from repro.secagg.field import DEFAULT_FIELD, MERSENNE_61, PrimeField
+from repro.secagg.kernels import (
+    DEFAULT_MASK_PRG,
+    MASK_PRGS,
+    MaskPrg,
+    PhiloxPrg,
+    Sha256CounterPrg,
+    get_mask_prg,
+    sum_signed_masks,
+)
 from repro.secagg.keys import (
     OAKLEY_GROUP_2_PRIME,
     TOY_GROUP,
@@ -39,8 +48,10 @@ from repro.secagg.shamir import (
     Share,
     reconstruct_large_secret,
     reconstruct_secret,
+    reconstruct_secrets,
     split_large_secret,
     split_secret,
+    split_secrets,
 )
 
 __all__ = [
@@ -48,25 +59,34 @@ __all__ = [
     "BonawitzClient",
     "BonawitzServer",
     "DEFAULT_FIELD",
+    "DEFAULT_MASK_PRG",
     "DhGroup",
     "KeyPair",
     "LimbShares",
+    "MASK_PRGS",
     "MERSENNE_61",
+    "MaskPrg",
     "OAKLEY_GROUP_2_PRIME",
     "PairwiseMaskProtocol",
+    "PhiloxPrg",
     "PrimeField",
     "SecureAggregator",
+    "Sha256CounterPrg",
     "Share",
     "TOY_GROUP",
     "ZeroSumMaskProtocol",
     "agree",
     "expand_mask",
     "generate_keypair",
+    "get_mask_prg",
     "pairwise_delta",
     "reconstruct_large_secret",
     "reconstruct_secret",
+    "reconstruct_secrets",
     "run_bonawitz",
     "secure_sum",
     "split_large_secret",
     "split_secret",
+    "split_secrets",
+    "sum_signed_masks",
 ]

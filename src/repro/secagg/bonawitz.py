@@ -30,6 +30,16 @@ Round structure (client set shrinks monotonically: ``U0 ⊇ U1 ⊇ U2 ⊇ U3``):
 Dropouts are injected via a schedule mapping client index to the first
 round in which it stops responding; recovery succeeds whenever at least
 ``threshold`` clients reach round 3.
+
+Every quadratic inner loop — per-peer mask expansion and summation,
+per-recipient share generation and envelope sealing, per-survivor
+reconstruction — runs on the vectorised kernel layer
+(:mod:`repro.secagg.kernels`), so clients and the server share one code
+path for each primitive.  The ``mask_prg`` knob selects the mask PRG
+backend per protocol version; all participants in a round must agree on
+it (the SHA-256 counter default is bit-compatible with the original
+implementation, the Philox backend trades that compatibility for
+speed).
 """
 
 from __future__ import annotations
@@ -40,17 +50,30 @@ import numpy as np
 
 from repro.errors import AggregationError, ConfigurationError
 from repro.secagg.field import DEFAULT_FIELD, PrimeField
-from repro.secagg.keys import DhGroup, KeyPair, agree, generate_keypair
-from repro.secagg.prg import expand_mask, pairwise_delta
+from repro.secagg.kernels import (
+    MaskPrg,
+    get_mask_prg,
+    keystream_batch,
+    sum_signed_masks,
+)
+from repro.secagg.keys import (
+    DhGroup,
+    KeyPair,
+    agree,
+    agree_batch,
+    generate_keypair,
+    warm_agreement_cache,
+)
+from repro.secagg.prg import expand_mask
 from repro.secagg.protocol import _validate_inputs
 from repro.secagg.shamir import (
     DEFAULT_LIMB_BITS,
     LimbShares,
     Share,
+    _secret_limbs,
     reconstruct_large_secret,
-    reconstruct_secret,
-    split_large_secret,
-    split_secret,
+    reconstruct_secrets,
+    split_secrets,
 )
 
 #: Protocol round identifiers, for dropout schedules and error messages.
@@ -108,30 +131,42 @@ class UnmaskResponse:
     key_shares: dict[int, LimbShares]
 
 
-def _encode_payload(seed_share: Share, key_share: LimbShares) -> bytes:
-    """Serialise one recipient's shares into a fixed-layout byte string."""
+def _encode_payload(
+    seed_share: Share, key_share: LimbShares, width: int = 16
+) -> bytes:
+    """Serialise one recipient's shares into a fixed-layout byte string.
+
+    ``width`` is the per-value byte width: 8 suffices whenever the
+    sharing field fits uint64 (every default configuration — it halves
+    the envelope keystream), 16 covers fields up to ``2^128``.
+    """
     parts = [
         seed_share.x.to_bytes(4, "little"),
-        seed_share.y.to_bytes(16, "little"),
+        seed_share.y.to_bytes(width, "little"),
         len(key_share.ys).to_bytes(2, "little"),
     ]
-    parts.extend(y.to_bytes(16, "little") for y in key_share.ys)
+    parts.extend(y.to_bytes(width, "little") for y in key_share.ys)
     return b"".join(parts)
 
 
-def _decode_payload(payload: bytes) -> tuple[Share, LimbShares]:
-    """Inverse of :func:`_encode_payload`."""
+def _decode_payload(
+    payload: bytes, width: int = 16
+) -> tuple[Share, LimbShares]:
+    """Inverse of :func:`_encode_payload` (same ``width`` required)."""
     x = int.from_bytes(payload[0:4], "little")
-    seed_y = int.from_bytes(payload[4:20], "little")
-    num_limbs = int.from_bytes(payload[20:22], "little")
-    expected = 22 + 16 * num_limbs
+    seed_y = int.from_bytes(payload[4 : 4 + width], "little")
+    num_limbs = int.from_bytes(payload[4 + width : 6 + width], "little")
+    expected = 6 + width * (1 + num_limbs)
     if len(payload) != expected:
         raise AggregationError(
             f"malformed share payload: {len(payload)} bytes, "
             f"expected {expected}"
         )
+    base = 6 + width
     ys = tuple(
-        int.from_bytes(payload[22 + 16 * k : 38 + 16 * k], "little")
+        int.from_bytes(
+            payload[base + width * k : base + width * (k + 1)], "little"
+        )
         for k in range(num_limbs)
     )
     return Share(x=x, y=seed_y), LimbShares(x=x, ys=ys)
@@ -139,13 +174,98 @@ def _decode_payload(payload: bytes) -> tuple[Share, LimbShares]:
 
 def _seal(channel_key: bytes, payload: bytes) -> bytes:
     """XOR-encrypt ``payload`` under a keystream derived from the key."""
-    stream = expand_mask(channel_key, len(payload), 256).astype(np.uint8)
+    stream = keystream_batch([channel_key], len(payload))[0]
     return bytes(np.bitwise_xor(np.frombuffer(payload, dtype=np.uint8), stream))
 
 
 def _open_sealed(channel_key: bytes, ciphertext: bytes) -> bytes:
     """Decrypt a :func:`_seal` envelope (XOR streams are involutions)."""
     return _seal(channel_key, ciphertext)
+
+
+def _encode_payload_matrix(
+    seed_ys: np.ndarray, limb_ys: np.ndarray, width: int = 16
+) -> np.ndarray:
+    """Vectorised :func:`_encode_payload` for one sender's whole roster.
+
+    Args:
+        seed_ys: ``(n,)`` uint64 seed-share values, recipient order.
+        limb_ys: ``(num_limbs, n)`` uint64 key-share values.
+        width: Per-value byte width (8 or 16; values fit uint64 either
+            way, 16 just zero-pads the high half).
+
+    Returns:
+        ``(n, 6 + width * (1 + num_limbs))`` uint8 matrix; row ``j`` is
+        exactly ``_encode_payload`` of recipient ``j + 1``'s shares.
+    """
+    num_limbs, num = limb_ys.shape
+    payloads = np.zeros(
+        (num, 6 + width * (1 + num_limbs)), dtype=np.uint8
+    )
+    xs = np.arange(1, num + 1, dtype="<u4")
+    payloads[:, 0:4] = xs.view(np.uint8).reshape(num, 4)
+    payloads[:, 4:12] = (
+        seed_ys.astype("<u8").view(np.uint8).reshape(num, 8)
+    )
+    payloads[:, 4 + width] = num_limbs & 0xFF
+    payloads[:, 5 + width] = num_limbs >> 8
+    base = 6 + width
+    for k in range(num_limbs):
+        payloads[:, base + width * k : base + width * k + 8] = (
+            limb_ys[k].astype("<u8").view(np.uint8).reshape(num, 8)
+        )
+    return payloads
+
+
+def _decode_payload_matrix(
+    plain: np.ndarray, width: int = 16
+) -> list[tuple[Share, LimbShares]]:
+    """Vectorised :func:`_decode_payload` over equal-layout payload rows.
+
+    With 16-byte values, rows whose high words are nonzero (possible
+    only for garbled ciphertexts) fall back to the scalar decoder, so
+    behaviour matches the scalar path byte for byte.
+
+    Raises:
+        AggregationError: On a layout/limb-count mismatch.
+    """
+    rows, row_bytes = plain.shape
+    count_cols = np.ascontiguousarray(
+        plain[:, 4 + width : 6 + width]
+    ).view("<u2")[:, 0]
+    num_limbs = int(count_cols[0]) if rows else 0
+    if rows and (
+        row_bytes != 6 + width * (1 + num_limbs)
+        or np.any(count_cols != num_limbs)
+    ):
+        raise AggregationError(
+            f"malformed share payload: {row_bytes} bytes, expected "
+            f"{6 + width * (1 + int(count_cols.max(initial=0)))}"
+        )
+    def words(start: int) -> tuple[np.ndarray, np.ndarray | None]:
+        chunk = np.ascontiguousarray(plain[:, start : start + width])
+        pair = chunk.view("<u8")
+        return pair[:, 0], (pair[:, 1] if width == 16 else None)
+    base = 6 + width
+    xs = np.ascontiguousarray(plain[:, 0:4]).view("<u4")[:, 0]
+    value_words = [words(4)] + [
+        words(base + width * k) for k in range(num_limbs)
+    ]
+    if any(hi is not None and hi.any() for _, hi in value_words):
+        return [
+            _decode_payload(plain[row].tobytes(), width)
+            for row in range(rows)
+        ]
+    # tolist() hands back plain Python ints in one C pass; zip-transpose
+    # assembles each row's limb tuple without per-element numpy scalars.
+    xs_list = xs.tolist()
+    seed_list = value_words[0][0].tolist()
+    limb_columns = [value_words[1 + k][0].tolist() for k in range(num_limbs)]
+    limb_rows = zip(*limb_columns) if limb_columns else ((),) * rows
+    return [
+        (Share(x, y), LimbShares(x, ys))
+        for x, y, ys in zip(xs_list, seed_list, limb_rows)
+    ]
 
 
 class BonawitzClient:
@@ -161,6 +281,8 @@ class BonawitzClient:
         rng: Client-local randomness.
         group: The DH group for both key pairs.
         field: The Shamir sharing field.
+        mask_prg: Mask PRG backend name or instance (protocol version);
+            must match the server's and every peer's.
     """
 
     def __init__(
@@ -172,6 +294,7 @@ class BonawitzClient:
         rng: np.random.Generator,
         group: DhGroup,
         field: PrimeField = DEFAULT_FIELD,
+        mask_prg: MaskPrg | str | None = None,
     ) -> None:
         if index < 1:
             raise ConfigurationError(f"client index must be >= 1, got {index}")
@@ -182,12 +305,17 @@ class BonawitzClient:
         self._rng = rng
         self._group = group
         self._field = field
+        self._mask_prg = get_mask_prg(mask_prg)
+        # Share values fit 8 bytes whenever the field fits uint64; the
+        # wide layout covers exotic fields up to 2^128.
+        self._payload_width = 8 if field.prime <= (1 << 64) else 16
         self._channel_keys = None  # type: KeyPair | None
         self._mask_keys = None  # type: KeyPair | None
         self._roster: dict[int, AdvertisedKeys] = {}
         self._self_seed: int | None = None
         self._received: dict[int, tuple[Share, LimbShares]] = {}
         self._share_roster: tuple[int, ...] = ()
+        self._channel_key_cache: dict[int, bytes] = {}
 
     def advertise_keys(self) -> AdvertisedKeys:
         """Round 0: generate both key pairs and publish the public halves."""
@@ -200,12 +328,19 @@ class BonawitzClient:
         )
 
     def _channel_key(self, peer: int) -> bytes:
-        """Derive the symmetric channel key shared with ``peer``."""
+        """Derive (and memoise) the symmetric channel key for ``peer``."""
         assert self._channel_keys is not None
-        peer_keys = self._roster[peer]
-        return agree(
-            self._channel_keys.private, peer_keys.channel_public, self._group
-        )
+        key = self._channel_key_cache.get(peer)
+        if key is None:
+            peer_keys = self._roster[peer]
+            key = agree(
+                self._channel_keys.private,
+                peer_keys.channel_public,
+                self._group,
+                own_public=self._channel_keys.public,
+            )
+            self._channel_key_cache[peer] = key
+        return key
 
     def share_keys(self, roster: dict[int, AdvertisedKeys]) -> list[SealedShares]:
         """Round 1: sample ``b_u`` and distribute sealed shares.
@@ -233,54 +368,143 @@ class BonawitzClient:
         self._share_roster = tuple(sorted(roster))
         self._self_seed = int(self._rng.integers(0, self._field.prime))
         recipients = self._share_roster
-        seed_shares = split_secret(
-            self._self_seed,
+        # One vectorised split covers the self-mask seed and every limb
+        # of the mask private key: all polynomials share the evaluation
+        # points, so they batch into a single Horner kernel call.  The
+        # limb width must fit the field (split_large_secret's guard,
+        # preserved here since the limbs are split directly).
+        if (1 << DEFAULT_LIMB_BITS) > self._field.prime:
+            raise ConfigurationError(
+                f"limb width {DEFAULT_LIMB_BITS} does not fit "
+                f"GF({self._field.prime})"
+            )
+        limbs = _secret_limbs(self._mask_keys.private, DEFAULT_LIMB_BITS)
+        share_matrix = split_secrets(
+            [self._self_seed] + limbs,
             self._threshold,
             len(recipients),
             self._rng,
             self._field,
         )
-        key_shares = split_large_secret(
-            self._mask_keys.private,
-            self._threshold,
-            len(recipients),
-            self._rng,
-            self._field,
-        )
-        envelopes = []
-        for position, recipient in enumerate(recipients):
-            payload = _encode_payload(seed_shares[position], key_shares[position])
-            if recipient == self.index:
-                ciphertext = payload  # no need to seal a message to self
-            else:
-                ciphertext = _seal(self._channel_key(recipient), payload)
-            envelopes.append(
-                SealedShares(
-                    sender=self.index,
-                    recipient=recipient,
-                    ciphertext=ciphertext,
+        if self._field.prime <= (1 << 64):
+            payloads = _encode_payload_matrix(
+                np.asarray(share_matrix[0], dtype=np.uint64),
+                np.asarray(share_matrix[1:], dtype=np.uint64),
+                self._payload_width,
+            )
+        else:
+            # Fields beyond uint64 keep the scalar byte encoder.
+            payloads = np.frombuffer(
+                b"".join(
+                    _encode_payload(
+                        Share(x=position + 1, y=int(share_matrix[0, position])),
+                        LimbShares(
+                            x=position + 1,
+                            ys=tuple(
+                                int(share_matrix[1 + k, position])
+                                for k in range(len(limbs))
+                            ),
+                        ),
+                        self._payload_width,
+                    )
+                    for position in range(len(recipients))
+                ),
+                dtype=np.uint8,
+            ).reshape(len(recipients), -1)
+        # Seal every peer-bound payload in one keystream batch; the
+        # self-addressed envelope needs no sealing.  Channel keys for
+        # the whole roster are agreed in one vectorised sweep first.
+        peer_positions = [
+            position
+            for position, recipient in enumerate(recipients)
+            if recipient != self.index
+        ]
+        missing = [
+            recipients[position]
+            for position in peer_positions
+            if recipients[position] not in self._channel_key_cache
+        ]
+        if missing:
+            self._channel_key_cache.update(
+                zip(
+                    missing,
+                    agree_batch(
+                        self._channel_keys.private,
+                        [
+                            self._roster[peer].channel_public
+                            for peer in missing
+                        ],
+                        self._group,
+                        own_public=self._channel_keys.public,
+                    ),
                 )
             )
-        return envelopes
+        streams = keystream_batch(
+            [self._channel_key_cache[recipients[p]] for p in peer_positions],
+            payloads.shape[1],
+        )
+        sealed = np.bitwise_xor(payloads[peer_positions], streams)
+        ciphertexts: list[bytes | None] = [None] * len(recipients)
+        for row, position in enumerate(peer_positions):
+            ciphertexts[position] = sealed[row].tobytes()
+        self_position = recipients.index(self.index)
+        ciphertexts[self_position] = payloads[self_position].tobytes()
+        return [
+            SealedShares(
+                sender=self.index,
+                recipient=recipient,
+                ciphertext=ciphertexts[position],
+            )
+            for position, recipient in enumerate(recipients)
+        ]
 
     def receive_shares(self, envelopes: list[SealedShares]) -> None:
-        """Store the round-1 envelopes addressed to this client."""
+        """Store the round-1 envelopes addressed to this client.
+
+        All peer envelopes are opened with one batched keystream and
+        decoded with one vectorised payload parse.
+        """
         for envelope in envelopes:
             if envelope.recipient != self.index:
                 raise AggregationError(
                     f"client {self.index} received an envelope for "
                     f"{envelope.recipient}"
                 )
+        peer_envelopes = [
+            envelope
+            for envelope in envelopes
+            if envelope.sender != self.index
+        ]
+        for envelope in envelopes:
             if envelope.sender == self.index:
-                payload = envelope.ciphertext
-            else:
-                payload = _open_sealed(
-                    self._channel_key(envelope.sender), envelope.ciphertext
+                self._received[envelope.sender] = _decode_payload(
+                    envelope.ciphertext, self._payload_width
                 )
-            self._received[envelope.sender] = _decode_payload(payload)
+        # Ciphertext length varies with the sender's key limb count, so
+        # bucket by length and open each equal-width bucket as a matrix.
+        buckets: dict[int, list[SealedShares]] = {}
+        for envelope in peer_envelopes:
+            buckets.setdefault(len(envelope.ciphertext), []).append(envelope)
+        for length, bucket in buckets.items():
+            streams = keystream_batch(
+                [self._channel_key(envelope.sender) for envelope in bucket],
+                length,
+            )
+            ciphertexts = np.frombuffer(
+                b"".join(envelope.ciphertext for envelope in bucket),
+                dtype=np.uint8,
+            ).reshape(len(bucket), length)
+            decoded = _decode_payload_matrix(
+                np.bitwise_xor(ciphertexts, streams), self._payload_width
+            )
+            for envelope, shares in zip(bucket, decoded):
+                self._received[envelope.sender] = shares
 
     def masked_input(self, participants: frozenset[int]) -> np.ndarray:
         """Round 2: upload the doubly masked input vector.
+
+        The self mask and every signed pairwise mask are expanded and
+        summed in one batched kernel call.
 
         Args:
             participants: ``U1`` — the clients whose shares round 1
@@ -295,27 +519,21 @@ class BonawitzClient:
         if self.index not in participants:
             raise AggregationError("client excluded from the participant set")
         dimension = self._vector.shape[0]
-        masked = np.mod(self._vector, self._modulus)
-        self_seed_bytes = self._self_seed.to_bytes(_SEED_WIDTH, "little")
-        masked = np.mod(
-            masked + expand_mask(self_seed_bytes, dimension, self._modulus),
-            self._modulus,
+        peers = [peer for peer in sorted(participants) if peer != self.index]
+        seeds = [self._self_seed.to_bytes(_SEED_WIDTH, "little")]
+        seeds += agree_batch(
+            self._mask_keys.private,
+            [self._roster[peer].mask_public for peer in peers],
+            self._group,
+            own_public=self._mask_keys.public,
         )
-        for peer in sorted(participants):
-            if peer == self.index:
-                continue
-            pairwise_seed = agree(
-                self._mask_keys.private,
-                self._roster[peer].mask_public,
-                self._group,
-            )
-            sign = 1 if self.index < peer else -1
-            masked = np.mod(
-                masked
-                + pairwise_delta(pairwise_seed, dimension, self._modulus, sign),
-                self._modulus,
-            )
-        return masked
+        signs = [1] + [1 if self.index < peer else -1 for peer in peers]
+        total_mask = sum_signed_masks(
+            seeds, signs, dimension, self._modulus, self._mask_prg
+        )
+        return np.mod(
+            np.mod(self._vector, self._modulus) + total_mask, self._modulus
+        )
 
     def unmask(self, request: UnmaskRequest) -> UnmaskResponse:
         """Round 3: reveal the requested shares.
@@ -352,6 +570,46 @@ class BonawitzClient:
         )
 
 
+def warm_pairwise_agreements(clients: "list[BonawitzClient]") -> int:
+    """Simulation accelerator: pre-derive every pairwise DH key at once.
+
+    Real deployments run the ``n(n-1)/2`` pairwise agreements on ``n``
+    machines in parallel; a single-process simulation pays for them
+    serially, one small batch per client.  Given the simulated clients
+    (which the driver owns anyway), this derives both key sets' pairwise
+    agreements in two lane-per-pair vectorised sweeps and warms the
+    shared memo, so the per-client protocol code — unchanged, still one
+    code path with the server — finds every agreement precomputed.
+    Purely an optimisation: derived keys are byte-identical.
+
+    Args:
+        clients: Simulated participants; ones that have not advertised
+            keys yet are skipped.
+
+    Returns:
+        Number of pairwise keys derived.
+    """
+    advertised = [
+        client
+        for client in clients
+        if client._channel_keys is not None and client._mask_keys is not None
+    ]
+    if len(advertised) < 2:
+        return 0
+    group = advertised[0]._group
+    warmed = warm_agreement_cache(
+        {c.index: c._channel_keys.private for c in advertised},
+        {c.index: c._channel_keys.public for c in advertised},
+        group,
+    )
+    warmed += warm_agreement_cache(
+        {c.index: c._mask_keys.private for c in advertised},
+        {c.index: c._mask_keys.public for c in advertised},
+        group,
+    )
+    return warmed
+
+
 class BonawitzServer:
     """The aggregation server: routes messages and recovers the sum.
 
@@ -365,6 +623,7 @@ class BonawitzServer:
         threshold: Shamir threshold ``t``.
         field: Shamir sharing field (must match the clients').
         group: DH group (must match the clients').
+        mask_prg: Mask PRG backend (must match the clients').
     """
 
     def __init__(
@@ -374,6 +633,7 @@ class BonawitzServer:
         threshold: int,
         field: PrimeField = DEFAULT_FIELD,
         group: DhGroup = DhGroup(),
+        mask_prg: MaskPrg | str | None = None,
     ) -> None:
         if threshold < 2:
             raise ConfigurationError(
@@ -384,6 +644,7 @@ class BonawitzServer:
         self._threshold = threshold
         self._field = field
         self._group = group
+        self._mask_prg = get_mask_prg(mask_prg)
         self._roster: dict[int, AdvertisedKeys] = {}
         self._mailbox: dict[int, list[SealedShares]] = {}
         self._share_senders: frozenset[int] = frozenset()
@@ -484,6 +745,11 @@ class BonawitzServer:
     def recover_sum(self, responses: list[UnmaskResponse]) -> np.ndarray:
         """Round 3: reconstruct missing masks and output the modular sum.
 
+        All survivor seeds are reconstructed in one shared-weight batch
+        (the responder set — hence the Lagrange weights — is the same
+        for every survivor), and all lingering masks are removed with
+        one batched signed-mask expansion.
+
         Args:
             responses: Round-3 replies from at least ``threshold`` clients.
 
@@ -501,43 +767,57 @@ class BonawitzServer:
             )
         survivors = sorted(self._masked)
         dropouts = sorted(self._share_senders - set(self._masked))
+        quorum = responses[: self._threshold]
         total = np.zeros(self._dimension, dtype=np.int64)
         for vector in self._masked.values():
             total = np.mod(total + vector, self._modulus)
-        # Remove the survivors' self-masks.
-        for survivor in survivors:
-            shares = [
-                response.seed_shares[survivor]
-                for response in responses[: self._threshold]
+        # Reconstruct every survivor's self-mask seed in one batch; the
+        # share points are the quorum's Shamir indices for all of them.
+        mask_seeds: list[bytes] = []
+        if survivors:
+            seed_rows = [
+                [response.seed_shares[survivor].y for response in quorum]
+                for survivor in survivors
             ]
-            seed = reconstruct_secret(shares, self._field)
-            seed_bytes = seed.to_bytes(_SEED_WIDTH, "little")
-            total = np.mod(
-                total - expand_mask(seed_bytes, self._dimension, self._modulus),
-                self._modulus,
-            )
-        # Remove the dropouts' lingering pairwise masks.
+            seed_xs = [
+                response.seed_shares[survivors[0]].x for response in quorum
+            ]
+            seeds = reconstruct_secrets(seed_xs, seed_rows, self._field)
+            mask_seeds = [
+                seed.to_bytes(_SEED_WIDTH, "little") for seed in seeds
+            ]
+        # ``lingering`` is subtracted wholesale, so each queued mask
+        # carries the sign it contributed to the aggregate with: +1 for
+        # every self-mask, the original pairwise sign for dropout pairs.
+        mask_signs = [1] * len(mask_seeds)
+        # Reconstruct each dropout's mask key (all limbs in one batch per
+        # dropout) and queue its lingering pairwise masks for removal.
         for dropout in dropouts:
             limb_shares = [
-                response.key_shares[dropout]
-                for response in responses[: self._threshold]
+                response.key_shares[dropout] for response in quorum
             ]
             private = reconstruct_large_secret(
                 limb_shares, self._field, DEFAULT_LIMB_BITS
             )
-            for survivor in survivors:
-                pairwise_seed = agree(
-                    private, self._roster[survivor].mask_public, self._group
-                )
-                sign = 1 if survivor < dropout else -1
-                total = np.mod(
-                    total
-                    - pairwise_delta(
-                        pairwise_seed, self._dimension, self._modulus, sign
-                    ),
-                    self._modulus,
-                )
-        return total
+            # The survivor's lingering term for the pair (s, d) was
+            # +PRG when s < d and -PRG when s > d.
+            mask_seeds += agree_batch(
+                private,
+                [self._roster[s].mask_public for s in survivors],
+                self._group,
+                own_public=self._roster[dropout].mask_public,
+            )
+            mask_signs += [
+                1 if survivor < dropout else -1 for survivor in survivors
+            ]
+        lingering = sum_signed_masks(
+            mask_seeds,
+            mask_signs,
+            self._dimension,
+            self._modulus,
+            self._mask_prg,
+        )
+        return np.mod(total - lingering, self._modulus)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -563,6 +843,7 @@ def run_bonawitz(
     group: DhGroup | None = None,
     dropouts: dict[int, int] | None = None,
     field: PrimeField = DEFAULT_FIELD,
+    mask_prg: MaskPrg | str | None = None,
 ) -> AggregationOutcome:
     """Execute the full four-round protocol over simulated clients.
 
@@ -579,6 +860,7 @@ def run_bonawitz(
         dropouts: Optional map from client index (1-based) to the first
             round (0-3) at which that client stops responding.
         field: Shamir sharing field.
+        mask_prg: Mask PRG backend shared by all participants.
 
     Returns:
         The aggregation outcome.
@@ -616,10 +898,13 @@ def run_bonawitz(
             rng=np.random.default_rng(rng.integers(0, 2**63 - 1)),
             group=group,
             field=field,
+            mask_prg=mask_prg,
         )
         for i in range(num_clients)
     }
-    server = BonawitzServer(modulus, dimension, threshold, field, group)
+    server = BonawitzServer(
+        modulus, dimension, threshold, field, group, mask_prg
+    )
 
     advertisements = [
         clients[u].advertise_keys()
@@ -627,6 +912,7 @@ def run_bonawitz(
         if alive(u, ROUND_ADVERTISE)
     ]
     roster = server.collect_advertisements(advertisements)
+    warm_pairwise_agreements([clients[u] for u in sorted(roster)])
 
     envelopes_by_sender = {
         u: clients[u].share_keys(roster)

@@ -7,12 +7,20 @@ over ``Z_m``.  Correct dropout recovery requires that the server, given
 a reconstructed seed, regenerates *bit-identical* masks, so the
 expansion must be a deterministic function of the seed alone.
 
-The expansion is SHA-256 in counter mode: ``block_i = SHA256(seed ||
-i)``, concatenated and read as little-endian 64-bit words.  For
-power-of-two moduli (every modulus the paper uses) the words are
-masked to ``log2(m)`` bits, which is exactly uniform.  For general
-moduli, rejection sampling below the largest multiple of ``m`` keeps
-the output exactly uniform rather than module-biased.
+The default expansion is SHA-256 in counter mode: ``block_i =
+SHA256(seed || i)``, concatenated and read as little-endian 64-bit
+words.  For power-of-two moduli (every modulus the paper uses) the
+words are masked to ``log2(m)`` bits, which is exactly uniform.  For
+general moduli, rejection sampling below the largest multiple of ``m``
+keeps the output exactly uniform rather than module-biased.
+
+The actual computation lives in the vectorised kernel layer
+(:mod:`repro.secagg.kernels`): this module keeps the stable functional
+API, routes it through a selectable :class:`~repro.secagg.kernels.MaskPrg`
+backend (SHA-256 counter mode by default, numpy Philox for speed), and
+retains the original scalar implementation as
+:func:`expand_mask_reference` — the baseline the golden-vector tests
+and kernel micro-benchmarks compare against.
 """
 
 from __future__ import annotations
@@ -22,11 +30,14 @@ import hashlib
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.secagg.kernels import MaskPrg, get_mask_prg
 
 _BLOCK_WORDS = 4  # SHA-256 digest = 32 bytes = 4 uint64 words.
 
 
-def _counter_words(seed: bytes, num_words: int, offset: int = 0) -> np.ndarray:
+def _counter_words_reference(
+    seed: bytes, num_words: int, offset: int = 0
+) -> np.ndarray:
     """Generate ``num_words`` uint64 words from SHA-256(seed || counter)."""
     blocks = (num_words + _BLOCK_WORDS - 1) // _BLOCK_WORDS
     digest = b"".join(
@@ -36,20 +47,15 @@ def _counter_words(seed: bytes, num_words: int, offset: int = 0) -> np.ndarray:
     return np.frombuffer(digest, dtype="<u8")[:num_words]
 
 
-def expand_mask(seed: bytes, dimension: int, modulus: int) -> np.ndarray:
-    """Expand ``seed`` into a deterministic uniform vector over ``Z_m``.
+def expand_mask_reference(
+    seed: bytes, dimension: int, modulus: int
+) -> np.ndarray:
+    """The retained scalar reference expansion (pre-kernel seed code).
 
-    Args:
-        seed: Arbitrary-length byte seed (32 bytes in the protocol).
-        dimension: Output length ``d``.
-        modulus: The group modulus ``m >= 2``.
-
-    Returns:
-        Length-``d`` int64 array with entries in ``[0, m)``; identical
-        for identical ``(seed, dimension, modulus)``.
-
-    Raises:
-        ConfigurationError: On a non-positive dimension or modulus < 2.
+    Kept verbatim so the vectorised :class:`Sha256CounterPrg` kernel can
+    be asserted bit-identical forever, and as the scalar baseline for
+    ``benchmarks/test_kernel_throughput.py``.  Production callers use
+    :func:`expand_mask`.
     """
     if dimension < 0:
         raise ConfigurationError(f"dimension must be >= 0, got {dimension}")
@@ -57,7 +63,7 @@ def expand_mask(seed: bytes, dimension: int, modulus: int) -> np.ndarray:
         raise ConfigurationError(f"modulus must be >= 2, got {modulus}")
     if modulus & (modulus - 1) == 0:
         # Power of two: masking low bits of a uniform word is uniform.
-        words = _counter_words(seed, dimension)
+        words = _counter_words_reference(seed, dimension)
         return (words & np.uint64(modulus - 1)).astype(np.int64)
     # General modulus: rejection-sample below the largest multiple of m
     # representable in 64 bits, so the residue is exactly uniform.
@@ -67,7 +73,7 @@ def expand_mask(seed: bytes, dimension: int, modulus: int) -> np.ndarray:
     offset = 0
     while filled < dimension:
         want = dimension - filled
-        words = _counter_words(seed, 2 * want + _BLOCK_WORDS, offset)
+        words = _counter_words_reference(seed, 2 * want + _BLOCK_WORDS, offset)
         offset += (len(words) + _BLOCK_WORDS - 1) // _BLOCK_WORDS
         accepted = words[words < np.uint64(limit)]
         take = min(want, len(accepted))
@@ -78,8 +84,39 @@ def expand_mask(seed: bytes, dimension: int, modulus: int) -> np.ndarray:
     return out
 
 
+def expand_mask(
+    seed: bytes,
+    dimension: int,
+    modulus: int,
+    prg: MaskPrg | str | None = None,
+) -> np.ndarray:
+    """Expand ``seed`` into a deterministic uniform vector over ``Z_m``.
+
+    Args:
+        seed: Arbitrary-length byte seed (32 bytes in the protocol).
+        dimension: Output length ``d``.
+        modulus: The group modulus ``m >= 2``.
+        prg: Mask PRG backend — a registered name (``"sha256-ctr"``,
+            ``"philox"``), a :class:`~repro.secagg.kernels.MaskPrg`
+            instance, or None for the bit-compatible SHA-256 default.
+
+    Returns:
+        Length-``d`` int64 array with entries in ``[0, m)``; identical
+        for identical ``(seed, dimension, modulus)`` and backend.
+
+    Raises:
+        ConfigurationError: On a negative dimension, modulus < 2, or an
+            unknown backend name.
+    """
+    return get_mask_prg(prg).expand(seed, dimension, modulus)
+
+
 def pairwise_delta(
-    seed: bytes, dimension: int, modulus: int, sign: int
+    seed: bytes,
+    dimension: int,
+    modulus: int,
+    sign: int,
+    prg: MaskPrg | str | None = None,
 ) -> np.ndarray:
     """The signed pairwise-mask contribution of one participant.
 
@@ -92,11 +129,12 @@ def pairwise_delta(
         dimension: Vector length.
         modulus: Group modulus.
         sign: ``+1`` for the lower-indexed party, ``-1`` for the higher.
+        prg: Mask PRG backend (see :func:`expand_mask`).
 
     Returns:
         The signed mask, reduced into ``[0, m)``.
     """
     if sign not in (1, -1):
         raise ConfigurationError(f"sign must be +1 or -1, got {sign}")
-    mask = expand_mask(seed, dimension, modulus)
+    mask = expand_mask(seed, dimension, modulus, prg)
     return mask if sign == 1 else np.mod(-mask, modulus)

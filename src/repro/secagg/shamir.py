@@ -11,22 +11,39 @@ A degree-``t - 1`` polynomial ``f`` with ``f(0) = secret`` is sampled
 uniformly; participant ``i`` receives the share ``(i, f(i))``.  Any ``t``
 shares determine ``f`` (and hence the secret) by Lagrange interpolation;
 any ``t - 1`` shares are jointly uniform and reveal nothing.
+
+Two code paths produce identical reconstructions:
+
+* the **vectorised kernels** (:mod:`repro.secagg.kernels`) — batched
+  Horner evaluation and shared-weight Lagrange interpolation over
+  uint64 arrays, used automatically whenever the field modulus fits the
+  limb-split arithmetic (every default configuration); and
+* the **scalar reference path** (:func:`split_secret_scalar`,
+  :func:`reconstruct_secret_scalar`) — the original per-share,
+  per-coefficient loops over Python integers, retained both for fields
+  larger than ``2^61`` and as the equivalence baseline the property
+  tests (``tests/test_shamir.py``) drive against the kernels.
 """
 
 from __future__ import annotations
 
-import dataclasses
 from collections.abc import Iterable, Sequence
+from typing import NamedTuple
 
 import numpy as np
 
 from repro.errors import AggregationError, ConfigurationError
+from repro.linalg.modular import LIMB_SPLIT_MAX_MODULUS
+from repro.secagg import kernels
 from repro.secagg.field import DEFAULT_FIELD, PrimeField
 
 
-@dataclasses.dataclass(frozen=True)
-class Share:
+class Share(NamedTuple):
     """One Shamir share ``(x, f(x))``.
+
+    A NamedTuple rather than a dataclass: the protocol constructs one
+    share object per (sender, recipient) pair — quadratically many per
+    round — and tuple construction is several times cheaper.
 
     Attributes:
         x: The (nonzero) evaluation point identifying the recipient.
@@ -35,6 +52,54 @@ class Share:
 
     x: int
     y: int
+
+
+def _uses_kernels(field: PrimeField) -> bool:
+    """Whether the limb-split kernels cover this field."""
+    return field.prime <= LIMB_SPLIT_MAX_MODULUS
+
+
+def _validate_split_parameters(
+    secret: int, threshold: int, num_shares: int, field: PrimeField
+) -> None:
+    if not 0 <= secret < field.prime:
+        raise ConfigurationError(
+            f"secret must lie in [0, {field.prime}), got {secret}"
+        )
+    if threshold < 1:
+        raise ConfigurationError(f"threshold must be >= 1, got {threshold}")
+    if num_shares < threshold:
+        raise ConfigurationError(
+            f"cannot issue {num_shares} shares with threshold {threshold}"
+        )
+    if num_shares >= field.prime:
+        raise ConfigurationError(
+            f"at most {field.prime - 1} shares exist over GF({field.prime})"
+        )
+
+
+def split_secret_scalar(
+    secret: int,
+    threshold: int,
+    num_shares: int,
+    rng: np.random.Generator,
+    field: PrimeField = DEFAULT_FIELD,
+) -> list[Share]:
+    """Scalar reference split: per-coefficient draws, per-share Horner.
+
+    The pre-kernel seed implementation, retained verbatim.  Produces
+    shares with the same distribution as :func:`split_secret` (both
+    sample uniform polynomials) and identical reconstructions.
+    """
+    _validate_split_parameters(secret, threshold, num_shares, field)
+    # Coefficients a_0 = secret, a_1..a_{t-1} uniform: f of degree t-1.
+    coefficients = [secret] + [
+        int(rng.integers(0, field.prime)) for _ in range(threshold - 1)
+    ]
+    return [
+        Share(x=x, y=field.evaluate_polynomial(coefficients, x))
+        for x in range(1, num_shares + 1)
+    ]
 
 
 def split_secret(
@@ -62,28 +127,57 @@ def split_secret(
             outside ``[1, num_shares]``, secret outside the field, or more
             shares requested than field elements permit).
     """
-    if not 0 <= secret < field.prime:
-        raise ConfigurationError(
-            f"secret must lie in [0, {field.prime}), got {secret}"
-        )
-    if threshold < 1:
-        raise ConfigurationError(f"threshold must be >= 1, got {threshold}")
-    if num_shares < threshold:
-        raise ConfigurationError(
-            f"cannot issue {num_shares} shares with threshold {threshold}"
-        )
-    if num_shares >= field.prime:
-        raise ConfigurationError(
-            f"at most {field.prime - 1} shares exist over GF({field.prime})"
-        )
-    # Coefficients a_0 = secret, a_1..a_{t-1} uniform: f of degree t-1.
-    coefficients = [secret] + [
-        int(rng.integers(0, field.prime)) for _ in range(threshold - 1)
-    ]
-    return [
-        Share(x=x, y=field.evaluate_polynomial(coefficients, x))
-        for x in range(1, num_shares + 1)
-    ]
+    _validate_split_parameters(secret, threshold, num_shares, field)
+    if not _uses_kernels(field):
+        return split_secret_scalar(secret, threshold, num_shares, rng, field)
+    ys = kernels.batched_split(
+        np.asarray([secret], dtype=np.uint64),
+        threshold,
+        num_shares,
+        rng,
+        field.prime,
+    )[0]
+    return [Share(x=x, y=int(ys[x - 1])) for x in range(1, num_shares + 1)]
+
+
+def split_secrets(
+    secrets: Sequence[int],
+    threshold: int,
+    num_shares: int,
+    rng: np.random.Generator,
+    field: PrimeField = DEFAULT_FIELD,
+) -> np.ndarray:
+    """Share many secrets over the same points in one vectorised call.
+
+    Args:
+        secrets: Secrets in ``[0, field.prime)``, one polynomial each.
+        threshold: Reconstruction threshold ``t``.
+        num_shares: Number of recipients ``n`` (points ``x = 1..n``).
+        rng: Polynomial randomness.
+        field: Field to share over (must fit the limb-split kernels for
+            the fast path; larger fields fall back to the scalar loop).
+
+    Returns:
+        ``(len(secrets), num_shares)`` integer matrix; entry ``[i, j]``
+        is secret ``i``'s share value at ``x = j + 1``.
+    """
+    for secret in secrets:
+        _validate_split_parameters(int(secret), threshold, num_shares, field)
+    if not _uses_kernels(field):
+        rows = [
+            [share.y for share in split_secret_scalar(
+                int(secret), threshold, num_shares, rng, field
+            )]
+            for secret in secrets
+        ]
+        return np.asarray(rows, dtype=object)
+    return kernels.batched_split(
+        np.asarray(secrets, dtype=np.uint64),
+        threshold,
+        num_shares,
+        rng,
+        field.prime,
+    )
 
 
 def _check_shares(shares: Sequence[Share], field: PrimeField) -> None:
@@ -103,8 +197,7 @@ def _check_shares(shares: Sequence[Share], field: PrimeField) -> None:
             )
 
 
-@dataclasses.dataclass(frozen=True)
-class LimbShares:
+class LimbShares(NamedTuple):
     """One recipient's shares of a large (multi-limb) secret.
 
     Large secrets — e.g. 1024-bit Diffie-Hellman private keys — do not
@@ -126,6 +219,18 @@ class LimbShares:
 DEFAULT_LIMB_BITS = 60
 
 
+def _secret_limbs(secret: int, limb_bits: int) -> list[int]:
+    """Base-``2^limb_bits`` decomposition, lowest limb first, >= 1 limb."""
+    limbs: list[int] = []
+    remaining = secret
+    while True:
+        limbs.append(remaining & ((1 << limb_bits) - 1))
+        remaining >>= limb_bits
+        if remaining == 0:
+            break
+    return limbs
+
+
 def split_large_secret(
     secret: int,
     threshold: int,
@@ -137,8 +242,9 @@ def split_large_secret(
     """Share a non-negative integer of arbitrary size.
 
     The secret is decomposed into base-``2^limb_bits`` limbs; each limb is
-    shared with an independent random polynomial.  At least one limb is
-    always produced so zero-valued secrets round-trip.
+    shared with an independent random polynomial (all limbs in one
+    vectorised kernel call).  At least one limb is always produced so
+    zero-valued secrets round-trip.
 
     Args:
         secret: Non-negative integer (any size).
@@ -161,20 +267,13 @@ def split_large_secret(
         raise ConfigurationError(
             f"limb width {limb_bits} does not fit GF({field.prime})"
         )
-    limbs: list[int] = []
-    remaining = secret
-    while True:
-        limbs.append(remaining & ((1 << limb_bits) - 1))
-        remaining >>= limb_bits
-        if remaining == 0:
-            break
-    per_limb = [
-        split_secret(limb, threshold, num_shares, rng, field)
-        for limb in limbs
-    ]
+    limbs = _secret_limbs(secret, limb_bits)
+    # (num_limbs, num_shares): one row of share values per limb.
+    per_limb = split_secrets(limbs, threshold, num_shares, rng, field)
     return [
         LimbShares(
-            x=x, ys=tuple(per_limb[k][x - 1].y for k in range(len(limbs)))
+            x=x,
+            ys=tuple(int(per_limb[k, x - 1]) for k in range(len(limbs))),
         )
         for x in range(1, num_shares + 1)
     ]
@@ -206,12 +305,41 @@ def reconstruct_large_secret(
     num_limbs = len(shares[0].ys)
     if any(len(share.ys) != num_limbs for share in shares):
         raise AggregationError("limb counts disagree across shares")
+    xs = [share.x for share in shares]
+    limb_values = reconstruct_secrets(
+        xs, [[share.ys[k] for share in shares] for k in range(num_limbs)],
+        field,
+    )
     secret = 0
-    for k in range(num_limbs - 1, -1, -1):
-        limb = reconstruct_secret(
-            [Share(x=share.x, y=share.ys[k]) for share in shares], field
-        )
-        secret = (secret << limb_bits) | limb
+    for limb in reversed(limb_values):
+        secret = (secret << limb_bits) | int(limb)
+    return secret
+
+
+def reconstruct_secret_scalar(
+    shares: Iterable[Share], field: PrimeField = DEFAULT_FIELD
+) -> int:
+    """Scalar reference reconstruction: per-pair Lagrange loops.
+
+    The pre-kernel seed implementation, retained verbatim; the property
+    suite asserts it agrees with :func:`reconstruct_secret` share for
+    share.
+    """
+    shares = list(shares)
+    _check_shares(shares, field)
+    secret = 0
+    for i, share_i in enumerate(shares):
+        numerator = 1
+        denominator = 1
+        for j, share_j in enumerate(shares):
+            if i == j:
+                continue
+            numerator = field.mul(numerator, field.neg(share_j.x))
+            denominator = field.mul(
+                denominator, field.sub(share_i.x, share_j.x)
+            )
+        weight = field.mul(numerator, field.inv(denominator))
+        secret = field.add(secret, field.mul(share_i.y, weight))
     return secret
 
 
@@ -236,18 +364,63 @@ def reconstruct_secret(
         AggregationError: On duplicate or out-of-field shares.
     """
     shares = list(shares)
+    if not _uses_kernels(field):
+        return reconstruct_secret_scalar(shares, field)
     _check_shares(shares, field)
-    secret = 0
-    for i, share_i in enumerate(shares):
-        numerator = 1
-        denominator = 1
-        for j, share_j in enumerate(shares):
-            if i == j:
-                continue
-            numerator = field.mul(numerator, field.neg(share_j.x))
-            denominator = field.mul(
-                denominator, field.sub(share_i.x, share_j.x)
+    result = kernels.batched_reconstruct(
+        np.asarray([share.x for share in shares], dtype=np.uint64),
+        np.asarray([[share.y for share in shares]], dtype=np.uint64),
+        field.prime,
+    )
+    return int(result[0])
+
+
+def reconstruct_secrets(
+    xs: Sequence[int],
+    ys_rows: Sequence[Sequence[int]],
+    field: PrimeField = DEFAULT_FIELD,
+) -> list[int]:
+    """Reconstruct many secrets whose shares sit at the same points.
+
+    The dropout-recovery workhorse: the server holds shares from one
+    fixed responder set, so every secret (per-survivor seeds, per-limb
+    key values) shares the evaluation points and the Lagrange weights
+    are computed once.
+
+    Args:
+        xs: Distinct nonzero share points, shared by all secrets.
+        ys_rows: One row of share values per secret, aligned with ``xs``.
+        field: The field the shares live in.
+
+    Returns:
+        One reconstructed secret per row.
+
+    Raises:
+        AggregationError: On duplicate/out-of-field points, inconsistent
+            row lengths, or zero shares.
+    """
+    xs = list(xs)
+    rows = [list(row) for row in ys_rows]
+    if any(len(row) != len(xs) for row in rows):
+        raise AggregationError(
+            "share rows and points disagree: "
+            f"{sorted({len(row) for row in rows})} values vs {len(xs)} points"
+        )
+    if not rows:
+        return []
+    if not _uses_kernels(field):
+        return [
+            reconstruct_secret_scalar(
+                [Share(x=x, y=y) for x, y in zip(xs, row)], field
             )
-        weight = field.mul(numerator, field.inv(denominator))
-        secret = field.add(secret, field.mul(share_i.y, weight))
-    return secret
+            for row in rows
+        ]
+    _check_shares(
+        [Share(x=xs[j], y=rows[0][j]) for j in range(len(xs))], field
+    )
+    result = kernels.batched_reconstruct(
+        np.asarray(xs, dtype=np.uint64),
+        np.asarray(rows, dtype=np.uint64),
+        field.prime,
+    )
+    return [int(value) for value in result]

@@ -45,8 +45,10 @@ from repro.secagg.bonawitz import (
     BonawitzClient,
     BonawitzServer,
     UnmaskRequest,
+    warm_pairwise_agreements,
 )
 from repro.secagg.field import DEFAULT_FIELD, PrimeField
+from repro.secagg.kernels import MaskPrg, get_mask_prg
 from repro.secagg.keys import TOY_GROUP, DhGroup
 from repro.simulation.clock import SimulatedClock
 from repro.simulation.events import Mailbox, SimulationTrace
@@ -109,6 +111,10 @@ class AsyncSecAggRound:
         trace: Optional event log for observability.
         tamper_unmask_request: Test/adversary seam applied to the
             server's round-3 announcement before broadcast.
+        mask_prg: Mask PRG backend (protocol version) shared by the
+            server and every cohort member — ``"sha256-ctr"`` (default,
+            bit-compatible) or ``"philox"`` (fast), or a
+            :class:`~repro.secagg.kernels.MaskPrg` instance.
     """
 
     def __init__(
@@ -125,6 +131,7 @@ class AsyncSecAggRound:
         trace: SimulationTrace | None = None,
         tamper_unmask_request: Callable[[UnmaskRequest], UnmaskRequest]
         | None = None,
+        mask_prg: MaskPrg | str | None = None,
     ) -> None:
         if not vectors:
             raise ConfigurationError("cohort must not be empty")
@@ -156,6 +163,7 @@ class AsyncSecAggRound:
         self._field = field
         self._trace = trace
         self._tamper = tamper_unmask_request
+        self._mask_prg = get_mask_prg(mask_prg)
         # Spawn per-client generators in sorted order, like run_bonawitz.
         self._client_rngs = {
             u: np.random.default_rng(int(rng.integers(0, 2**63 - 1)))
@@ -163,6 +171,9 @@ class AsyncSecAggRound:
         }
         self._inbox = Mailbox(clock)
         self._boxes = {u: Mailbox(clock) for u in self._cohort}
+        # Live client state machines, registered as their tasks spawn so
+        # the server can batch-warm the pairwise DH agreements.
+        self._live_clients: dict[int, BonawitzClient] = {}
 
     def _plan(self, client: int) -> ClientPlan:
         return self._plans.get(client, ClientPlan())
@@ -213,12 +224,22 @@ class AsyncSecAggRound:
             self._threshold,
             self._field,
             self._group,
+            self._mask_prg,
         )
         # Phase 0 — AdvertiseKeys.
         advertisements = await self._collect(
             _TAGS[ROUND_ADVERTISE], expected=set(self._cohort)
         )
         roster = server.collect_advertisements(list(advertisements.values()))
+        # Pre-derive the roster's pairwise DH keys in one vectorised
+        # sweep (a pure memoisation warm-up; see bonawitz module docs).
+        warm_pairwise_agreements(
+            [
+                self._live_clients[u]
+                for u in sorted(roster)
+                if u in self._live_clients
+            ]
+        )
         self._broadcast(set(roster), payload_for=lambda u: dict(roster))
         # Phase 1 — ShareKeys.
         envelopes = await self._collect(
@@ -321,7 +342,9 @@ class AsyncSecAggRound:
             rng=self._client_rngs[index],
             group=self._group,
             field=self._field,
+            mask_prg=self._mask_prg,
         )
+        self._live_clients[index] = client
         # Phase 0 — advertise both public keys.
         if not plan.responds_at(ROUND_ADVERTISE):
             self._record("client-dropped", client=index, phase=ROUND_ADVERTISE)

@@ -6,15 +6,23 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError
+from repro.secagg.kernels import (
+    DEFAULT_MASK_PRG,
+    PhiloxPrg,
+    Sha256CounterPrg,
+    get_mask_prg,
+)
 from repro.secagg.keys import (
     OAKLEY_GROUP_2_PRIME,
     TOY_GROUP,
     DhGroup,
     KeyPair,
     agree,
+    agree_batch,
     generate_keypair,
+    warm_agreement_cache,
 )
-from repro.secagg.prg import expand_mask, pairwise_delta
+from repro.secagg.prg import expand_mask, expand_mask_reference, pairwise_delta
 
 
 @pytest.fixture
@@ -175,3 +183,235 @@ class TestPairwiseDelta:
         np.testing.assert_array_equal(
             pairwise_delta(b"s", 16, 256, sign=1), expand_mask(b"s", 16, 256)
         )
+
+
+class TestGoldenVectors:
+    """Frozen expansions captured from the pre-kernel seed implementation.
+
+    These pin the SHA-256 counter-mode backend bit-for-bit: any change
+    to the counter encoding, word order, masking, or rejection sampling
+    breaks dropout recovery against recorded protocol transcripts.
+    Covers the power-of-two fast path, the general-modulus rejection
+    path (including a modulus with ~25% rejection probability), and the
+    degenerate dimensions.
+    """
+
+    GOLDEN = {
+        (b"golden-seed", 8, 2**16):
+            "99760000000000009333000000000000993100000000000015bc000000000000"
+            "2fae000000000000bb870000000000004bce0000000000002cf4000000000000",
+        (b"golden-seed", 17, 2**16):
+            "99760000000000009333000000000000993100000000000015bc000000000000"
+            "2fae000000000000bb870000000000004bce0000000000002cf4000000000000"
+            "c6f70000000000009501000000000000633b000000000000f122000000000000"
+            "87a6000000000000c6b4000000000000c0fe0000000000006a30000000000000"
+            "18f2000000000000",
+        (b"\x00" * 32, 8, 2**61):
+            "2c34ce1df23b830c5abf2a7f6437cc03d3067ed509ff25111df6b11b582b510b"
+            "19ea44be89eece0fd4ec7482049f470a11af19384bffb30a88e77b3b1dd54c19",
+        (b"golden-seed", 8, 1000):
+            "a103000000000000830200000000000029000000000000009d00000000000000"
+            "af0000000000000033030000000000001300000000000000c401000000000000",
+        (b"\xffEdge", 13, 3):
+            "0200000000000000010000000000000000000000000000000100000000000000"
+            "0000000000000000010000000000000002000000000000000200000000000000"
+            "0000000000000000020000000000000000000000000000000100000000000000"
+            "0100000000000000",
+        (b"golden-seed", 5, 2):
+            "0100000000000000010000000000000001000000000000000100000000000000"
+            "0100000000000000",
+        (b"reject-heavy", 9, 2**62 + 11):
+            "3df73f4276b5b13f0aa9684b6cca392a17f52aed394e612de5280b2731fb3733"
+            "cfa76c88937c23022ae5755da82c8d1d68dbc91c796496381fe64d5dc2af6b32"
+            "8147eb039cc56e00",
+    }
+
+    @pytest.mark.parametrize(
+        "seed,dimension,modulus", sorted(GOLDEN, key=repr)
+    )
+    def test_expand_mask_matches_golden(self, seed, dimension, modulus):
+        expected = np.frombuffer(
+            bytes.fromhex(self.GOLDEN[(seed, dimension, modulus)]),
+            dtype="<u8",
+        ).astype(np.int64)
+        np.testing.assert_array_equal(
+            expand_mask(seed, dimension, modulus), expected
+        )
+
+    @pytest.mark.parametrize(
+        "seed,dimension,modulus", sorted(GOLDEN, key=repr)
+    )
+    def test_reference_implementation_matches_golden(
+        self, seed, dimension, modulus
+    ):
+        """The retained scalar path and the goldens agree forever."""
+        expected = np.frombuffer(
+            bytes.fromhex(self.GOLDEN[(seed, dimension, modulus)]),
+            dtype="<u8",
+        ).astype(np.int64)
+        np.testing.assert_array_equal(
+            expand_mask_reference(seed, dimension, modulus), expected
+        )
+
+    @pytest.mark.parametrize(
+        "seed,dimension,modulus", sorted(GOLDEN, key=repr)
+    )
+    def test_kernel_backend_matches_golden(self, seed, dimension, modulus):
+        expected = np.frombuffer(
+            bytes.fromhex(self.GOLDEN[(seed, dimension, modulus)]),
+            dtype="<u8",
+        ).astype(np.int64)
+        np.testing.assert_array_equal(
+            Sha256CounterPrg().expand(seed, dimension, modulus), expected
+        )
+
+
+class TestKernelReferenceEquivalence:
+    """Vectorised backend == retained scalar reference, everywhere."""
+
+    @given(
+        modulus=st.integers(min_value=2, max_value=2**20),
+        dimension=st.integers(min_value=0, max_value=200),
+        seed=st.binary(min_size=0, max_size=48),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_expand_equivalence_property(self, modulus, dimension, seed):
+        np.testing.assert_array_equal(
+            expand_mask(seed, dimension, modulus),
+            expand_mask_reference(seed, dimension, modulus),
+        )
+
+    def test_batch_rows_equal_single_expansions(self):
+        prg = Sha256CounterPrg()
+        seeds = [bytes([i]) * 32 for i in range(12)] + [b"", b"\x00"]
+        for modulus in (2**16, 1000):
+            batch = prg.expand_batch(seeds, 40, modulus)
+            for row, seed in enumerate(seeds):
+                np.testing.assert_array_equal(
+                    batch[row], expand_mask_reference(seed, 40, modulus)
+                )
+
+    def test_batch_caching_is_transparent(self):
+        prg = Sha256CounterPrg()
+        seeds = [b"cached-seed" for _ in range(3)]
+        first = prg.expand_batch(seeds, 16, 2**16)
+        second = prg.expand_batch(seeds, 16, 2**16)
+        np.testing.assert_array_equal(first, second)
+        # Mutating a returned row must not poison later expansions.
+        first[0, :] = -1
+        np.testing.assert_array_equal(
+            prg.expand(b"cached-seed", 16, 2**16), second[0]
+        )
+
+
+class TestPhiloxBackend:
+    def test_deterministic_per_seed(self):
+        prg = PhiloxPrg()
+        np.testing.assert_array_equal(
+            prg.expand(b"seed", 128, 2**16), prg.expand(b"seed", 128, 2**16)
+        )
+
+    def test_distinct_seeds_differ(self):
+        prg = PhiloxPrg()
+        assert not np.array_equal(
+            prg.expand(b"seed-a", 64, 2**16), prg.expand(b"seed-b", 64, 2**16)
+        )
+
+    def test_prefix_stability(self):
+        prg = PhiloxPrg()
+        np.testing.assert_array_equal(
+            prg.expand(b"s", 10, 2**20), prg.expand(b"s", 50, 2**20)[:10]
+        )
+
+    def test_range_general_modulus(self):
+        mask = PhiloxPrg().expand(b"x", 2000, 1000)
+        assert mask.min() >= 0 and mask.max() < 1000
+
+    def test_uniformity(self):
+        mask = PhiloxPrg().expand(b"uniformity", 200_000, 8)
+        counts = np.bincount(mask, minlength=8)
+        expected = len(mask) / 8
+        chi2 = float(((counts - expected) ** 2 / expected).sum())
+        assert chi2 < 30
+
+    def test_not_bit_compatible_with_sha_backend(self):
+        # Different protocol versions really are different streams.
+        assert not np.array_equal(
+            PhiloxPrg().expand(b"seed", 64, 2**16),
+            Sha256CounterPrg().expand(b"seed", 64, 2**16),
+        )
+
+
+class TestMaskPrgRegistry:
+    def test_default_is_sha256_ctr(self):
+        assert get_mask_prg(None) is DEFAULT_MASK_PRG
+        assert DEFAULT_MASK_PRG.name == "sha256-ctr"
+
+    def test_lookup_by_name(self):
+        assert isinstance(get_mask_prg("philox"), PhiloxPrg)
+        assert isinstance(get_mask_prg("sha256-ctr"), Sha256CounterPrg)
+
+    def test_instance_passthrough(self):
+        prg = PhiloxPrg()
+        assert get_mask_prg(prg) is prg
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown mask PRG"):
+            get_mask_prg("md5-ctr")
+
+    def test_expand_mask_accepts_backend_argument(self):
+        np.testing.assert_array_equal(
+            expand_mask(b"s", 32, 2**12, prg="philox"),
+            PhiloxPrg().expand(b"s", 32, 2**12),
+        )
+
+
+class TestAgreementAcceleration:
+    def test_own_public_does_not_change_derived_key(self, rng):
+        alice = generate_keypair(rng, TOY_GROUP)
+        bob = generate_keypair(rng, TOY_GROUP)
+        plain = agree(alice.private, bob.public, TOY_GROUP)
+        accelerated = agree(
+            alice.private, bob.public, TOY_GROUP, own_public=alice.public
+        )
+        mirrored = agree(
+            bob.private, alice.public, TOY_GROUP, own_public=bob.public
+        )
+        assert plain == accelerated == mirrored
+
+    def test_agree_batch_matches_scalar(self, rng):
+        alice = generate_keypair(rng, TOY_GROUP)
+        peers = [generate_keypair(rng, TOY_GROUP) for _ in range(20)]
+        batched = agree_batch(
+            alice.private,
+            [p.public for p in peers],
+            TOY_GROUP,
+            own_public=alice.public,
+        )
+        assert batched == [
+            agree(alice.private, p.public, TOY_GROUP) for p in peers
+        ]
+
+    def test_agree_batch_validates_publics(self, rng):
+        alice = generate_keypair(rng, TOY_GROUP)
+        with pytest.raises(ConfigurationError, match="peer public"):
+            agree_batch(alice.private, [1], TOY_GROUP)
+
+    def test_warm_cache_preserves_agreement_bytes(self, rng):
+        pairs = {i: generate_keypair(rng, TOY_GROUP) for i in range(1, 7)}
+        warmed = warm_agreement_cache(
+            {i: kp.private for i, kp in pairs.items()},
+            {i: kp.public for i, kp in pairs.items()},
+            TOY_GROUP,
+        )
+        assert warmed == 6 * 5 // 2
+        for i in pairs:
+            for j in pairs:
+                if i == j:
+                    continue
+                assert agree(
+                    pairs[i].private,
+                    pairs[j].public,
+                    TOY_GROUP,
+                    own_public=pairs[i].public,
+                ) == agree(pairs[i].private, pairs[j].public, TOY_GROUP)

@@ -6,7 +6,18 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError
-from repro.linalg.modular import decode_centered, encode_mod, wraps_around
+from repro.linalg.modular import (
+    decode_centered,
+    encode_mod,
+    horner_mod,
+    inv_mod,
+    mul_mod,
+    pow_mod,
+    pow_mod_elementwise,
+    sum_mod,
+    wraps_around,
+)
+from repro.secagg.field import MERSENNE_61
 
 
 class TestEncodeMod:
@@ -82,3 +93,117 @@ class TestWrapsAround:
 
     def test_below_range(self):
         assert wraps_around(np.array([-129]), 256)
+
+
+class TestFieldKernels:
+    """128-bit-safe limb-split arithmetic against Python-int references."""
+
+    PRIMES = [MERSENNE_61, (1 << 31) - 1, 101, 2]
+
+    @pytest.mark.parametrize("prime", PRIMES)
+    def test_mul_mod_matches_python_ints(self, prime):
+        rng = np.random.default_rng(2022)
+        a = rng.integers(0, prime, size=500, dtype=np.uint64)
+        b = rng.integers(0, prime, size=500, dtype=np.uint64)
+        expected = [(int(x) * int(y)) % prime for x, y in zip(a, b)]
+        assert mul_mod(a, b, prime).tolist() == expected
+
+    def test_mul_mod_worst_case_operands(self):
+        p = MERSENNE_61
+        edge = np.array([p - 1, p - 1, 1, 0, p // 2, (1 << 60) + 12345],
+                        dtype=np.uint64)
+        assert mul_mod(edge, edge, p).tolist() == [
+            (int(v) ** 2) % p for v in edge
+        ]
+
+    def test_mul_mod_reduces_out_of_range_inputs(self):
+        # Operands above the modulus are reduced, not silently wrong.
+        assert int(mul_mod(np.uint64(2**63), np.uint64(3), 101)) == (
+            (2**63 % 101) * 3
+        ) % 101
+
+    def test_mul_mod_oversized_modulus_rejected(self):
+        with pytest.raises(ConfigurationError, match="2\\^61"):
+            mul_mod(np.uint64(1), np.uint64(1), (1 << 61) + 2)
+
+    @pytest.mark.parametrize("prime", PRIMES)
+    def test_pow_mod_matches_python_pow(self, prime):
+        rng = np.random.default_rng(7)
+        base = rng.integers(0, prime, size=40, dtype=np.uint64)
+        for exponent in (0, 1, 2, 12345, prime - 1):
+            assert pow_mod(base, exponent, prime).tolist() == [
+                pow(int(b), exponent, prime) for b in base
+            ]
+
+    def test_pow_mod_negative_exponent_rejected(self):
+        with pytest.raises(ConfigurationError, match="exponent"):
+            pow_mod(np.uint64(2), -1, 101)
+
+    def test_pow_mod_elementwise_matches_python_pow(self):
+        p = MERSENNE_61
+        rng = np.random.default_rng(11)
+        bases = rng.integers(1, p, size=200, dtype=np.uint64)
+        exponents = rng.integers(0, p, size=200, dtype=np.uint64)
+        got = pow_mod_elementwise(bases, exponents, p)
+        assert got.tolist() == [
+            pow(int(b), int(e), p) for b, e in zip(bases, exponents)
+        ]
+
+    @pytest.mark.parametrize("prime", [MERSENNE_61, 101])
+    def test_inv_mod_inverts(self, prime):
+        values = np.arange(1, min(prime, 60), dtype=np.uint64)
+        assert np.all(mul_mod(inv_mod(values, prime), values, prime) == 1)
+
+    def test_inv_mod_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            inv_mod(np.array([0], dtype=np.uint64), 101)
+
+    @pytest.mark.parametrize("prime", [MERSENNE_61, (1 << 31) - 1, 101])
+    @pytest.mark.parametrize("num_coeffs", [1, 2, 3, 8, 40])
+    def test_horner_matches_python_reference(self, prime, num_coeffs):
+        rng = np.random.default_rng(num_coeffs)
+        coeffs = rng.integers(0, prime, size=(3, num_coeffs), dtype=np.uint64)
+        xs = rng.integers(1, min(prime, 600), size=17, dtype=np.uint64)
+        out = horner_mod(coeffs, xs, prime)
+        for k in range(3):
+            for j in range(17):
+                reference = 0
+                for c in reversed(coeffs[k].tolist()):
+                    reference = (reference * int(xs[j]) + c) % prime
+                assert int(out[k, j]) == reference
+
+    def test_horner_large_points_use_generic_path(self):
+        # Points >= 2^29 leave the lazy-reduction fast path but stay exact.
+        p = MERSENNE_61
+        rng = np.random.default_rng(5)
+        coeffs = rng.integers(0, p, size=(2, 6), dtype=np.uint64)
+        xs = rng.integers(1 << 40, p, size=5, dtype=np.uint64)
+        out = horner_mod(coeffs, xs, p)
+        for k in range(2):
+            reference = 0
+            for c in reversed(coeffs[k].tolist()):
+                reference = (reference * int(xs[0]) + c) % p
+            assert int(out[k, 0]) == reference
+
+    def test_sum_mod_overflow_safe(self):
+        p = MERSENNE_61
+        values = np.full(5000, p - 1, dtype=np.uint64)
+        assert int(sum_mod(values, p)) == (5000 * (p - 1)) % p
+
+    def test_sum_mod_axis_and_empty(self):
+        matrix = np.arange(12, dtype=np.uint64).reshape(3, 4)
+        assert sum_mod(matrix, 7, axis=1).tolist() == [
+            int(row.sum()) % 7 for row in matrix
+        ]
+        assert sum_mod(np.empty((0, 4), dtype=np.uint64), 7).tolist() == [
+            0, 0, 0, 0,
+        ]
+
+    @given(
+        a=st.integers(min_value=0, max_value=(1 << 61) - 2),
+        b=st.integers(min_value=0, max_value=(1 << 61) - 2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mul_mod_property_mersenne(self, a, b):
+        p = MERSENNE_61
+        assert int(mul_mod(np.uint64(a), np.uint64(b), p)) == (a * b) % p

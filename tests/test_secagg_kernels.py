@@ -1,0 +1,274 @@
+"""Tests for the vectorised SecAgg kernel layer (repro.secagg.kernels)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AggregationError, ConfigurationError
+from repro.secagg.bonawitz import (
+    _decode_payload,
+    _decode_payload_matrix,
+    _encode_payload,
+    _encode_payload_matrix,
+    run_bonawitz,
+)
+from repro.secagg.field import DEFAULT_FIELD
+from repro.secagg.kernels import (
+    batched_reconstruct,
+    batched_split,
+    keystream,
+    keystream_batch,
+    lagrange_weights_at_zero,
+    sum_signed_masks,
+)
+from repro.secagg.prg import expand_mask, pairwise_delta
+from repro.secagg.shamir import LimbShares, Share
+
+PRIME = DEFAULT_FIELD.prime
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(23)
+
+
+class TestSumSignedMasks:
+    def test_matches_per_peer_loop(self):
+        seeds = [bytes([i, i + 1]) * 16 for i in range(30)]
+        signs = [1 if i % 3 else -1 for i in range(30)]
+        modulus, dimension = 2**16, 48
+        reference = np.zeros(dimension, dtype=np.int64)
+        for seed, sign in zip(seeds, signs):
+            reference = np.mod(
+                reference + pairwise_delta(seed, dimension, modulus, sign),
+                modulus,
+            )
+        np.testing.assert_array_equal(
+            sum_signed_masks(seeds, signs, dimension, modulus), reference
+        )
+
+    def test_opposite_signs_cancel(self):
+        total = sum_signed_masks(
+            [b"shared", b"shared"], [1, -1], 64, 2**12
+        )
+        np.testing.assert_array_equal(total, 0)
+
+    def test_empty_is_zero(self):
+        np.testing.assert_array_equal(
+            sum_signed_masks([], [], 5, 16), np.zeros(5, dtype=np.int64)
+        )
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError, match="signs"):
+            sum_signed_masks([b"a"], [1, -1], 4, 16)
+
+    def test_invalid_sign_rejected(self):
+        with pytest.raises(ConfigurationError, match="sign"):
+            sum_signed_masks([b"a"], [0], 4, 16)
+
+    def test_large_modulus_accumulation_is_exact(self):
+        # Sums of near-modulus masks overflow a naive int64 reduction.
+        seeds = [bytes([i]) * 32 for i in range(200)]
+        modulus = 2**60
+        total = sum_signed_masks(seeds, [1] * len(seeds), 8, modulus)
+        reference = np.zeros(8, dtype=object)
+        for seed in seeds:
+            reference = (reference + expand_mask(seed, 8, modulus)) % modulus
+        assert total.tolist() == [int(v) for v in reference]
+
+    def test_philox_backend_selectable(self):
+        sha = sum_signed_masks([b"s"], [1], 16, 2**10)
+        philox = sum_signed_masks([b"s"], [1], 16, 2**10, prg="philox")
+        assert not np.array_equal(sha, philox)
+        np.testing.assert_array_equal(
+            philox, expand_mask(b"s", 16, 2**10, prg="philox")
+        )
+
+
+class TestKeystream:
+    def test_deterministic_and_key_sensitive(self):
+        a = keystream(b"k" * 32, 100)
+        assert np.array_equal(a, keystream(b"k" * 32, 100))
+        assert not np.array_equal(a, keystream(b"j" * 32, 100))
+
+    def test_batch_rows_match_single(self):
+        keys = [bytes([i]) * 32 for i in range(10)]
+        batch = keystream_batch(keys, 77)
+        for row, key in enumerate(keys):
+            np.testing.assert_array_equal(batch[row], keystream(key, 77))
+
+    def test_prefix_stability(self):
+        np.testing.assert_array_equal(
+            keystream(b"k", 10), keystream(b"k", 100)[:10]
+        )
+
+    def test_zero_length(self):
+        assert keystream(b"k", 0).shape == (0,)
+        assert keystream_batch([], 10).shape == (0, 10)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ConfigurationError, match="length"):
+            keystream(b"k", -1)
+
+    def test_bytewise_uniform(self):
+        stream = keystream(b"uniformity", 200_000)
+        counts = np.bincount(stream, minlength=256)
+        expected = len(stream) / 256
+        chi2 = float(((counts - expected) ** 2 / expected).sum())
+        assert chi2 < 340  # 255 dof, 99.9% quantile ~ 330.5
+
+
+class TestBatchedShamirKernels:
+    def test_split_shape_and_roundtrip(self, rng):
+        secrets = rng.integers(0, PRIME, size=7, dtype=np.uint64)
+        ys = batched_split(secrets, threshold=4, num_shares=9, rng=rng,
+                           prime=PRIME)
+        assert ys.shape == (7, 9)
+        xs = np.arange(1, 10, dtype=np.uint64)
+        subset = [0, 3, 5, 8]
+        np.testing.assert_array_equal(
+            batched_reconstruct(xs[subset], ys[:, subset], PRIME), secrets
+        )
+
+    def test_threshold_one_is_constant(self, rng):
+        ys = batched_split([123], 1, 5, rng, PRIME)
+        assert ys.tolist() == [[123] * 5]
+
+    def test_secret_out_of_field_rejected(self, rng):
+        with pytest.raises(ConfigurationError, match="secrets"):
+            batched_split([PRIME], 2, 3, rng, PRIME)
+
+    def test_weights_interpolate_known_polynomial(self):
+        # f(x) = 5 + 3x + 2x^2 over GF(p): weights at 0 recover f(0).
+        xs = np.array([2, 7, 11], dtype=np.uint64)
+        f = lambda x: (5 + 3 * x + 2 * x * x) % PRIME
+        weights = lagrange_weights_at_zero(xs, PRIME)
+        acc = sum(int(w) * f(int(x)) for w, x in zip(weights, xs)) % PRIME
+        assert acc == 5
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(AggregationError, match="duplicate"):
+            lagrange_weights_at_zero(np.array([1, 1], dtype=np.uint64), PRIME)
+
+    def test_zero_point_rejected(self):
+        with pytest.raises(AggregationError, match="share points"):
+            lagrange_weights_at_zero(np.array([0, 1], dtype=np.uint64), PRIME)
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(AggregationError, match="zero shares"):
+            lagrange_weights_at_zero(np.array([], dtype=np.uint64), PRIME)
+
+    def test_mismatched_row_width_rejected(self):
+        with pytest.raises(AggregationError, match="points"):
+            batched_reconstruct(
+                np.array([1, 2], dtype=np.uint64),
+                np.array([[1, 2, 3]], dtype=np.uint64),
+                PRIME,
+            )
+
+    @given(
+        threshold=st.integers(min_value=1, max_value=6),
+        num_secrets=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, threshold, num_secrets, seed):
+        rng = np.random.default_rng(seed)
+        secrets = rng.integers(0, PRIME, size=num_secrets, dtype=np.uint64)
+        ys = batched_split(secrets, threshold, threshold + 2, rng, PRIME)
+        xs = np.arange(1, threshold + 3, dtype=np.uint64)
+        chosen = rng.choice(threshold + 2, size=threshold, replace=False)
+        np.testing.assert_array_equal(
+            batched_reconstruct(xs[chosen], ys[:, chosen], PRIME), secrets
+        )
+
+
+class TestPayloadMatrixCodec:
+    @pytest.mark.parametrize("width", [8, 16])
+    @pytest.mark.parametrize("num_limbs", [1, 2, 4])
+    def test_matrix_encode_matches_scalar(self, width, num_limbs, rng):
+        num = 6
+        seed_ys = rng.integers(0, PRIME, size=num, dtype=np.uint64)
+        limb_ys = rng.integers(0, PRIME, size=(num_limbs, num),
+                               dtype=np.uint64)
+        matrix = _encode_payload_matrix(seed_ys, limb_ys, width)
+        for position in range(num):
+            scalar = _encode_payload(
+                Share(x=position + 1, y=int(seed_ys[position])),
+                LimbShares(
+                    x=position + 1,
+                    ys=tuple(int(limb_ys[k, position])
+                             for k in range(num_limbs)),
+                ),
+                width,
+            )
+            assert matrix[position].tobytes() == scalar
+
+    @pytest.mark.parametrize("width", [8, 16])
+    def test_matrix_decode_matches_scalar(self, width, rng):
+        num, num_limbs = 5, 2
+        seed_ys = rng.integers(0, PRIME, size=num, dtype=np.uint64)
+        limb_ys = rng.integers(0, PRIME, size=(num_limbs, num),
+                               dtype=np.uint64)
+        matrix = _encode_payload_matrix(seed_ys, limb_ys, width)
+        decoded = _decode_payload_matrix(matrix, width)
+        for position, (seed_share, key_share) in enumerate(decoded):
+            reference = _decode_payload(matrix[position].tobytes(), width)
+            assert (seed_share, key_share) == reference
+            assert seed_share.x == position + 1
+            assert seed_share.y == int(seed_ys[position])
+
+    def test_matrix_decode_rejects_limb_mismatch(self, rng):
+        matrix = _encode_payload_matrix(
+            np.array([1, 2], dtype=np.uint64),
+            np.array([[3, 4]], dtype=np.uint64),
+            8,
+        ).copy()
+        matrix[1, 12] = 9  # claim 9 limbs in row 1
+        with pytest.raises(AggregationError, match="malformed"):
+            _decode_payload_matrix(matrix, 8)
+
+
+class TestProtocolBackendKnob:
+    def test_run_bonawitz_philox_backend(self, rng):
+        inputs = rng.integers(0, 2**12, size=(5, 16), dtype=np.int64)
+        outcome = run_bonawitz(
+            inputs, 2**12, threshold=3, rng=rng, mask_prg="philox"
+        )
+        np.testing.assert_array_equal(
+            outcome.modular_sum, np.mod(inputs.sum(axis=0), 2**12)
+        )
+
+    def test_run_bonawitz_philox_with_dropouts(self, rng):
+        inputs = rng.integers(0, 2**12, size=(6, 8), dtype=np.int64)
+        outcome = run_bonawitz(
+            inputs,
+            2**12,
+            threshold=3,
+            rng=rng,
+            dropouts={2: 2, 5: 3},
+            mask_prg="philox",
+        )
+        included = sorted(outcome.included)
+        expected = np.mod(
+            inputs[[i - 1 for i in included]].sum(axis=0), 2**12
+        )
+        np.testing.assert_array_equal(outcome.modular_sum, expected)
+
+    def test_unknown_backend_rejected(self, rng):
+        inputs = rng.integers(0, 2**12, size=(3, 4), dtype=np.int64)
+        with pytest.raises(ConfigurationError, match="unknown mask PRG"):
+            run_bonawitz(inputs, 2**12, threshold=2, rng=rng, mask_prg="zip")
+
+
+class TestSmallFieldGuard:
+    def test_share_keys_rejects_field_below_limb_width(self, rng):
+        # Regression: the batched split must keep split_large_secret's
+        # limb-width-vs-field fail-fast.
+        from repro.secagg.field import PrimeField
+
+        tiny_field = PrimeField(prime=(1 << 31) - 1)
+        inputs = rng.integers(0, 2**8, size=(3, 4), dtype=np.int64)
+        with pytest.raises(ConfigurationError, match="limb width"):
+            run_bonawitz(inputs, 2**8, threshold=2, rng=rng, field=tiny_field)

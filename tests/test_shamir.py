@@ -13,8 +13,12 @@ from repro.secagg.shamir import (
     Share,
     reconstruct_large_secret,
     reconstruct_secret,
+    reconstruct_secret_scalar,
+    reconstruct_secrets,
     split_large_secret,
     split_secret,
+    split_secret_scalar,
+    split_secrets,
 )
 
 FIELD = PrimeField(prime=(1 << 61) - 1)
@@ -190,3 +194,132 @@ class TestLargeSecrets:
         secret = (1 << bits) | int(rng.integers(0, 1 << min(bits, 60) | 1))
         shares = split_large_secret(secret, 3, 4, rng)
         assert reconstruct_large_secret(shares[:3]) == secret
+
+
+class TestScalarVectorEquivalence:
+    """The retained scalar reference path and the vectorised kernels
+    must agree share-for-share and secret-for-secret."""
+
+    @given(
+        secret=st.integers(min_value=0, max_value=FIELD.prime - 1),
+        threshold=st.integers(min_value=1, max_value=6),
+        extra=st.integers(min_value=0, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_reconstruct_agreement_property(
+        self, secret, threshold, extra, seed
+    ):
+        """Identical shares -> identical secrets on both paths."""
+        rng = np.random.default_rng(seed)
+        shares = split_secret(secret, threshold, threshold + extra, rng)
+        chosen = [
+            shares[i]
+            for i in rng.choice(len(shares), size=threshold, replace=False)
+        ]
+        assert (
+            reconstruct_secret(chosen)
+            == reconstruct_secret_scalar(chosen)
+            == secret
+        )
+
+    @given(
+        secret=st.integers(min_value=0, max_value=FIELD.prime - 1),
+        threshold=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cross_path_roundtrip_property(self, secret, threshold, seed):
+        """Scalar-split shares reconstruct through the vectorised path
+        and vice versa."""
+        scalar_shares = split_secret_scalar(
+            secret, threshold, threshold + 2, np.random.default_rng(seed)
+        )
+        vector_shares = split_secret(
+            secret, threshold, threshold + 2, np.random.default_rng(seed)
+        )
+        assert reconstruct_secret(scalar_shares[:threshold]) == secret
+        assert reconstruct_secret_scalar(vector_shares[:threshold]) == secret
+
+    @given(
+        num_secrets=st.integers(min_value=1, max_value=6),
+        threshold=st.integers(min_value=1, max_value=5),
+        extra=st.integers(min_value=0, max_value=3),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_batched_split_reconstruct_roundtrip(
+        self, num_secrets, threshold, extra, seed
+    ):
+        rng = np.random.default_rng(seed)
+        secrets = [
+            int(rng.integers(0, FIELD.prime)) for _ in range(num_secrets)
+        ]
+        num_shares = threshold + extra
+        matrix = split_secrets(secrets, threshold, num_shares, rng)
+        subset = rng.choice(num_shares, size=threshold, replace=False)
+        xs = [int(j) + 1 for j in subset]
+        rows = [[int(matrix[i, j]) for j in subset] for i in range(num_secrets)]
+        assert reconstruct_secrets(xs, rows) == secrets
+        # Row-by-row agreement with the scalar reference reconstruction.
+        for i in range(num_secrets):
+            assert reconstruct_secret_scalar(
+                [Share(x=x, y=y) for x, y in zip(xs, rows[i])]
+            ) == secrets[i]
+
+    def test_small_field_routes_through_kernels(self, rng):
+        field = PrimeField(prime=101)
+        shares = split_secret(42, 3, 7, rng, field)
+        assert reconstruct_secret(shares[2:5], field) == 42
+        assert reconstruct_secret_scalar(shares[2:5], field) == 42
+
+    def test_scalar_and_vector_validation_parity(self, rng):
+        for split in (split_secret, split_secret_scalar):
+            with pytest.raises(ConfigurationError):
+                split(-1, 2, 3, rng)
+            with pytest.raises(ConfigurationError, match="threshold"):
+                split(5, 4, 3, rng)
+            with pytest.raises(ConfigurationError):
+                split(FIELD.prime, 2, 3, rng, FIELD)
+
+
+class TestBatchedRejection:
+    """The batched paths keep the scalar paths' failure modes."""
+
+    def test_duplicate_points_rejected(self, rng):
+        shares = split_secret(5, 2, 3, rng)
+        duplicated = [shares[0], shares[0]]
+        with pytest.raises(AggregationError, match="duplicate"):
+            reconstruct_secret(duplicated)
+        with pytest.raises(AggregationError, match="duplicate"):
+            reconstruct_secrets([1, 1], [[shares[0].y, shares[0].y]])
+
+    def test_zero_shares_rejected_batched(self):
+        with pytest.raises(AggregationError, match="zero shares"):
+            reconstruct_secret([])
+
+    def test_empty_batch_is_empty(self):
+        assert reconstruct_secrets([1, 2], []) == []
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(AggregationError, match="disagree"):
+            reconstruct_secrets([1, 2, 3], [[4, 5]])
+
+    def test_out_of_field_value_rejected_batched(self):
+        with pytest.raises(AggregationError, match="outside"):
+            reconstruct_secrets([1, 2], [[FIELD.prime, 0]])
+
+    def test_zero_point_rejected_batched(self):
+        with pytest.raises(AggregationError, match="outside"):
+            reconstruct_secrets([0, 1], [[5, 6]])
+
+    def test_insufficient_shares_give_wrong_secret(self, rng):
+        # Below-threshold reconstruction yields an unrelated value on
+        # both paths (the secrecy property, not a detectable error).
+        shares = split_secret(77777, threshold=3, num_shares=5, rng=rng)
+        assert reconstruct_secret(shares[:2]) != 77777
+        assert reconstruct_secret_scalar(shares[:2]) != 77777
+
+    def test_split_secrets_validates_every_secret(self, rng):
+        with pytest.raises(ConfigurationError, match="secret"):
+            split_secrets([1, FIELD.prime], 2, 3, rng)

@@ -288,3 +288,34 @@ class TestTraceObservability:
         assert trace.count("round-complete") == 1
         # One received message per phase per participating client.
         assert trace.count("message-received") >= 4 * len(outcome.included)
+
+
+class TestMaskPrgKnob:
+    def test_philox_round_sum_is_exact(self):
+        vectors = make_vectors(6)
+        clock = SimulatedClock()
+        secagg_round = AsyncSecAggRound(
+            vectors=vectors,
+            modulus=MODULUS,
+            threshold=4,
+            clock=clock,
+            rng=np.random.default_rng(3),
+            plans={2: ClientPlan(drop_phase=ROUND_SHARE_KEYS)},
+            phase_timeout=60.0,
+            mask_prg="philox",
+        )
+        outcome = clock.run(secagg_round.run())
+        np.testing.assert_array_equal(
+            outcome.modular_sum, expected_sum(vectors, outcome.included)
+        )
+
+    def test_unknown_backend_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError, match="unknown mask PRG"):
+            AsyncSecAggRound(
+                vectors=make_vectors(3),
+                modulus=MODULUS,
+                threshold=2,
+                clock=SimulatedClock(),
+                rng=np.random.default_rng(0),
+                mask_prg="rot13",
+            )
