@@ -37,7 +37,12 @@ def emit(capsys):
     """Print a line through pytest's capture (and persist it to a file).
 
     Persisted files keep a rolling window of the most recent
-    :data:`RESULTS_MAX_LINES` lines.
+    :data:`RESULTS_MAX_LINES` lines, and appends are idempotent: a line
+    identical to one already in the file (a re-run of a deterministic
+    benchmark, a doubled CI artifact merge, results re-committed on top
+    of themselves) *moves* the existing line to the tail instead of
+    double-appending it, so repeated runs can never grow the file with
+    duplicates.
     """
 
     def _emit(line: str, filename: str | None = None) -> None:
@@ -46,11 +51,12 @@ def emit(capsys):
         if filename is not None:
             RESULTS_DIR.mkdir(exist_ok=True)
             path = RESULTS_DIR / filename
-            with open(path, "a") as handle:
-                handle.write(line + "\n")
-            lines = path.read_text().splitlines(keepends=True)
-            if len(lines) > RESULTS_MAX_LINES:
-                path.write_text("".join(lines[-RESULTS_MAX_LINES:]))
+            lines = (
+                path.read_text().splitlines() if path.exists() else []
+            )
+            lines = [prior for prior in lines if prior != line]
+            lines.append(line)
+            path.write_text("\n".join(lines[-RESULTS_MAX_LINES:]) + "\n")
 
     return _emit
 

@@ -9,6 +9,12 @@ overhead at fixed protocol cost.  The slow tier additionally runs
 full-cohort rounds (cohort == population), where the Bonawitz
 protocol's quadratic pairwise-mask and Shamir-sharing work dominates.
 
+The ``--shards`` axis records sharded vs flat throughput: a sharded
+round runs ``k`` hierarchical Bonawitz sub-rounds (``O(n^2/k)`` total
+work) on the ``inline`` or ``process`` execution backend, and its
+composed sum is verified exact against the survivors' direct modular
+sum, same as the flat rounds.
+
 Each measured round is a complete dropout-tolerant async protocol
 execution on the simulated clock, verified exact against the surviving
 cohort's direct modular sum.  Results land in
@@ -26,13 +32,17 @@ from repro.simulation import (
     AsyncSecAggRound,
     BernoulliDropout,
     Population,
+    ShardedSecAggRound,
     SimulatedClock,
+    get_execution_backend,
+    shamir_threshold,
 )
 
 POPULATIONS = [32, 128, 512]
 DIMENSION = 64
 MODULUS = 2**16
 DROPOUT_RATE = 0.1
+THRESHOLD_FRACTION = 0.6
 RESULTS_FILE = "sim_throughput.txt"
 
 
@@ -41,6 +51,8 @@ def _run_rounds(
     cohort_cap: int,
     num_rounds: int,
     bench_rng: np.random.Generator,
+    shards: int = 1,
+    backend: str = "inline",
 ) -> tuple[float, int]:
     """Run ``num_rounds`` aggregation rounds; returns (rounds/sec, drops)."""
     population = Population(
@@ -49,32 +61,59 @@ def _run_rounds(
         seed=20220601,
     )
     clock = SimulatedClock()
+    executor = get_execution_backend(backend)
+    # Pool start-up is lazy; pull it out of the timed window so the
+    # recorded rounds/sec measures protocol cost, not worker spawn.
+    executor.warm()
     total_dropped = 0
     started = time.perf_counter()
-    for round_index in range(num_rounds):
-        cohort = population.sample_cohort(round_index, cohort_cap)
-        if len(cohort) < 4:
-            continue
-        vectors = {
-            u: bench_rng.integers(0, MODULUS, size=DIMENSION, dtype=np.int64)
-            for u in cohort
-        }
-        secagg_round = AsyncSecAggRound(
-            vectors=vectors,
-            modulus=MODULUS,
-            threshold=max(2, int(0.6 * len(cohort))),
-            clock=clock,
-            rng=population.round_rng(round_index, purpose=2),
-            plans=population.plans(round_index, cohort),
-            phase_timeout=60.0,
-        )
-        outcome = clock.run(secagg_round.run())
-        expected = np.zeros(DIMENSION, dtype=np.int64)
-        for u in outcome.included:
-            expected = np.mod(expected + vectors[u], MODULUS)
-        assert np.array_equal(outcome.modular_sum, expected)
-        total_dropped += len(outcome.dropped)
-    elapsed = time.perf_counter() - started
+    try:
+        for round_index in range(num_rounds):
+            cohort = population.sample_cohort(round_index, cohort_cap)
+            if len(cohort) < 4:
+                continue
+            vectors = {
+                u: bench_rng.integers(
+                    0, MODULUS, size=DIMENSION, dtype=np.int64
+                )
+                for u in cohort
+            }
+            rng = population.round_rng(round_index, purpose=2)
+            plans = population.plans(round_index, cohort)
+            if shards > 1:
+                sharded_round = ShardedSecAggRound(
+                    vectors=vectors,
+                    modulus=MODULUS,
+                    clock=clock,
+                    rng=rng,
+                    shards=shards,
+                    threshold_fraction=THRESHOLD_FRACTION,
+                    plans=plans,
+                    phase_timeout=60.0,
+                    backend=executor,
+                )
+                outcome = sharded_round.execute()
+            else:
+                secagg_round = AsyncSecAggRound(
+                    vectors=vectors,
+                    modulus=MODULUS,
+                    threshold=shamir_threshold(
+                        THRESHOLD_FRACTION, len(cohort)
+                    ),
+                    clock=clock,
+                    rng=rng,
+                    plans=plans,
+                    phase_timeout=60.0,
+                )
+                outcome = clock.run(secagg_round.run())
+            expected = np.zeros(DIMENSION, dtype=np.int64)
+            for u in outcome.included:
+                expected = np.mod(expected + vectors[u], MODULUS)
+            assert np.array_equal(outcome.modular_sum, expected)
+            total_dropped += len(outcome.dropped)
+        elapsed = time.perf_counter() - started
+    finally:
+        executor.close()
     return num_rounds / elapsed, total_dropped
 
 
@@ -94,6 +133,26 @@ def test_rounds_per_second(population_size, emit, bench_rng):
     assert rounds_per_sec > 0
 
 
+@pytest.mark.parametrize("shards", [4])
+def test_rounds_per_second_sharded(shards, emit, bench_rng):
+    """Sharded bounded-cohort throughput (inline backend, tier-1)."""
+    population_size, cohort = 128, 48
+    rounds_per_sec, dropped = _run_rounds(
+        population_size,
+        cohort,
+        num_rounds=2,
+        bench_rng=bench_rng,
+        shards=shards,
+    )
+    emit(
+        f"sim_throughput population={population_size:4d} cohort<={cohort:3d} "
+        f"dropout={DROPOUT_RATE} shards={shards} backend=inline "
+        f"rounds_per_sec={rounds_per_sec:8.3f} dropped={dropped}",
+        RESULTS_FILE,
+    )
+    assert rounds_per_sec > 0
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("population_size", [128, 512])
 def test_rounds_per_second_full_cohort(population_size, emit, bench_rng):
@@ -105,6 +164,33 @@ def test_rounds_per_second_full_cohort(population_size, emit, bench_rng):
         f"sim_throughput_full population={population_size:4d} "
         f"dropout={DROPOUT_RATE} rounds_per_sec={rounds_per_sec:8.3f} "
         f"dropped={dropped}",
+        RESULTS_FILE,
+    )
+    assert rounds_per_sec > 0
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("backend", ["inline", "process"])
+def test_rounds_per_second_full_cohort_sharded(backend, emit, bench_rng):
+    """Full-cohort sharded throughput at population 512.
+
+    The hierarchical regime the sharding layer exists for: 8 shards cut
+    the quadratic protocol work by ~8x, and the process backend overlaps
+    the shard sub-rounds across cores on top of that.
+    """
+    population_size, shards = 512, 8
+    rounds_per_sec, dropped = _run_rounds(
+        population_size,
+        population_size,
+        num_rounds=1,
+        bench_rng=bench_rng,
+        shards=shards,
+        backend=backend,
+    )
+    emit(
+        f"sim_throughput_full population={population_size:4d} "
+        f"dropout={DROPOUT_RATE} shards={shards} backend={backend} "
+        f"rounds_per_sec={rounds_per_sec:8.3f} dropped={dropped}",
         RESULTS_FILE,
     )
     assert rounds_per_sec > 0

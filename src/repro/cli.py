@@ -225,6 +225,8 @@ def command_simulate(args) -> int:
             dataset=args.dataset,
             seed=args.seed,
             verify_aggregate=args.verify,
+            shards=args.shards,
+            backend=args.backend,
         )
         engine = SimulationEngine(config, availability=availability)
     except ConfigurationError as error:
@@ -232,6 +234,11 @@ def command_simulate(args) -> int:
     with warnings.catch_warnings():
         warnings.simplefilter("ignore")
         result = engine.run()
+    if args.shards > 1:
+        # The partition caps the effective count per round so every
+        # shard keeps at least two clients.
+        print(f"sharding: up to {args.shards} shards per round "
+              f"({args.backend} backend)", flush=True)
     for record in result.records:
         status = "aborted" if record.aborted else (
             f"included={len(record.included):3d} "
@@ -389,6 +396,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     simulate_parser.add_argument("--verify", action="store_true",
                                  help="check each aggregate against the "
                                       "survivors' direct modular sum")
+    simulate_parser.add_argument("--shards", type=int, default=1,
+                                 help="SecAgg shards per round (1 = flat "
+                                      "protocol; k > 1 composes k Bonawitz "
+                                      "sub-rounds modularly)")
+    simulate_parser.add_argument("--backend", choices=["inline", "process"],
+                                 default="inline",
+                                 help="shard execution backend (process = "
+                                      "parallel OS process pool)")
     simulate_parser.set_defaults(handler=command_simulate)
 
     account_parser = subparsers.add_parser(

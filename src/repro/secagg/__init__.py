@@ -18,6 +18,7 @@ from repro.secagg.bonawitz import (
     BonawitzServer,
     run_bonawitz,
 )
+from repro.secagg.compose import compose_shard_sums
 from repro.secagg.field import DEFAULT_FIELD, MERSENNE_61, PrimeField
 from repro.secagg.kernels import (
     DEFAULT_MASK_PRG,
@@ -76,6 +77,7 @@ __all__ = [
     "TOY_GROUP",
     "ZeroSumMaskProtocol",
     "agree",
+    "compose_shard_sums",
     "expand_mask",
     "generate_keypair",
     "get_mask_prg",

@@ -1,0 +1,58 @@
+"""Composition of shard-level secure aggregates.
+
+Hierarchical secure aggregation structures a large federation as ``k``
+independent SecAgg instances — one per shard of the cohort — whose
+outputs are combined by an *outer* modular addition (the shape of
+DDP-SA, Wei et al., and of the hybrid approach of Truex et al.).  The
+outer step needs no cryptography: each shard's protocol already reveals
+nothing but that shard's modular sum, and modular addition over the
+same ``Z_m`` is associative and commutative, so
+
+``(Σ_{u ∈ S_1} x_u mod m) + ... + (Σ_{u ∈ S_k} x_u mod m)  mod m``
+
+is *bit-identical* to the flat sum ``Σ_{u ∈ S_1 ∪ ... ∪ S_k} x_u mod m``
+over the union of the shards' survivor sets.  That identity is what the
+simulation's ``verify_aggregate`` oracle asserts round by round.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def compose_shard_sums(
+    shard_sums: Sequence[np.ndarray], modulus: int
+) -> np.ndarray:
+    """Outer modular addition of per-shard secure aggregates.
+
+    Args:
+        shard_sums: One modular sum per (successful) shard, all of the
+            same 1-d shape over ``Z_m``.
+        modulus: The shared aggregation modulus ``m``.
+
+    Returns:
+        ``Σ_shards shard_sum mod m`` as a length-``d`` int64 array —
+        equal to the flat modular sum over the union of the shards'
+        included clients.
+
+    Raises:
+        ConfigurationError: If no sums are given or shapes disagree.
+    """
+    if modulus < 2:
+        raise ConfigurationError(f"modulus must be >= 2, got {modulus}")
+    if not shard_sums:
+        raise ConfigurationError("need at least one shard sum to compose")
+    arrays = [np.asarray(shard_sum, dtype=np.int64) for shard_sum in shard_sums]
+    shapes = {array.shape for array in arrays}
+    if len(shapes) != 1 or len(next(iter(shapes))) != 1:
+        raise ConfigurationError(
+            f"shard sums must share one 1-d shape, got {shapes}"
+        )
+    total = np.zeros_like(arrays[0])
+    for array in arrays:
+        total = np.mod(total + array, modulus)
+    return total

@@ -17,12 +17,15 @@ Layering (each module only depends on the ones above it):
   models, cohort sampling.
 * :mod:`~repro.simulation.rounds` — dropout-tolerant async SecAgg round
   driver over the ``secagg.bonawitz`` state machines.
+* :mod:`~repro.simulation.sharding` — hierarchical sharded rounds: k
+  Bonawitz sub-rounds (inline or on a process pool) composed by an
+  outer modular addition.
 * :mod:`~repro.simulation.engine` — the training orchestrator wiring
   encoder/decoder, the Skellam mixture noise, the federated trainer and
   the accounting ledger into the round loop.
 """
 
-from repro.simulation.clock import SimulatedClock
+from repro.simulation.clock import SimulatedClock, TimerHandle
 from repro.simulation.engine import (
     RoundRecord,
     SimulationConfig,
@@ -40,6 +43,18 @@ from repro.simulation.population import (
     StragglerLatency,
 )
 from repro.simulation.rounds import AsyncSecAggRound, RoundOutcome
+from repro.simulation.sharding import (
+    EXECUTION_BACKENDS,
+    ExecutionBackend,
+    InlineBackend,
+    ProcessBackend,
+    ShardedSecAggRound,
+    ShardReport,
+    ShardTask,
+    get_execution_backend,
+    partition_cohort,
+    shamir_threshold,
+)
 
 __all__ = [
     "AlwaysAvailable",
@@ -47,16 +62,27 @@ __all__ = [
     "AvailabilityModel",
     "BernoulliDropout",
     "ClientPlan",
+    "EXECUTION_BACKENDS",
+    "ExecutionBackend",
+    "InlineBackend",
     "Mailbox",
     "Population",
+    "ProcessBackend",
     "RoundChurn",
     "RoundOutcome",
     "RoundRecord",
+    "ShardReport",
+    "ShardTask",
+    "ShardedSecAggRound",
     "SimulatedClock",
     "SimulationConfig",
     "SimulationEngine",
     "SimulationResult",
     "SimulationTrace",
     "StragglerLatency",
+    "TimerHandle",
     "TraceEvent",
+    "get_execution_backend",
+    "partition_cohort",
+    "shamir_threshold",
 ]

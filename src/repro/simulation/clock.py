@@ -65,6 +65,36 @@ class _CountingEventLoop(asyncio.SelectorEventLoop):
         return super().call_soon(callback, *args, context=context)
 
 
+class TimerHandle:
+    """A cancellable registration returned by :meth:`SimulatedClock.call_at`.
+
+    Cancelling is cheap and idempotent: the heap entry is marked dead
+    (and reaped lazily), the callback never runs, and — critically —
+    the clock never advances ``now`` to the cancelled deadline.
+    """
+
+    __slots__ = ("_clock", "_callback", "_cancelled", "_fired")
+
+    def __init__(
+        self, clock: "SimulatedClock", callback: Callable[[], None]
+    ) -> None:
+        self._clock = clock
+        self._callback = callback
+        self._cancelled = False
+        self._fired = False
+
+    def cancel(self) -> None:
+        """Withdraw the callback; a no-op if it already fired/cancelled."""
+        if not self._cancelled and not self._fired:
+            self._cancelled = True
+            self._callback = None
+            self._clock._note_cancelled()
+
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._cancelled
+
+
 class SimulatedClock:
     """A discrete-event clock that drives asyncio deterministically.
 
@@ -73,6 +103,10 @@ class SimulatedClock:
         max_settle_passes: Safety bound on event-loop iterations between
             two clock advances, to fail fast on busy-looping tasks.
     """
+
+    #: Compact the heap once at least this many cancelled entries are
+    #: pending *and* they make up half the heap — classic lazy deletion.
+    _COMPACT_MIN_CANCELLED = 16
 
     def __init__(
         self,
@@ -88,6 +122,12 @@ class SimulatedClock:
         self._sequence = itertools.count()
         self._max_settle_passes = max_settle_passes
         self._running = False
+        # Heuristic count of dead heap entries, used ONLY to trigger
+        # compaction.  It may lag reality (a cancelled task's sleep
+        # future is dead the moment Task.cancel() runs but is noted
+        # only when the waiter resumes), so nothing correctness-bearing
+        # reads it — pending_timers scans the heap instead.
+        self._dead_hint = 0
 
     @property
     def now(self) -> float:
@@ -96,8 +136,18 @@ class SimulatedClock:
 
     @property
     def pending_timers(self) -> int:
-        """Number of registered timers that have not fired yet."""
-        return len(self._timers)
+        """Number of registered timers that may still fire.
+
+        Dead entries — cancelled :class:`TimerHandle` registrations and
+        sleep futures whose waiting task was cancelled — are excluded
+        even while their heap entries await lazy removal, so any
+        completed round leaves this at zero.  Computed by scanning the
+        heap (a diagnostics accessor, not a hot path): exact by
+        construction, immune to bookkeeping races.
+        """
+        return sum(
+            1 for entry in self._timers if not self._is_dead(entry[2])
+        )
 
     async def sleep(self, delay: float) -> None:
         """Suspend the calling task for ``delay`` simulated seconds.
@@ -111,19 +161,99 @@ class SimulatedClock:
             raise ConfigurationError(f"delay must be >= 0, got {delay}")
         future = asyncio.get_running_loop().create_future()
         self._register(self._now + delay, future)
-        await future
+        try:
+            await future
+        except asyncio.CancelledError:
+            # future.cancelled() means the waiter died with its timer
+            # possibly still on the heap (a task cancelled *after* its
+            # wake-up leaves an uncancelled, already-popped future);
+            # nudge the compaction hint so mass teardowns still reap
+            # their dead entries.  An intervening compaction may have
+            # removed the entry already — harmless, the hint is
+            # advisory and pending_timers derives truth from the heap.
+            if future.cancelled():
+                self._note_cancelled()
+            raise
 
-    def call_at(self, when: float, callback: Callable[[], None]) -> None:
+    def call_at(self, when: float, callback: Callable[[], None]) -> TimerHandle:
         """Schedule ``callback()`` at simulated time ``when``.
 
         Times in the past are clamped to ``now`` (the callback fires on
         the next advance).  Used by the event primitives to implement
         deadlines.
+
+        Returns:
+            A :class:`TimerHandle`; callers whose deadline races another
+            wake-up source **must** cancel it when the other source wins,
+            otherwise the stale timer would linger on the heap until its
+            due time (it still would not advance the clock — cancelled
+            and already-fired entries are skipped without touching
+            ``now`` — but it costs a heap pop and a settle cycle).
         """
-        self._register(max(when, self._now), callback)
+        handle = TimerHandle(self, callback)
+        self._register(max(when, self._now), handle)
+        return handle
+
+    def advance_to(self, when: float) -> None:
+        """Move ``now`` forward to ``when`` without firing any timer.
+
+        The seam through which externally simulated work (e.g. shard
+        sub-rounds executed on their own clocks, possibly in other
+        processes) deposits its elapsed simulated time back into the
+        parent clock.  Only meaningful between :meth:`run` calls, on a
+        clock with no live timer due before ``when`` — jumping past one
+        would rewind ``now`` when it eventually fired.
+
+        Raises:
+            SimulationError: If called while :meth:`run` is driving the
+                loop, or if a live timer is due before ``when`` —
+                either way time would be silently reordered.
+        """
+        if self._running:
+            raise SimulationError(
+                "advance_to is only valid between run() calls"
+            )
+        when = float(when)
+        live = [
+            entry[0]
+            for entry in self._timers
+            if not self._is_dead(entry[2])
+        ]
+        if live and min(live) < when:
+            raise SimulationError(
+                f"cannot advance to {when}: a live timer is due at "
+                f"{min(live)}"
+            )
+        self._now = max(self._now, when)
 
     def _register(self, when: float, action: Any) -> None:
         heapq.heappush(self._timers, (when, next(self._sequence), action))
+
+    @staticmethod
+    def _is_dead(action: Any) -> bool:
+        """Whether a heap entry can never fire (skipped without
+        advancing time): a cancelled handle, or a sleep future whose
+        waiter was cancelled (the only way a heap-resident future is
+        already done — firing pops the entry before resolving it)."""
+        if isinstance(action, TimerHandle):
+            return action.cancelled()
+        return action.done()
+
+    def _note_cancelled(self) -> None:
+        """Note one dead entry; compact the heap when dead entries
+        appear to dominate it (amortised O(1) per cancellation).  The
+        hint is advisory — compaction itself re-derives the truth by
+        filtering, and resets the hint."""
+        self._dead_hint += 1
+        if (
+            self._dead_hint >= self._COMPACT_MIN_CANCELLED
+            and self._dead_hint * 2 >= len(self._timers)
+        ):
+            self._timers = [
+                entry for entry in self._timers if not self._is_dead(entry[2])
+            ]
+            heapq.heapify(self._timers)
+            self._dead_hint = 0
 
     def run(self, main: Coroutine[Any, Any, Any]) -> Any:
         """Run ``main`` to completion under simulated time.
@@ -189,23 +319,34 @@ class SimulatedClock:
         )
 
     def _fire_next(self) -> None:
-        """Advance to the earliest timer and fire it.
+        """Advance to the earliest *live* timer and fire it.
 
         Timers are fired one at a time (settling in between) so that the
         consequences of each event are fully processed before the next
         event of the same timestamp runs — the strictest, and therefore
         most reproducible, discrete-event semantics.
+
+        Dead entries — cancelled :class:`TimerHandle`\\ s and futures
+        whose waiter was cancelled — are dropped **without advancing
+        time**: a deadline that lost its race must leave no trace on the
+        simulated timeline, or round durations would drift toward phase
+        deadlines that never actually expired.
         """
         while self._timers:
             when, _, action = heapq.heappop(self._timers)
-            if isinstance(action, asyncio.Future):
-                if action.done():
-                    continue  # Waiter was cancelled; drop the timer.
+            if isinstance(action, TimerHandle):
+                if action.cancelled():
+                    self._dead_hint = max(0, self._dead_hint - 1)
+                    continue  # Withdrawn deadline; time does not move.
+                action._fired = True
                 self._now = when
-                action.set_result(None)
+                action._callback()
                 return
+            if action.done():
+                self._dead_hint = max(0, self._dead_hint - 1)
+                continue  # Waiter was cancelled; drop the timer.
             self._now = when
-            action()
+            action.set_result(None)
             return
 
     async def _cancel_stragglers(self, main_task: asyncio.Future) -> None:

@@ -73,6 +73,12 @@ from repro.simulation.population import (
     Population,
 )
 from repro.simulation.rounds import AsyncSecAggRound
+from repro.simulation.sharding import (
+    EXECUTION_BACKENDS,
+    ShardedSecAggRound,
+    get_execution_backend,
+    shamir_threshold,
+)
 
 #: Run-scoped spawn-key purposes (distinct namespace from the per-round
 #: purposes in :mod:`repro.simulation.population` by key length).
@@ -113,6 +119,14 @@ class SimulationConfig:
             exactly equals the survivors' direct modular sum (a
             simulation-side correctness oracle, not something a real
             server could compute).
+        shards: Number of SecAgg shards per round; ``1`` (default) runs
+            the flat single-instance protocol, ``k > 1`` partitions
+            each cohort into ``k`` hierarchical Bonawitz sub-rounds
+            whose sums compose modularly (bit-identical to the flat sum
+            over the same survivors, ``O(n^2/k)`` total protocol work).
+        backend: How shard sub-rounds execute — ``"inline"``
+            (sequential, default) or ``"process"`` (a reusable OS
+            process pool); results are bit-identical either way.
     """
 
     population_size: int = 32
@@ -133,8 +147,19 @@ class SimulationConfig:
     dataset: str = "mnist"
     seed: int = 0
     verify_aggregate: bool = False
+    shards: int = 1
+    backend: str = "inline"
 
     def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ConfigurationError(
+                f"shards must be >= 1, got {self.shards}"
+            )
+        if self.backend not in EXECUTION_BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {sorted(EXECUTION_BACKENDS)}, "
+                f"got {self.backend!r}"
+            )
         if self.expected_cohort > self.population_size:
             raise ConfigurationError(
                 f"expected_cohort {self.expected_cohort} exceeds the "
@@ -319,6 +344,7 @@ class SimulationEngine:
         self._ledger: RdpAccountant | None = None
         self._curves: dict[int, object] = {}  # survivor count -> RDP curve
         self._records: list[RoundRecord] = []
+        self._backend = None  # ExecutionBackend, built per run()
 
     @property
     def sampling_rate(self) -> float:
@@ -332,9 +358,25 @@ class SimulationEngine:
         self.trace = SimulationTrace(self._clock)
         self.encoder = self.decoder = self._ledger = None
         self._curves = {}
+        # Only sharded runs execute through a backend; flat runs drive
+        # AsyncSecAggRound on the engine clock directly.
+        self._backend = (
+            get_execution_backend(self.config.backend)
+            if self.config.shards > 1
+            else None
+        )
         # trainer.run() calibrates the mechanism before its first round;
         # the wire pipeline is then built lazily on the first round hook.
-        history = self._trainer.run(self.population.setup_rng(_SETUP_TRAINING))
+        try:
+            history = self._trainer.run(
+                self.population.setup_rng(_SETUP_TRAINING)
+            )
+        finally:
+            # The engine owns the backend it built (worker processes for
+            # "process"); reap it even when a round raised.
+            if self._backend is not None:
+                self._backend.close()
+                self._backend = None
         digest = hashlib.sha256(
             np.ascontiguousarray(self.model.get_flat_parameters()).tobytes()
         ).hexdigest()
@@ -441,9 +483,6 @@ class SimulationEngine:
             return self._plain_round(per_example, round_index, cohort)
         self._ensure_wired()
         assert self.encoder is not None and self.decoder is not None
-        threshold = max(
-            2, math.ceil(self.config.threshold_fraction * len(cohort))
-        )
         started_at = self._clock.now
         if len(cohort) < 2:
             # Bonawitz needs at least two parties; treat as an abort.
@@ -457,18 +496,38 @@ class SimulationEngine:
             )
             for position, client in enumerate(cohort)
         }
-        secagg_round = AsyncSecAggRound(
-            vectors=vectors,
-            modulus=self.config.modulus,
-            threshold=threshold,
-            clock=self._clock,
-            rng=self.population.round_rng(round_index, PURPOSE_PROTOCOL),
-            plans=self.population.plans(round_index, cohort),
-            phase_timeout=self.config.phase_timeout,
-            trace=self.trace,
-        )
+        protocol_rng = self.population.round_rng(round_index, PURPOSE_PROTOCOL)
+        plans = self.population.plans(round_index, cohort)
         try:
-            outcome = self._clock.run(secagg_round.run())
+            if self.config.shards > 1:
+                sharded_round = ShardedSecAggRound(
+                    vectors=vectors,
+                    modulus=self.config.modulus,
+                    clock=self._clock,
+                    rng=protocol_rng,
+                    shards=self.config.shards,
+                    threshold_fraction=self.config.threshold_fraction,
+                    plans=plans,
+                    phase_timeout=self.config.phase_timeout,
+                    backend=self._backend,
+                    trace=self.trace,
+                )
+                outcome = sharded_round.execute()
+            else:
+                threshold = shamir_threshold(
+                    self.config.threshold_fraction, len(cohort)
+                )
+                secagg_round = AsyncSecAggRound(
+                    vectors=vectors,
+                    modulus=self.config.modulus,
+                    threshold=threshold,
+                    clock=self._clock,
+                    rng=protocol_rng,
+                    plans=plans,
+                    phase_timeout=self.config.phase_timeout,
+                    trace=self.trace,
+                )
+                outcome = self._clock.run(secagg_round.run())
         except AggregationError:
             return self._abort_round(round_index, cohort, started_at)
         matches: bool | None = None

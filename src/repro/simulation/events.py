@@ -14,6 +14,21 @@ a whole run replayable bit-for-bit from a seed.
 * :class:`SimulationTrace` — an append-only log of timestamped events
   (arrivals, dropouts, ignored stragglers), the observability surface
   tests and the CLI report against.
+
+Clock-timer cancellation contract
+---------------------------------
+
+:meth:`SimulatedClock.call_at <repro.simulation.clock.SimulatedClock.call_at>`
+returns a :class:`~repro.simulation.clock.TimerHandle`.  Any primitive
+that races a deadline against another wake-up source (here:
+``get_before`` racing the deadline against message arrival) **must**
+call ``handle.cancel()`` the moment the other source wins.  The clock
+guarantees the other half of the contract: a cancelled timer never
+fires, never advances simulated time, is excluded from
+``pending_timers``, and is reaped from the heap lazily — so after a
+round whose phases all completed early, ``clock.pending_timers == 0``
+and no stale deadline distorts round durations or accumulates across
+rounds.
 """
 
 from __future__ import annotations
@@ -64,7 +79,11 @@ class Mailbox:
         """Receive the next message, or ``None`` at ``deadline``.
 
         A message arriving at exactly the deadline wins or loses by
-        timer registration order — deterministic either way.
+        timer registration order — deterministic either way.  Whichever
+        side loses the race is withdrawn: a real arrival cancels the
+        deadline timer (see the module docstring's cancellation
+        contract), so repeated ``get_before`` calls against one deadline
+        leave no stale timers behind.
         """
         if self._items:
             return self._items.popleft()
@@ -75,8 +94,13 @@ class Mailbox:
             if not getter.done():
                 getter.set_result(_DEADLINE)
 
-        self._clock.call_at(deadline, expire)
-        item = await getter
+        handle = self._clock.call_at(deadline, expire)
+        try:
+            item = await getter
+        finally:
+            # No-op if the deadline itself fired; withdraws the timer
+            # when a message won the race or the waiter was cancelled.
+            handle.cancel()
         return None if item is _DEADLINE else item
 
     def __len__(self) -> int:
@@ -110,6 +134,17 @@ class SimulationTrace:
         self.events.append(
             TraceEvent(time=self._clock.now, kind=kind, details=details)
         )
+
+    def merge(self, events: "list[TraceEvent]") -> None:
+        """Absorb events recorded on another clock (e.g. a shard
+        sub-round's private clock, possibly in another process).
+
+        Events keep their own timestamps — they describe when things
+        happened on the sub-round's timeline, which shares the parent's
+        epoch — and are appended as given; callers wanting global time
+        order should pre-sort deterministically.
+        """
+        self.events.extend(events)
 
     def of_kind(self, kind: str) -> list[TraceEvent]:
         """All events with the given label, in order."""

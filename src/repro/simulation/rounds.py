@@ -165,8 +165,10 @@ class AsyncSecAggRound:
         self._tamper = tamper_unmask_request
         self._mask_prg = get_mask_prg(mask_prg)
         # Spawn per-client generators in sorted order, like run_bonawitz.
+        # The upper endpoint is exclusive, so 2**63 makes the full
+        # 63-bit seed range reachable.
         self._client_rngs = {
-            u: np.random.default_rng(int(rng.integers(0, 2**63 - 1)))
+            u: np.random.default_rng(int(rng.integers(0, 2**63)))
             for u in self._cohort
         }
         self._inbox = Mailbox(clock)
@@ -194,22 +196,28 @@ class AsyncSecAggRound:
             u: asyncio.ensure_future(self._client_task(u))
             for u in self._cohort
         }
+        server_error: AggregationError | None = None
         try:
             outcome = await self._server_task(started_at)
-        except AggregationError as server_error:
-            # Prefer a client-side protocol rejection as the root cause
-            # (e.g. the overlap-refusal rule): the server's threshold
-            # failure is its downstream symptom.
-            for u in self._cohort:
-                task = tasks[u]
-                if task.done() and not task.cancelled() and task.exception():
-                    raise task.exception() from server_error
-            raise
+        except AggregationError as error:
+            server_error = error
         finally:
             for task in tasks.values():
                 if not task.done():
                     task.cancel()
             await asyncio.gather(*tasks.values(), return_exceptions=True)
+        if server_error is not None:
+            # Prefer a client-side protocol rejection as the root cause
+            # (e.g. the overlap-refusal rule): the server's threshold
+            # failure is its downstream symptom.  Checked *after* the
+            # teardown gather so a refusal that completes only once the
+            # cancellation sweep lets the task run (it was already past
+            # its last await) is still surfaced.
+            for u in self._cohort:
+                task = tasks[u]
+                if task.done() and not task.cancelled() and task.exception():
+                    raise task.exception() from server_error
+            raise server_error
         # Surface client failures even when the server recovered a sum.
         for u in self._cohort:
             task = tasks[u]

@@ -1,0 +1,523 @@
+"""Sharded secure aggregation: k Bonawitz sub-rounds composed modularly.
+
+A flat Bonawitz round costs ``O(n^2)`` in pairwise masks and Shamir
+shares, which caps the cohort size a single round can afford.  This
+module opens the next scaling axis the way production federations do
+(DDP-SA, Wei et al.; the hybrid approach of Truex et al.): partition
+the round's cohort into ``k`` shards, run one *independent*
+dropout-tolerant :class:`~repro.simulation.rounds.AsyncSecAggRound` per
+shard — each with its own Shamir threshold, phase deadlines, and
+private :class:`~repro.simulation.clock.SimulatedClock` — and compose
+the shard sums with an outer modular addition
+(:func:`repro.secagg.compose.compose_shard_sums`), which is
+bit-identical to the flat sum over the union of the shards' survivors.
+
+Cost: ``k`` shards of ``n/k`` clients do ``O(n^2 / k)`` total protocol
+work, and the shards are embarrassingly parallel.  The
+:class:`ExecutionBackend` knob chooses how they run:
+
+* ``"inline"`` (default) — sequentially in this process; zero overhead,
+  ideal for tests and small cohorts.
+* ``"process"`` — fanned out over a reusable
+  :class:`concurrent.futures.ProcessPoolExecutor`, one OS process per
+  worker, for multi-core hosts.
+
+Both backends produce **bit-identical results**: every shard derives
+its protocol randomness from a spawn-keyed
+:class:`numpy.random.SeedSequence` — ``SeedSequence(entropy,
+spawn_key=(shard_index,))`` with the entropy drawn once from the
+round's RNG before dispatch — so no state crosses the process boundary
+except the picklable :class:`ShardTask`.
+
+Simulated time composes as a real parallel deployment's would: every
+shard's private clock starts at the parent clock's ``now``, the round
+completes when the *slowest* shard completes, and the parent clock is
+advanced to that instant (:meth:`SimulatedClock.advance_to`).  Shard
+traces are merged into the parent trace, each event annotated with its
+shard index, in deterministic (time, shard) order.
+
+Failure semantics are hierarchical: a shard whose survivor count falls
+below its Shamir threshold aborts *alone* — its members count as
+dropped for the round and the remaining shards' sums still compose.
+Only if every shard aborts does the round raise
+:class:`~repro.errors.AggregationError`, mirroring the flat driver.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import math
+import os
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import AggregationError, ConfigurationError
+from repro.secagg.compose import compose_shard_sums
+from repro.simulation.clock import SimulatedClock
+from repro.simulation.events import SimulationTrace, TraceEvent
+from repro.simulation.population import ClientPlan
+from repro.simulation.rounds import AsyncSecAggRound, RoundOutcome
+
+#: A Bonawitz instance needs at least two parties (threshold >= 2), so a
+#: shard below this size is never formed — the partition caps ``k``.
+MIN_SHARD_SIZE = 2
+
+#: Hard cap on pool width; shards beyond it queue on existing workers.
+_MAX_POOL_WORKERS = 16
+
+
+def shamir_threshold(threshold_fraction: float, cohort_size: int) -> int:
+    """The Shamir reconstruction threshold for a cohort (or shard).
+
+    ``max(2, ceil(threshold_fraction * cohort_size))`` — the single
+    definition shared by the flat engine path, the per-shard sub-rounds,
+    and the throughput benchmarks, so flat-vs-sharded comparisons always
+    run under the same dropout-tolerance rule.
+    """
+    if not 0 < threshold_fraction <= 1:
+        raise ConfigurationError(
+            f"threshold_fraction must be in (0, 1], got {threshold_fraction}"
+        )
+    return max(2, math.ceil(threshold_fraction * cohort_size))
+
+
+def partition_cohort(
+    cohort: Iterable[int], shards: int
+) -> list[tuple[int, ...]]:
+    """Deterministically partition a cohort into balanced shards.
+
+    Round-robin over the sorted member list: shard ``i`` receives every
+    ``k``-th member starting at offset ``i``, so shard sizes differ by
+    at most one and the assignment depends only on the cohort and ``k``.
+    The effective shard count is capped so every shard keeps at least
+    :data:`MIN_SHARD_SIZE` members (a smaller cohort simply gets fewer
+    shards, down to one).
+
+    Args:
+        cohort: Client indices (1-based, any order, no duplicates).
+        shards: Requested shard count ``k >= 1``.
+
+    Returns:
+        Non-empty member tuples, sorted within and across shards.
+
+    Raises:
+        ConfigurationError: If ``shards < 1`` or the cohort is empty.
+    """
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    members = sorted(cohort)
+    if not members:
+        raise ConfigurationError("cannot partition an empty cohort")
+    if len(set(members)) != len(members):
+        raise ConfigurationError("cohort contains duplicate client indices")
+    effective = max(1, min(shards, len(members) // MIN_SHARD_SIZE))
+    return [tuple(members[i::effective]) for i in range(effective)]
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardTask:
+    """Everything one shard sub-round needs — picklable by design, so
+    the process backend ships it to a worker unchanged.
+
+    Attributes:
+        shard_index: Position of this shard in the partition (also the
+            spawn key selecting its RNG stream).
+        vectors: The shard members' private input vectors.
+        modulus: Aggregation modulus ``m``.
+        threshold: This shard's Shamir reconstruction threshold.
+        start_time: Parent clock ``now`` at round start; the shard's
+            private clock starts here so timestamps share one epoch.
+        entropy: Round-scoped seed material; the shard's RNG is
+            ``default_rng(SeedSequence(entropy, spawn_key=(shard_index,)))``.
+        plans: Behaviour plans for the shard's members.
+        phase_timeout: Per-phase server deadline (simulated seconds).
+        mask_prg: Mask PRG backend *name* (instances may not pickle).
+    """
+
+    shard_index: int
+    vectors: dict[int, np.ndarray]
+    modulus: int
+    threshold: int
+    start_time: float
+    entropy: int
+    plans: dict[int, ClientPlan]
+    phase_timeout: float
+    mask_prg: str | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardReport:
+    """One shard sub-round's complete result, back from any backend.
+
+    Attributes:
+        shard_index: Which shard this reports on.
+        members: The shard's cohort slice.
+        outcome: The sub-round outcome, or ``None`` if the shard
+            aborted below its threshold.
+        error: The abort reason when ``outcome`` is ``None``.
+        ended_at: Shard-clock time the sub-round finished (success or
+            abort) — the round completes at the max across shards.
+        events: The shard's trace events (its private clock shares the
+            parent's epoch, so times merge directly).
+        pending_timers: Shard-clock leak counter at exit; zero when the
+            timer-cancellation contract held.
+    """
+
+    shard_index: int
+    members: tuple[int, ...]
+    outcome: RoundOutcome | None
+    error: str | None
+    ended_at: float
+    events: tuple[TraceEvent, ...]
+    pending_timers: int
+
+
+def run_shard(task: ShardTask) -> ShardReport:
+    """Execute one shard's Bonawitz sub-round on a private clock.
+
+    Module-level (not a method) so :class:`ProcessBackend` can pickle a
+    bare reference to it; the inline backend calls it directly.
+    """
+    clock = SimulatedClock(start=task.start_time)
+    trace = SimulationTrace(clock)
+    rng = np.random.default_rng(
+        np.random.SeedSequence(task.entropy, spawn_key=(task.shard_index,))
+    )
+    sub_round = AsyncSecAggRound(
+        vectors=task.vectors,
+        modulus=task.modulus,
+        threshold=task.threshold,
+        clock=clock,
+        rng=rng,
+        plans=task.plans,
+        phase_timeout=task.phase_timeout,
+        trace=trace,
+        mask_prg=task.mask_prg,
+    )
+    outcome: RoundOutcome | None = None
+    error: str | None = None
+    try:
+        outcome = clock.run(sub_round.run())
+    except AggregationError as aggregation_error:
+        error = str(aggregation_error)
+    return ShardReport(
+        shard_index=task.shard_index,
+        members=tuple(sorted(task.vectors)),
+        outcome=outcome,
+        error=error,
+        ended_at=clock.now,
+        events=tuple(trace.events),
+        pending_timers=clock.pending_timers,
+    )
+
+
+class ExecutionBackend(abc.ABC):
+    """How a round's shard sub-rounds are executed.
+
+    Backends are pure executors: they receive picklable
+    :class:`ShardTask`\\ s, run :func:`run_shard` on each, and return
+    the reports **in task order** — determinism never depends on
+    completion order.
+    """
+
+    #: Wire/CLI name of the backend.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def run_shards(self, tasks: Sequence[ShardTask]) -> list[ShardReport]:
+        """Execute every task; reports align with ``tasks`` by index."""
+
+    def warm(self) -> None:
+        """Eagerly acquire lazy resources (worker processes), so
+        start-up cost lands here rather than in the first round —
+        benchmarks call this before starting their timers."""
+
+    def close(self) -> None:
+        """Release held resources (worker processes); idempotent."""
+
+
+class InlineBackend(ExecutionBackend):
+    """Run shards sequentially in the calling process (the default)."""
+
+    name = "inline"
+
+    def run_shards(self, tasks: Sequence[ShardTask]) -> list[ShardReport]:
+        return [run_shard(task) for task in tasks]
+
+
+class ProcessBackend(ExecutionBackend):
+    """Fan shards out over a reusable OS-process pool.
+
+    The pool is created lazily on first use and reused across rounds
+    (worker start-up would otherwise dominate small rounds); call
+    :meth:`close` — or use the backend as a context manager — to reap
+    the workers.
+
+    Args:
+        max_workers: Pool width; defaults to
+            ``min(cpu_count, _MAX_POOL_WORKERS)`` but at least 2, so
+            shards overlap even where the container under-reports cores.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        self._max_workers = max_workers
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            workers = self._max_workers
+            if workers is None:
+                workers = min(
+                    max(os.cpu_count() or 1, 2), _MAX_POOL_WORKERS
+                )
+            self._pool = ProcessPoolExecutor(max_workers=workers)
+        return self._pool
+
+    def run_shards(self, tasks: Sequence[ShardTask]) -> list[ShardReport]:
+        # map() preserves task order regardless of completion order.
+        return list(self._ensure_pool().map(run_shard, tasks))
+
+    def warm(self) -> None:
+        self._ensure_pool()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ProcessBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+#: Backend registry, keyed by wire/CLI name.
+EXECUTION_BACKENDS = {
+    InlineBackend.name: InlineBackend,
+    ProcessBackend.name: ProcessBackend,
+}
+
+#: The backend used when none is requested.
+DEFAULT_BACKEND = InlineBackend.name
+
+
+def get_execution_backend(
+    backend: ExecutionBackend | str | None,
+) -> ExecutionBackend:
+    """Resolve a backend name (or pass an instance through).
+
+    Raises:
+        ConfigurationError: For an unknown backend name.
+    """
+    if backend is None:
+        backend = DEFAULT_BACKEND
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    try:
+        factory = EXECUTION_BACKENDS[backend]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown execution backend {backend!r}; expected one of "
+            f"{sorted(EXECUTION_BACKENDS)}"
+        ) from None
+    return factory()
+
+
+class ShardedSecAggRound:
+    """One cohort round as ``k`` parallel Bonawitz sub-rounds.
+
+    Drop-in sibling of :class:`~repro.simulation.rounds.AsyncSecAggRound`
+    producing the same :class:`~repro.simulation.rounds.RoundOutcome`,
+    but synchronous from the caller's view: each shard runs to
+    completion on its own private clock (possibly in another process),
+    then the parent clock is advanced by the slowest shard's duration.
+
+    Args:
+        vectors: Private input per cohort member (1-based index ->
+            length-``d`` integer vector over ``Z_m``).
+        modulus: Aggregation modulus ``m``.
+        clock: The parent simulated clock; advanced (never run) by
+            :meth:`execute`.
+        rng: Round-scoped randomness; a single 63-bit entropy draw
+            seeds every shard's spawn-keyed stream.
+        shards: Requested shard count (capped by the partition so each
+            shard keeps >= :data:`MIN_SHARD_SIZE` members).
+        threshold_fraction: Per-shard Shamir threshold as a fraction of
+            the shard's size (``max(2, ceil(fraction * len(shard)))``).
+        plans: Behaviour plan per cohort member.
+        phase_timeout: Per-phase server deadline (simulated seconds).
+        backend: ``"inline"``, ``"process"``, or an
+            :class:`ExecutionBackend` instance.  A *name* builds a
+            backend owned (and closed) by this round; an *instance*
+            stays caller-owned for reuse across rounds and is never
+            closed here.
+        trace: Optional parent event log; shard traces are merged into
+            it, each event annotated with its shard index.
+        mask_prg: Mask PRG backend name shared by every shard.
+    """
+
+    def __init__(
+        self,
+        vectors: Mapping[int, np.ndarray],
+        modulus: int,
+        clock: SimulatedClock,
+        rng: np.random.Generator,
+        shards: int,
+        threshold_fraction: float = 0.6,
+        plans: Mapping[int, ClientPlan] | None = None,
+        phase_timeout: float = 60.0,
+        backend: ExecutionBackend | str | None = None,
+        trace: SimulationTrace | None = None,
+        mask_prg: str | None = None,
+    ) -> None:
+        if not vectors:
+            raise ConfigurationError("cohort must not be empty")
+        if not 0 < threshold_fraction <= 1:
+            raise ConfigurationError(
+                "threshold_fraction must be in (0, 1], got "
+                f"{threshold_fraction}"
+            )
+        if len(vectors) < MIN_SHARD_SIZE:
+            raise ConfigurationError(
+                f"sharded aggregation needs a cohort of >= {MIN_SHARD_SIZE}, "
+                f"got {len(vectors)}"
+            )
+        self._vectors = {
+            u: np.asarray(vectors[u], dtype=np.int64) for u in sorted(vectors)
+        }
+        self._modulus = modulus
+        self._clock = clock
+        self._threshold_fraction = threshold_fraction
+        self._plans = dict(plans or {})
+        self._phase_timeout = phase_timeout
+        # A backend built here from a name is owned here and closed
+        # after each execute(); a passed-in instance stays caller-owned
+        # (the engine reuses one pool across every round of a run).
+        self._owns_backend = not isinstance(backend, ExecutionBackend)
+        self._backend = get_execution_backend(backend)
+        self._trace = trace
+        self._mask_prg = mask_prg
+        self._partition = partition_cohort(self._vectors, shards)
+        # One entropy draw *before* dispatch keeps the per-shard streams
+        # identical under every backend (and costs the round RNG exactly
+        # one draw regardless of k).
+        self._entropy = int(rng.integers(0, 2**63))
+        self.last_reports: tuple[ShardReport, ...] = ()
+
+    @property
+    def num_shards(self) -> int:
+        """Effective shard count after the partition's size cap."""
+        return len(self._partition)
+
+    def _shard_threshold(self, members: tuple[int, ...]) -> int:
+        return shamir_threshold(self._threshold_fraction, len(members))
+
+    def _build_tasks(self, started_at: float) -> list[ShardTask]:
+        return [
+            ShardTask(
+                shard_index=index,
+                vectors={u: self._vectors[u] for u in members},
+                modulus=self._modulus,
+                threshold=self._shard_threshold(members),
+                start_time=started_at,
+                entropy=self._entropy,
+                plans={
+                    u: self._plans[u] for u in members if u in self._plans
+                },
+                phase_timeout=self._phase_timeout,
+                mask_prg=self._mask_prg,
+            )
+            for index, members in enumerate(self._partition)
+        ]
+
+    def _merge_traces(self, reports: Sequence[ShardReport]) -> None:
+        if self._trace is None:
+            return
+        annotated = [
+            dataclasses.replace(
+                event, details={**event.details, "shard": report.shard_index}
+            )
+            for report in reports
+            for event in report.events
+        ]
+        # Stable sort: global time order, shard order breaking ties —
+        # deterministic under both backends.
+        annotated.sort(key=lambda event: event.time)
+        self._trace.merge(annotated)
+
+    def execute(self) -> RoundOutcome:
+        """Run every shard sub-round and compose the outcome.
+
+        Returns:
+            A :class:`~repro.simulation.rounds.RoundOutcome` whose
+            ``modular_sum`` is the outer modular composition of the
+            surviving shards' sums, ``included`` the union of their
+            survivor sets, and ``completed_at`` the slowest shard's
+            finish time (to which the parent clock is advanced).
+
+        Raises:
+            AggregationError: Only if *every* shard aborted below its
+                threshold.
+        """
+        started_at = self._clock.now
+        try:
+            reports = self._backend.run_shards(self._build_tasks(started_at))
+        finally:
+            if self._owns_backend:
+                self._backend.close()
+        self.last_reports = tuple(reports)
+        self._merge_traces(reports)
+        completed_at = max(report.ended_at for report in reports)
+        self._clock.advance_to(completed_at)
+        succeeded = [report for report in reports if report.outcome is not None]
+        if self._trace is not None:
+            for report in reports:
+                if report.outcome is None:
+                    self._trace.record(
+                        "shard-aborted",
+                        shard=report.shard_index,
+                        members=len(report.members),
+                        error=report.error,
+                    )
+        if not succeeded:
+            reasons = "; ".join(
+                f"shard {report.shard_index}: {report.error}"
+                for report in reports
+            )
+            raise AggregationError(
+                f"all {len(reports)} shards aborted — {reasons}"
+            )
+        modular_sum = compose_shard_sums(
+            [report.outcome.modular_sum for report in succeeded],
+            self._modulus,
+        )
+        included = frozenset().union(
+            *(report.outcome.included for report in succeeded)
+        )
+        if self._trace is not None:
+            self._trace.record(
+                "sharded-round-complete",
+                shards=len(reports),
+                aborted_shards=len(reports) - len(succeeded),
+                backend=self._backend.name,
+                included=len(included),
+                dropped=len(self._vectors) - len(included),
+            )
+        return RoundOutcome(
+            modular_sum=modular_sum,
+            included=included,
+            dropped=frozenset(self._vectors) - included,
+            started_at=started_at,
+            completed_at=completed_at,
+        )

@@ -149,6 +149,28 @@ class TestNewCommands:
         assert "exact=True" in captured.out
         assert "parameters digest:" in captured.out
 
+    def test_simulate_sharded(self, capsys):
+        exit_code = main(
+            [
+                "simulate",
+                "--clients", "16",
+                "--cohort", "10",
+                "--rounds", "1",
+                "--hidden", "2",
+                "--test-records", "32",
+                "--dropout-rate", "0.1",
+                "--shards", "2",
+                "--verify",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert (
+            "sharding: up to 2 shards per round (inline backend)"
+            in captured.out
+        )
+        assert "exact=True" in captured.out
+
     def test_simulate_non_private(self, capsys):
         exit_code = main(
             [

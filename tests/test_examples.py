@@ -27,6 +27,7 @@ FAST_EXAMPLES = [
     ("secure_aggregation.py", "matches the survivors' true sum: True", 120),
     ("floating_point_attack.py", "0 wrong", 120),
     ("async_simulation.py", "bit-reproducible: True", 240),
+    ("sharded_simulation.py", "backend-identical: True", 240),
 ]
 
 

@@ -146,6 +146,76 @@ class TestSimulatedClock:
         assert fired == [10.0]
 
 
+class TestTimerCancellation:
+    def test_cancelled_timer_never_fires_nor_advances_time(self):
+        clock = SimulatedClock()
+        fired = []
+
+        async def main():
+            handle = clock.call_at(100.0, lambda: fired.append("deadline"))
+            handle.cancel()
+            await clock.sleep(1.0)
+            return clock.now
+
+        # Time ends at the sleep's due time, not the stale deadline.
+        assert clock.run(main()) == 1.0
+        assert fired == []
+        assert clock.pending_timers == 0
+
+    def test_cancel_is_idempotent_and_noop_after_firing(self):
+        clock = SimulatedClock()
+        fired = []
+
+        async def main():
+            handle = clock.call_at(1.0, lambda: fired.append(clock.now))
+            await clock.sleep(2.0)
+            assert not handle.cancelled()  # It fired; cancel is a no-op.
+            handle.cancel()
+            handle.cancel()
+
+        clock.run(main())
+        assert fired == [1.0]
+        assert clock.pending_timers == 0
+
+    def test_pending_timers_excludes_cancelled(self):
+        clock = SimulatedClock()
+        handles = [clock.call_at(5.0, lambda: None) for _ in range(4)]
+        assert clock.pending_timers == 4
+        handles[0].cancel()
+        handles[2].cancel()
+        assert clock.pending_timers == 2
+
+    def test_mass_cancellation_compacts_the_heap(self):
+        clock = SimulatedClock()
+        handles = [clock.call_at(5.0, lambda: None) for _ in range(64)]
+        for handle in handles:
+            handle.cancel()
+        assert clock.pending_timers == 0
+        # Lazy deletion reaped the dominating stale entries eagerly.
+        assert len(clock._timers) == 0
+
+    def test_mass_task_cancellation_keeps_pending_timers_exact(self):
+        """Regression: compaction racing the late accounting of
+        cancelled sleep futures (dead at Task.cancel(), noted only when
+        the waiter resumes) must never skew pending_timers — it is
+        derived from the heap, so it ends at exactly zero, never
+        negative."""
+        clock = SimulatedClock()
+
+        async def sleeper():
+            await clock.sleep(1000.0)
+
+        async def main():
+            tasks = [asyncio.ensure_future(sleeper()) for _ in range(40)]
+            await clock.sleep(1.0)
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+        clock.run(main())
+        assert clock.pending_timers == 0
+
+
 class TestMailbox:
     def test_fifo_order(self):
         clock = SimulatedClock()
@@ -198,6 +268,29 @@ class TestMailbox:
             return item, clock.now
 
         assert clock.run(main()) == ("x", 1.0)
+
+    def test_won_race_cancels_the_deadline_timer(self):
+        """Regression: get_before used to leave its deadline callback
+        on the heap after the message won, so stale timers accumulated
+        (~2 per exchange) and later advances walked time through them."""
+        clock = SimulatedClock()
+        box = Mailbox(clock)
+
+        async def producer(count):
+            for _ in range(count):
+                await clock.sleep(1.0)
+                box.put("x")
+
+        async def main():
+            task = asyncio.ensure_future(producer(5))
+            deadline = clock.now + 100.0
+            for _ in range(5):
+                assert await box.get_before(deadline) == "x"
+            await task
+            return clock.now
+
+        assert clock.run(main()) == 5.0
+        assert clock.pending_timers == 0
 
     def test_len_counts_undelivered(self):
         clock = SimulatedClock()

@@ -128,6 +128,31 @@ class TestAggregateMatchesSyncPipeline:
         assert rng_a.integers(0, 2**31) == rng_b.integers(0, 2**31)
 
 
+class TestShardedEngine:
+    def test_sharded_rounds_pass_the_oracle(self):
+        engine, result = run_acceptance(0.1, shards=3)
+        executed = [r for r in result.records if r.cohort and not r.aborted]
+        assert executed
+        for record in executed:
+            # The composed shard sums decode to exactly the survivors'
+            # modular sum — the same oracle the flat rounds pass.
+            assert record.aggregate_matches is True
+        assert engine.trace.count("sharded-round-complete") == len(executed)
+
+    def test_backends_are_bit_identical(self):
+        _, inline = run_acceptance(0.1, rounds=2, shards=2)
+        _, process = run_acceptance(0.1, rounds=2, shards=2, backend="process")
+        assert inline.parameters_digest == process.parameters_digest
+        assert inline.records == process.records
+        assert inline.epsilon == process.epsilon
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(shards=0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(backend="thread")
+
+
 class _EveryoneOffline(AvailabilityModel):
     def plan(self, client_index, round_index, rng):
         return ClientPlan(drop_phase=ROUND_ADVERTISE)

@@ -84,6 +84,51 @@ class TestAllOnline:
         # Four phases, each gated on the slowest (0.5s) client.
         assert outcome.duration == pytest.approx(2.0)
 
+    def test_early_round_leaves_no_stale_timers_and_exact_duration(self):
+        """Regression for the stale-deadline leak: a round whose phases
+        all complete well before the phase deadlines must (a) report
+        the exact message-driven duration — not drift toward the
+        deadlines — and (b) leave zero pending timers on the clock, so
+        nothing accumulates across a multi-round simulation."""
+        vectors = make_vectors(8)
+        plans = {
+            u: ClientPlan(latencies=(0.25, 0.25, 0.25, 0.25))
+            for u in vectors
+        }
+        clock = SimulatedClock()
+        secagg_round = AsyncSecAggRound(
+            vectors=vectors,
+            modulus=MODULUS,
+            threshold=5,
+            clock=clock,
+            rng=np.random.default_rng(1),
+            plans=plans,
+            phase_timeout=60.0,
+        )
+        outcome = clock.run(secagg_round.run())
+        assert outcome.duration == 1.0  # 4 phases x 0.25s, exactly.
+        assert clock.now == outcome.completed_at
+        assert clock.pending_timers == 0
+
+    def test_cancelled_straggler_leaves_no_pending_timers(self):
+        """A straggler cancelled mid-sleep at round teardown must not
+        leave its sleep timer counted (or hoarded) on the heap."""
+        vectors = make_vectors(8)
+        plans = {4: ClientPlan(latencies=(0.0, 0.0, 500.0, 0.0))}
+        clock = SimulatedClock()
+        secagg_round = AsyncSecAggRound(
+            vectors=vectors,
+            modulus=MODULUS,
+            threshold=5,
+            clock=clock,
+            rng=np.random.default_rng(1),
+            plans=plans,
+            phase_timeout=10.0,
+        )
+        outcome = clock.run(secagg_round.run())
+        assert 4 in outcome.dropped
+        assert clock.pending_timers == 0
+
 
 class TestDropoutPerPhase:
     @pytest.mark.parametrize(
@@ -210,6 +255,50 @@ class TestMaliciousUnmaskRequest:
             AggregationError, match="both survivor and dropout"
         ):
             run_round(vectors, threshold=5, plans=plans, tamper=tamper)
+
+    def test_refusal_landing_during_teardown_is_surfaced(self):
+        """Regression: the root-cause scan used to inspect client tasks
+        only *before* the cancellation sweep, so a refusal completing
+        during teardown (its task already past its last await when
+        cancel() arrived) was masked by the server's threshold error."""
+        import asyncio
+
+        refusal = AggregationError(
+            "refusing unmask request: clients [1] named as both survivor "
+            "and dropout"
+        )
+
+        class TeardownRefusalRound(AsyncSecAggRound):
+            async def _server_task(self, started_at):
+                await self._clock.sleep(1.0)
+                raise AggregationError("only 2 unmask responses; threshold")
+
+            async def _client_task(self, index):
+                if index != 3:
+                    return
+                # Swallow the cancellation the teardown sweep delivers
+                # and complete with the protocol rejection instead —
+                # the shape of a refusal racing the server's failure.
+                try:
+                    await self._clock.sleep(30.0)
+                except asyncio.CancelledError:
+                    pass
+                raise refusal
+
+        clock = SimulatedClock()
+        secagg_round = TeardownRefusalRound(
+            vectors=make_vectors(6),
+            modulus=MODULUS,
+            threshold=4,
+            clock=clock,
+            rng=np.random.default_rng(0),
+        )
+        with pytest.raises(
+            AggregationError, match="both survivor and dropout"
+        ) as excinfo:
+            clock.run(secagg_round.run())
+        # Chained from the server's own (downstream) threshold error.
+        assert "threshold" in str(excinfo.value.__cause__)
 
 
 class TestDeterminism:
