@@ -53,8 +53,14 @@ def _run_rounds(
     bench_rng: np.random.Generator,
     shards: int = 1,
     backend: str = "inline",
-) -> tuple[float, int]:
-    """Run ``num_rounds`` aggregation rounds; returns (rounds/sec, drops)."""
+) -> tuple[float, int, dict]:
+    """Run ``num_rounds`` aggregation rounds.
+
+    Returns:
+        ``(rounds/sec, total drops, wire)`` where ``wire`` aggregates
+        the rounds' :class:`~repro.secagg.wire.WireStats` — total
+        messages/bytes plus a per-phase byte breakdown.
+    """
     population = Population(
         population_size,
         availability=BernoulliDropout(DROPOUT_RATE),
@@ -66,6 +72,7 @@ def _run_rounds(
     # recorded rounds/sec measures protocol cost, not worker spawn.
     executor.warm()
     total_dropped = 0
+    wire = {"messages": 0, "bytes": 0, "phase_bytes": {}, "rounds": 0}
     started = time.perf_counter()
     try:
         for round_index in range(num_rounds):
@@ -111,33 +118,72 @@ def _run_rounds(
                 expected = np.mod(expected + vectors[u], MODULUS)
             assert np.array_equal(outcome.modular_sum, expected)
             total_dropped += len(outcome.dropped)
+            if outcome.wire is not None:
+                wire["messages"] += outcome.wire.total_messages
+                wire["bytes"] += outcome.wire.total_bytes
+                wire["rounds"] += 1
+                for phase, totals in outcome.wire.phase_totals().items():
+                    wire["phase_bytes"][phase] = (
+                        wire["phase_bytes"].get(phase, 0)
+                        + totals["up_bytes"]
+                        + totals["down_bytes"]
+                    )
         elapsed = time.perf_counter() - started
     finally:
         executor.close()
-    return num_rounds / elapsed, total_dropped
+    return num_rounds / elapsed, total_dropped, wire
+
+
+def _wire_suffix(wire: dict) -> str:
+    """Per-round wire accounting fields for a results line."""
+    rounds = max(1, wire["rounds"])
+    return (
+        f"wire_msgs_per_round={wire['messages'] // rounds} "
+        f"wire_kib_per_round={wire['bytes'] / rounds / 1024:.1f}"
+    )
 
 
 @pytest.mark.parametrize("population_size", POPULATIONS)
 def test_rounds_per_second(population_size, emit, bench_rng):
     """Bounded-cohort throughput across the population sweep."""
     cohort = min(population_size, 48)
-    rounds_per_sec, dropped = _run_rounds(
+    rounds_per_sec, dropped, wire = _run_rounds(
         population_size, cohort, num_rounds=2, bench_rng=bench_rng
     )
     emit(
         f"sim_throughput population={population_size:4d} cohort<={cohort:3d} "
         f"dropout={DROPOUT_RATE} rounds_per_sec={rounds_per_sec:8.3f} "
-        f"dropped={dropped}",
+        f"dropped={dropped} {_wire_suffix(wire)}",
         RESULTS_FILE,
     )
     assert rounds_per_sec > 0
+
+
+def test_wire_accounting_per_phase(emit, bench_rng):
+    """Per-phase wire breakdown of the bounded-cohort configuration."""
+    rounds_per_sec, _, wire = _run_rounds(
+        128, 48, num_rounds=2, bench_rng=bench_rng
+    )
+    breakdown = " ".join(
+        f"{phase}={wire['phase_bytes'][phase]}B"
+        for phase in sorted(wire["phase_bytes"])
+    )
+    emit(
+        f"sim_wire population= 128 cohort<= 48 rounds={wire['rounds']} "
+        f"total_msgs={wire['messages']} {breakdown}",
+        RESULTS_FILE,
+    )
+    assert wire["messages"] > 0
+    # Share routing is the protocol's quadratic phase; it must dominate
+    # the advertise handshake at this cohort size (measured ~2.5x).
+    assert wire["phase_bytes"]["share-keys"] > wire["phase_bytes"]["advertise"]
 
 
 @pytest.mark.parametrize("shards", [4])
 def test_rounds_per_second_sharded(shards, emit, bench_rng):
     """Sharded bounded-cohort throughput (inline backend, tier-1)."""
     population_size, cohort = 128, 48
-    rounds_per_sec, dropped = _run_rounds(
+    rounds_per_sec, dropped, wire = _run_rounds(
         population_size,
         cohort,
         num_rounds=2,
@@ -147,7 +193,8 @@ def test_rounds_per_second_sharded(shards, emit, bench_rng):
     emit(
         f"sim_throughput population={population_size:4d} cohort<={cohort:3d} "
         f"dropout={DROPOUT_RATE} shards={shards} backend=inline "
-        f"rounds_per_sec={rounds_per_sec:8.3f} dropped={dropped}",
+        f"rounds_per_sec={rounds_per_sec:8.3f} dropped={dropped} "
+        f"{_wire_suffix(wire)}",
         RESULTS_FILE,
     )
     assert rounds_per_sec > 0
@@ -157,32 +204,38 @@ def test_rounds_per_second_sharded(shards, emit, bench_rng):
 @pytest.mark.parametrize("population_size", [128, 512])
 def test_rounds_per_second_full_cohort(population_size, emit, bench_rng):
     """Full-cohort throughput: the protocol's quadratic regime."""
-    rounds_per_sec, dropped = _run_rounds(
+    rounds_per_sec, dropped, wire = _run_rounds(
         population_size, population_size, num_rounds=1, bench_rng=bench_rng
     )
     emit(
         f"sim_throughput_full population={population_size:4d} "
         f"dropout={DROPOUT_RATE} rounds_per_sec={rounds_per_sec:8.3f} "
-        f"dropped={dropped}",
+        f"dropped={dropped} {_wire_suffix(wire)}",
         RESULTS_FILE,
     )
     assert rounds_per_sec > 0
 
 
 @pytest.mark.slow
-@pytest.mark.parametrize("backend", ["inline", "process"])
+@pytest.mark.parametrize("backend", ["inline", "process", "process-pickle"])
 def test_rounds_per_second_full_cohort_sharded(backend, emit, bench_rng):
     """Full-cohort sharded throughput at population 512.
 
     The hierarchical regime the sharding layer exists for: 8 shards cut
-    the quadratic protocol work by ~8x, and the process backend overlaps
-    the shard sub-rounds across cores on top of that.
+    the quadratic protocol work by ~8x, and the process backends overlap
+    the shard sub-rounds across cores on top of that.  ``process`` moves
+    shard vectors over the shared-memory transport; ``process-pickle``
+    ships them inside the task pickle — the before/after pair for the
+    vector-transport comparison.
     """
     population_size, shards = 512, 8
-    rounds_per_sec, dropped = _run_rounds(
+    # Three rounds: a single ~1.3s round is too noisy to compare the
+    # vector transports, and the reused shared-memory block only shows
+    # its amortised cost from the second round on.
+    rounds_per_sec, dropped, wire = _run_rounds(
         population_size,
         population_size,
-        num_rounds=1,
+        num_rounds=3,
         bench_rng=bench_rng,
         shards=shards,
         backend=backend,
@@ -190,7 +243,8 @@ def test_rounds_per_second_full_cohort_sharded(backend, emit, bench_rng):
     emit(
         f"sim_throughput_full population={population_size:4d} "
         f"dropout={DROPOUT_RATE} shards={shards} backend={backend} "
-        f"rounds_per_sec={rounds_per_sec:8.3f} dropped={dropped}",
+        f"rounds_per_sec={rounds_per_sec:8.3f} dropped={dropped} "
+        f"{_wire_suffix(wire)}",
         RESULTS_FILE,
     )
     assert rounds_per_sec > 0

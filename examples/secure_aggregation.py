@@ -105,6 +105,19 @@ def main(argv=None) -> None:
     print(f"recovered modular sum matches the survivors' true sum: {correct}")
     print(f"first 8 coordinates: {outcome.modular_sum[:8].tolist()}")
 
+    # The run rode the sans-I/O wire core, so the round comes with a
+    # byte-accurate traffic ledger: messages and serialized bytes per
+    # protocol phase (the share-keys phase is the quadratic one).
+    if outcome.wire is not None:
+        print("wire traffic per phase (client->server / server->client):")
+        for phase, totals in outcome.wire.phase_totals().items():
+            print(f"  {phase:>13}: {totals['up_messages']:4d} msgs "
+                  f"{totals['up_bytes']:7d} B  /  "
+                  f"{totals['down_messages']:4d} msgs "
+                  f"{totals['down_bytes']:7d} B")
+        print(f"total: {outcome.wire.total_messages} messages, "
+              f"{outcome.wire.total_bytes / 1024:.1f} KiB")
+
     assert correct, "protocol failed to recover the correct sum"
     for client, phase in dropouts.items():
         if phase <= ROUND_MASKED_INPUT:

@@ -251,8 +251,18 @@ def command_simulate(args) -> int:
         print(f"round {record.index:3d}: cohort={len(record.cohort):3d} "
               f"{status}  eps={record.epsilon:6.3f}  "
               f"t={record.completed_at:8.1f}s{check}", flush=True)
+    wire_messages = sum(record.wire_messages for record in result.records)
+    wire_bytes = sum(record.wire_bytes for record in result.records)
     print(f"\nsimulated time: {result.sim_duration:.1f}s over "
           f"{len(result.records)} rounds")
+    if wire_messages:
+        rounds_with_traffic = sum(
+            1 for record in result.records if record.wire_messages
+        )
+        print(f"wire traffic: {wire_messages} messages, "
+              f"{wire_bytes / 1024:.1f} KiB total "
+              f"({wire_bytes / rounds_with_traffic / 1024:.1f} KiB/round "
+              f"over {rounds_with_traffic} aggregation rounds)")
     print(f"cumulative privacy: eps={result.epsilon:.4f} "
           f"delta={result.delta:g}")
     print(f"final test accuracy: {100 * result.final_accuracy:.1f}%")
@@ -400,10 +410,15 @@ def main(argv: Sequence[str] | None = None) -> int:
                                  help="SecAgg shards per round (1 = flat "
                                       "protocol; k > 1 composes k Bonawitz "
                                       "sub-rounds modularly)")
-    simulate_parser.add_argument("--backend", choices=["inline", "process"],
+    simulate_parser.add_argument("--backend",
+                                 choices=["inline", "process",
+                                          "process-pickle"],
                                  default="inline",
                                  help="shard execution backend (process = "
-                                      "parallel OS process pool)")
+                                      "parallel OS process pool over the "
+                                      "shared-memory vector transport; "
+                                      "process-pickle ships vectors in the "
+                                      "task pickle)")
     simulate_parser.set_defaults(handler=command_simulate)
 
     account_parser = subparsers.add_parser(

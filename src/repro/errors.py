@@ -46,6 +46,19 @@ class AggregationError(ReproError):
     """
 
 
+class NegotiationError(AggregationError):
+    """Protocol-version/backend negotiation failed at the Hello handshake.
+
+    Raised (or stored as a client session's terminal state) when a
+    participant proposes a protocol version or mask-PRG backend the
+    server does not accept, or when rejections push the accepted roster
+    below the Shamir threshold.  A subclass of
+    :class:`AggregationError`, so existing round-level handlers treat it
+    as the round failure it is — but typed, so negotiation failures are
+    distinguishable from mid-round protocol violations.
+    """
+
+
 class SimulationError(ReproError):
     """The event-driven simulation cannot make progress.
 

@@ -1,15 +1,22 @@
 """Secure-aggregation substrate: black-box simulator and full protocol.
 
-Two levels of fidelity:
+Three layers, lowest fidelity first:
 
 * :mod:`repro.secagg.protocol` — the black-box contract the paper's DP
   analysis relies on (mask, sum over ``Z_m``, reveal only the modular
   sum).  Used by the experiment pipelines for speed.
-* :mod:`repro.secagg.bonawitz` — the four-round Bonawitz et al. protocol
-  itself (DH key agreement, Shamir-shared seeds, double masking, dropout
-  recovery), built on :mod:`repro.secagg.field`,
+* :mod:`repro.secagg.bonawitz` — the four-round Bonawitz et al. crypto
+  state machines (DH key agreement, Shamir-shared seeds, double
+  masking, dropout recovery), built on :mod:`repro.secagg.field`,
   :mod:`repro.secagg.shamir`, :mod:`repro.secagg.keys` and
   :mod:`repro.secagg.prg`.
+* :mod:`repro.secagg.wire` + :mod:`repro.secagg.statemachine` — the
+  sans-I/O protocol core: typed, versioned, byte-serializable wire
+  messages with first-class version/PRG negotiation, and pure
+  client/server sessions that every transport
+  (:func:`~repro.secagg.bonawitz.run_bonawitz` synchronous loop,
+  :class:`repro.simulation.rounds.AsyncSecAggRound` mailbox,
+  the sharded process backends) drives identically.
 """
 
 from repro.secagg.bonawitz import (
@@ -17,6 +24,28 @@ from repro.secagg.bonawitz import (
     BonawitzClient,
     BonawitzServer,
     run_bonawitz,
+)
+from repro.secagg.statemachine import (
+    PHASE_TAGS,
+    ClientSession,
+    ServerSession,
+)
+from repro.secagg.wire import (
+    PROTOCOL_V1,
+    SUPPORTED_PROTOCOL_VERSIONS,
+    WIRE_FORMAT_VERSION,
+    Advertise,
+    Hello,
+    MaskedInput,
+    NegotiatedHeader,
+    Reject,
+    SealedShares,
+    UnmaskRequest,
+    UnmaskResponse,
+    WireStats,
+    decode_frames,
+    decode_message,
+    encode_message,
 )
 from repro.secagg.compose import compose_shard_sums
 from repro.secagg.field import DEFAULT_FIELD, MERSENNE_61, PrimeField
@@ -56,28 +85,46 @@ from repro.secagg.shamir import (
 )
 
 __all__ = [
+    "Advertise",
     "AggregationOutcome",
     "BonawitzClient",
     "BonawitzServer",
+    "ClientSession",
     "DEFAULT_FIELD",
     "DEFAULT_MASK_PRG",
     "DhGroup",
+    "Hello",
     "KeyPair",
     "LimbShares",
     "MASK_PRGS",
     "MERSENNE_61",
     "MaskPrg",
+    "MaskedInput",
+    "NegotiatedHeader",
     "OAKLEY_GROUP_2_PRIME",
+    "PHASE_TAGS",
+    "PROTOCOL_V1",
     "PairwiseMaskProtocol",
     "PhiloxPrg",
     "PrimeField",
+    "Reject",
+    "SUPPORTED_PROTOCOL_VERSIONS",
+    "SealedShares",
     "SecureAggregator",
+    "ServerSession",
     "Sha256CounterPrg",
     "Share",
     "TOY_GROUP",
+    "UnmaskRequest",
+    "UnmaskResponse",
+    "WIRE_FORMAT_VERSION",
+    "WireStats",
     "ZeroSumMaskProtocol",
     "agree",
     "compose_shard_sums",
+    "decode_frames",
+    "decode_message",
+    "encode_message",
     "expand_mask",
     "generate_keypair",
     "get_mask_prg",

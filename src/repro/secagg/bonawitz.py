@@ -40,6 +40,16 @@ backend per protocol version; all participants in a round must agree on
 it (the SHA-256 counter default is bit-compatible with the original
 implementation, the Philox backend trades that compatibility for
 speed).
+
+Layering: this module holds the *crypto* state machines
+(:class:`BonawitzClient` / :class:`BonawitzServer`) operating on live
+Python objects.  The wire-level protocol — typed, versioned,
+byte-serializable messages and the sans-I/O sessions that exchange them
+— lives in :mod:`repro.secagg.wire` and
+:mod:`repro.secagg.statemachine`; :func:`run_bonawitz` below is the
+synchronous in-memory *transport* over those sessions (the
+simulated-clock mailbox transport is
+:class:`repro.simulation.rounds.AsyncSecAggRound`).
 """
 
 from __future__ import annotations
@@ -76,6 +86,14 @@ from repro.secagg.shamir import (
     split_secrets,
 )
 
+from repro.secagg.wire import (
+    Advertise,
+    SealedShares,
+    UnmaskRequest,
+    UnmaskResponse,
+    WireStats,
+)
+
 #: Protocol round identifiers, for dropout schedules and error messages.
 ROUND_ADVERTISE = 0
 ROUND_SHARE_KEYS = 1
@@ -84,51 +102,10 @@ ROUND_UNMASK = 3
 
 _SEED_WIDTH = 16  # bytes used to serialise a self-mask seed for the PRG
 
-
-@dataclasses.dataclass(frozen=True)
-class AdvertisedKeys:
-    """A client's round-0 message: its two public keys."""
-
-    index: int
-    channel_public: int
-    mask_public: int
-
-
-@dataclasses.dataclass(frozen=True)
-class SealedShares:
-    """A round-1 envelope: shares of (b_u, s_u^SK) sealed for one peer.
-
-    The server forwards envelopes without the channel key, so the payload
-    is an opaque byte string from its point of view.
-    """
-
-    sender: int
-    recipient: int
-    ciphertext: bytes
-
-
-@dataclasses.dataclass(frozen=True)
-class UnmaskRequest:
-    """The server's round-3 announcement of who survived.
-
-    Attributes:
-        survivors: ``U2`` — clients whose masked input was received; their
-            self-mask seeds must be reconstructed.
-        dropouts: ``U1 \\ U2`` — clients whose pairwise masks linger in the
-            aggregate; their mask private keys must be reconstructed.
-    """
-
-    survivors: frozenset[int]
-    dropouts: frozenset[int]
-
-
-@dataclasses.dataclass(frozen=True)
-class UnmaskResponse:
-    """One client's round-3 reply: the requested shares it holds."""
-
-    responder: int
-    seed_shares: dict[int, Share]
-    key_shares: dict[int, LimbShares]
+#: A client's round-0 message: its two public keys.  The protocol's
+#: message types live in :mod:`repro.secagg.wire` (typed, versioned,
+#: byte-serializable); this alias keeps the historical name.
+AdvertisedKeys = Advertise
 
 
 def _encode_payload(
@@ -355,6 +332,28 @@ class BonawitzClient:
             AggregationError: If the roster is smaller than the threshold
                 or does not contain this client.
         """
+        recipients, sealed = self.share_keys_matrix(roster)
+        return [
+            SealedShares(
+                sender=self.index,
+                recipient=recipient,
+                ciphertext=sealed[position].tobytes(),
+            )
+            for position, recipient in enumerate(recipients)
+        ]
+
+    def share_keys_matrix(
+        self, roster: dict[int, AdvertisedKeys]
+    ) -> tuple[tuple[int, ...], np.ndarray]:
+        """Columnar :meth:`share_keys`: the envelope matrix itself.
+
+        Returns:
+            ``(recipients, sealed)`` where row ``i`` of the ``(n, L)``
+            uint8 matrix is the ciphertext bound for ``recipients[i]``
+            (the self-addressed row is unsealed, as in the object path).
+            The wire layer turns this into one uniform frame stream
+            without constructing quadratically many envelope objects.
+        """
         if self._channel_keys is None or self._mask_keys is None:
             raise AggregationError("share_keys called before advertise_keys")
         if len(roster) < self._threshold:
@@ -379,6 +378,12 @@ class BonawitzClient:
                 f"GF({self._field.prime})"
             )
         limbs = _secret_limbs(self._mask_keys.private, DEFAULT_LIMB_BITS)
+        # Pad to the group's fixed limb count: every client's envelopes
+        # then share one byte length, so share deliveries are uniform
+        # frame streams the wire layer bulk-decodes in one numpy pass.
+        # (Zero limbs share and reconstruct like any other value.)
+        group_limbs = -(-self._group.prime.bit_length() // DEFAULT_LIMB_BITS)
+        limbs += [0] * (group_limbs - len(limbs))
         share_matrix = split_secrets(
             [self._self_seed] + limbs,
             self._threshold,
@@ -443,20 +448,11 @@ class BonawitzClient:
             [self._channel_key_cache[recipients[p]] for p in peer_positions],
             payloads.shape[1],
         )
-        sealed = np.bitwise_xor(payloads[peer_positions], streams)
-        ciphertexts: list[bytes | None] = [None] * len(recipients)
-        for row, position in enumerate(peer_positions):
-            ciphertexts[position] = sealed[row].tobytes()
-        self_position = recipients.index(self.index)
-        ciphertexts[self_position] = payloads[self_position].tobytes()
-        return [
-            SealedShares(
-                sender=self.index,
-                recipient=recipient,
-                ciphertext=ciphertexts[position],
-            )
-            for position, recipient in enumerate(recipients)
-        ]
+        sealed = payloads.copy()
+        sealed[peer_positions] = np.bitwise_xor(
+            payloads[peer_positions], streams
+        )
+        return recipients, sealed
 
     def receive_shares(self, envelopes: list[SealedShares]) -> None:
         """Store the round-1 envelopes addressed to this client.
@@ -480,25 +476,59 @@ class BonawitzClient:
                 self._received[envelope.sender] = _decode_payload(
                     envelope.ciphertext, self._payload_width
                 )
-        # Ciphertext length varies with the sender's key limb count, so
-        # bucket by length and open each equal-width bucket as a matrix.
+        # Envelope lengths are uniform per group (fixed limb padding),
+        # but bucket defensively so mixed-length streams still open.
         buckets: dict[int, list[SealedShares]] = {}
         for envelope in peer_envelopes:
             buckets.setdefault(len(envelope.ciphertext), []).append(envelope)
         for length, bucket in buckets.items():
-            streams = keystream_batch(
-                [self._channel_key(envelope.sender) for envelope in bucket],
-                length,
-            )
             ciphertexts = np.frombuffer(
                 b"".join(envelope.ciphertext for envelope in bucket),
                 dtype=np.uint8,
             ).reshape(len(bucket), length)
-            decoded = _decode_payload_matrix(
-                np.bitwise_xor(ciphertexts, streams), self._payload_width
+            self._open_envelope_matrix(
+                [envelope.sender for envelope in bucket], ciphertexts
             )
-            for envelope, shares in zip(bucket, decoded):
-                self._received[envelope.sender] = shares
+
+    def _open_envelope_matrix(
+        self, senders: list[int], ciphertexts: np.ndarray
+    ) -> None:
+        """Open equal-length peer envelopes in one batched sweep."""
+        streams = keystream_batch(
+            [self._channel_key(sender) for sender in senders],
+            ciphertexts.shape[1],
+        )
+        decoded = _decode_payload_matrix(
+            np.bitwise_xor(ciphertexts, streams), self._payload_width
+        )
+        for sender, shares in zip(senders, decoded):
+            self._received[sender] = shares
+
+    def receive_share_matrix(
+        self, senders: list[int], ciphertexts: np.ndarray
+    ) -> None:
+        """Columnar :meth:`receive_shares`: one uniform ciphertext matrix.
+
+        The wire layer's bulk decoder hands the routed mailbox over as
+        sender ids plus an ``(n, L)`` uint8 ciphertext matrix; this
+        opens every peer envelope in one batched keystream sweep with no
+        per-envelope objects.  Behaviour (including the self-envelope
+        shortcut) matches :meth:`receive_shares` exactly.
+        """
+        peer_rows = [
+            row for row, sender in enumerate(senders)
+            if sender != self.index
+        ]
+        for row, sender in enumerate(senders):
+            if sender == self.index:
+                self._received[sender] = _decode_payload(
+                    ciphertexts[row].tobytes(), self._payload_width
+                )
+        if peer_rows:
+            self._open_envelope_matrix(
+                [senders[row] for row in peer_rows],
+                np.ascontiguousarray(ciphertexts[peer_rows]),
+            )
 
     def masked_input(self, participants: frozenset[int]) -> np.ndarray:
         """Round 2: upload the doubly masked input vector.
@@ -828,11 +858,14 @@ class AggregationOutcome:
         modular_sum: ``Σ_{u ∈ included} x_u mod m``.
         included: Indices (1-based) of clients whose input made the sum.
         dropped: Indices that dropped out at some round.
+        wire: Message/byte accounting for the round, when the transport
+            recorded it.
     """
 
     modular_sum: np.ndarray
     included: frozenset[int]
     dropped: frozenset[int]
+    wire: "WireStats | None" = None
 
 
 def run_bonawitz(
@@ -869,7 +902,10 @@ def run_bonawitz(
         AggregationError: If dropouts push any round below ``threshold``.
         ConfigurationError: On inconsistent parameters.
     """
+    # Imported here: the sans-I/O sessions live above this module in the
+    # layering (statemachine imports the crypto classes defined here).
     from repro.secagg.keys import TOY_GROUP
+    from repro.secagg.statemachine import ClientSession, ServerSession
 
     inputs = _validate_inputs(np.asarray(inputs), modulus)
     num_clients, dimension = inputs.shape
@@ -888,9 +924,9 @@ def run_bonawitz(
     def alive(index: int, round_id: int) -> bool:
         return dropouts.get(index, ROUND_UNMASK + 1) > round_id
 
-    clients = {
+    sessions = {
         i
-        + 1: BonawitzClient(
+        + 1: ClientSession(
             index=i + 1,
             vector=inputs[i],
             modulus=modulus,
@@ -902,44 +938,37 @@ def run_bonawitz(
         )
         for i in range(num_clients)
     }
-    server = BonawitzServer(
+    server = ServerSession(
         modulus, dimension, threshold, field, group, mask_prg
     )
 
-    advertisements = [
-        clients[u].advertise_keys()
-        for u in sorted(clients)
-        if alive(u, ROUND_ADVERTISE)
-    ]
-    roster = server.collect_advertisements(advertisements)
-    warm_pairwise_agreements([clients[u] for u in sorted(roster)])
+    # Phase 0 — every live client opens with Hello + Advertise.
+    for u in sorted(sessions):
+        if alive(u, ROUND_ADVERTISE):
+            server.receive(b"".join(sessions[u].start()), sender=u)
+    deliveries = server.advance()
+    # Pre-derive the roster's pairwise DH keys in one vectorised sweep
+    # (a pure memoisation warm-up; see warm_pairwise_agreements).
+    warm_pairwise_agreements(
+        [sessions[u].crypto for u in sorted(server.expected)]
+    )
 
-    envelopes_by_sender = {
-        u: clients[u].share_keys(roster)
-        for u in sorted(roster)
-        if alive(u, ROUND_SHARE_KEYS)
-    }
-    mailbox = server.route_shares(envelopes_by_sender)
-    for recipient, envelopes in mailbox.items():
-        clients[recipient].receive_shares(envelopes)
+    # Phases 1-3 — deliver the server's datagrams to each live client
+    # and feed the responses straight back; a client that dropped at a
+    # phase neither receives nor responds (it stopped talking).
+    for phase in (ROUND_SHARE_KEYS, ROUND_MASKED_INPUT, ROUND_UNMASK):
+        for u in sorted(deliveries):
+            if not alive(u, phase):
+                continue
+            responses = sessions[u].handle(deliveries[u])
+            if responses and sessions[u].rejected is None:
+                server.receive(b"".join(responses), sender=u)
+        deliveries = server.advance()
 
-    participants = server.share_participants
-    masked_by_sender = {
-        u: clients[u].masked_input(participants)
-        for u in sorted(participants)
-        if alive(u, ROUND_MASKED_INPUT)
-    }
-    request = server.collect_masked_inputs(masked_by_sender)
-
-    responses = [
-        clients[u].unmask(request)
-        for u in sorted(request.survivors)
-        if alive(u, ROUND_UNMASK)
-    ]
-    modular_sum = server.recover_sum(responses)
-    included = frozenset(request.survivors)
+    included = server.included
     return AggregationOutcome(
-        modular_sum=modular_sum,
+        modular_sum=server.modular_sum,
         included=included,
         dropped=frozenset(range(1, num_clients + 1)) - included,
+        wire=server.stats,
     )

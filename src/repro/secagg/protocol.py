@@ -1,4 +1,4 @@
-"""Secure-aggregation simulator over ``Z_m^d``.
+"""Black-box SecAgg *contract* simulator over ``Z_m^d``.
 
 The paper treats SecAgg (Bonawitz et al.) as a black box with one
 behaviour: given one vector in ``Z_m^d`` per participant, it reveals *only*
@@ -13,14 +13,28 @@ it faithfully:
 * the masks cancel in the aggregate, so the revealed modular sum equals
   the modular sum of the true inputs (the correctness property).
 
+.. note::
+   This module is **not** a protocol implementation — it has no rounds,
+   no key agreement, no dropout story.  The protocol itself lives in the
+   sans-I/O core (:mod:`repro.secagg.wire` typed messages +
+   :mod:`repro.secagg.statemachine` sessions) and its transports
+   (:func:`repro.secagg.bonawitz.run_bonawitz`,
+   :class:`repro.simulation.rounds.AsyncSecAggRound`); reach it from
+   here with ``secure_sum(..., scheme="bonawitz")``.  What remains here
+   is the fast input/output contract the experiment pipelines batch
+   against.
+
 Two mask schemes are provided.  :class:`PairwiseMaskProtocol` mirrors the
-real protocol: each unordered pair of participants expands a shared seed
-into a mask that one adds and the other subtracts (``O(n^2 d)`` work —
-used in tests and small runs).  :class:`ZeroSumMaskProtocol` samples
-``n - 1`` uniform masks and gives the last participant the negated sum
-(``O(n d)`` work) — the same marginal-uniformity and cancellation
-properties under the paper's honest-but-curious, no-collusion threat
-model, used by the experiment pipelines for speed.
+real protocol's mask structure — each unordered pair of participants
+expands a shared seed into a mask that one adds and the other subtracts
+(``O(n^2 d)`` work) — and since the sans-I/O refactor it expands those
+masks through the *same* kernel layer the Bonawitz core uses
+(:func:`repro.secagg.kernels.sum_signed_masks`), so the repository has
+exactly one pairwise-mask implementation.  :class:`ZeroSumMaskProtocol`
+samples ``n - 1`` uniform masks and gives the last participant the
+negated sum (``O(n d)`` work) — the same marginal-uniformity and
+cancellation properties under the paper's honest-but-curious,
+no-collusion threat model, used by the experiment pipelines for speed.
 """
 
 from __future__ import annotations
@@ -30,6 +44,7 @@ import abc
 import numpy as np
 
 from repro.errors import AggregationError, ConfigurationError
+from repro.secagg.kernels import MaskPrg, get_mask_prg, sum_signed_masks
 
 
 def _validate_inputs(inputs: np.ndarray, modulus: int) -> np.ndarray:
@@ -103,30 +118,59 @@ class SecureAggregator(abc.ABC):
 
 
 class PairwiseMaskProtocol(SecureAggregator):
-    """Faithful pairwise-mask SecAgg (Bonawitz et al. style).
+    """Pairwise-mask structure of the real protocol, over the kernel core.
 
     Each unordered pair ``(i, j)`` with ``i < j`` shares a seed; the seed
     expands into a uniform vector over ``Z_m`` that participant ``i`` adds
     and participant ``j`` subtracts.  Masks therefore cancel exactly in
     the aggregate while each individual message is marginally uniform.
+
+    The expansion runs on the same :class:`~repro.secagg.kernels.MaskPrg`
+    backends the Bonawitz sessions negotiate on the wire — this class is
+    a trivial no-dropout driver over that core, kept for the experiment
+    pipelines; for protocol fidelity (key agreement, Shamir recovery,
+    versioned wire messages) use ``secure_sum(scheme="bonawitz")``.
+
+    Args:
+        modulus: The group modulus ``m``; must be an even integer >= 2.
+        rng: Generator the pairwise seeds are drawn from.
+        mask_prg: Mask PRG backend name or instance (``"sha256-ctr"``
+            default, ``"philox"`` fast).
     """
+
+    def __init__(
+        self,
+        modulus: int,
+        rng: np.random.Generator,
+        mask_prg: MaskPrg | str | None = None,
+    ) -> None:
+        super().__init__(modulus, rng)
+        self._mask_prg = get_mask_prg(mask_prg)
 
     def _masks(self, num_participants: int, dimension: int) -> np.ndarray:
         masks = np.zeros((num_participants, dimension), dtype=np.int64)
-        seed_sequence = np.random.SeedSequence(
-            self._rng.integers(0, 2**63 - 1)
-        ).spawn(num_participants * num_participants)
+        # One 16-byte seed per unordered pair, drawn in deterministic
+        # (i, j) order; participant i carries +PRG(s_ij), j carries
+        # -PRG(s_ij) — the Bonawitz sign convention.
+        seeds_per_peer: list[list[bytes]] = [[] for _ in range(num_participants)]
+        signs_per_peer: list[list[int]] = [[] for _ in range(num_participants)]
         for i in range(num_participants):
             for j in range(i + 1, num_participants):
-                pair_rng = np.random.Generator(
-                    np.random.PCG64(seed_sequence[i * num_participants + j])
+                seed = self._rng.bytes(16)
+                seeds_per_peer[i].append(seed)
+                signs_per_peer[i].append(1)
+                seeds_per_peer[j].append(seed)
+                signs_per_peer[j].append(-1)
+        for i in range(num_participants):
+            if seeds_per_peer[i]:
+                masks[i] = sum_signed_masks(
+                    seeds_per_peer[i],
+                    signs_per_peer[i],
+                    dimension,
+                    self._modulus,
+                    self._mask_prg,
                 )
-                shared = pair_rng.integers(
-                    0, self._modulus, size=dimension, dtype=np.int64
-                )
-                masks[i] += shared
-                masks[j] -= shared
-        return np.mod(masks, self._modulus)
+        return masks
 
 
 class ZeroSumMaskProtocol(SecureAggregator):

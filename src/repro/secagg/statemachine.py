@@ -1,0 +1,675 @@
+"""Sans-I/O client/server state machines for the SecAgg protocol.
+
+This module is the single protocol implementation every transport
+drives.  :class:`ClientSession` and :class:`ServerSession` consume
+inbound wire frames (:mod:`repro.secagg.wire`) and emit outbound ones —
+**no I/O, no clock, no asyncio**.  A transport's whole job is to move
+the returned bytes and decide *when* a phase closes:
+
+* the synchronous in-memory loop
+  (:func:`repro.secagg.bonawitz.run_bonawitz`) closes a phase when every
+  live client has delivered;
+* the simulated-clock mailbox transport
+  (:class:`repro.simulation.rounds.AsyncSecAggRound`) closes it at the
+  earlier of "everyone delivered" and the phase deadline;
+* the sharded process backend runs one mailbox transport per shard,
+  moving shard inputs over shared memory.
+
+The sessions wrap the existing crypto state machines
+(:class:`repro.secagg.bonawitz.BonawitzClient` /
+:class:`~repro.secagg.bonawitz.BonawitzServer`) — all key agreement,
+Shamir sharing, masking and recovery stay on the vectorised kernel
+layer and remain bit-identical to the pre-wire implementation.
+
+Negotiation is first-class: a round opens with a :class:`~repro.secagg.wire.Hello`
+whose frame header proposes a protocol version and mask-PRG backend.
+The server accepts or answers a typed
+:class:`~repro.secagg.wire.Reject`; a rejected client parks a
+:class:`repro.errors.NegotiationError` in :attr:`ClientSession.rejected`
+instead of crashing mid-round, and a server whose accepted roster falls
+below the Shamir threshold raises :class:`~repro.errors.NegotiationError`
+naming the rejections.
+
+The server session also keeps the round's wire ledger
+(:class:`~repro.secagg.wire.WireStats`): every frame it receives or
+emits is tallied per phase and client, so transports get message/byte
+accounting for free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.errors import AggregationError, ConfigurationError, NegotiationError
+from repro.secagg.bonawitz import (
+    ROUND_ADVERTISE,
+    ROUND_MASKED_INPUT,
+    ROUND_SHARE_KEYS,
+    ROUND_UNMASK,
+    BonawitzClient,
+    BonawitzServer,
+)
+from repro.secagg.field import DEFAULT_FIELD, PrimeField
+from repro.secagg.kernels import MaskPrg
+from repro.secagg.keys import DhGroup
+from repro.secagg.wire import (
+    PROTOCOL_V1,
+    SUPPORTED_PROTOCOL_VERSIONS,
+    Advertise,
+    Hello,
+    MaskedInput,
+    Message,
+    NegotiatedHeader,
+    Reject,
+    SealedShares,
+    UnmaskRequest,
+    UnmaskResponse,
+    WireStats,
+    decode_frames,
+    decode_sealed_columns,
+    decode_sealed_datagram,
+    encode_message,
+    encode_sealed_matrix,
+    intern_header,
+    iter_frames,
+)
+
+#: Wire tag per protocol phase — shared by transports, traces and the
+#: accounting ledger.
+PHASE_TAGS = {
+    ROUND_ADVERTISE: "advertise",
+    ROUND_SHARE_KEYS: "share-keys",
+    ROUND_MASKED_INPUT: "masked-input",
+    ROUND_UNMASK: "unmask",
+}
+
+#: Phase reached once the aggregate sum is recovered.
+PHASE_DONE = ROUND_UNMASK + 1
+
+
+class ClientSession:
+    """One participant's sans-I/O protocol session.
+
+    Feed inbound datagrams to :meth:`handle`; it returns the frames to
+    send back to the server (possibly none).  The session never blocks,
+    sleeps, or touches a socket — dropout, latency and delivery order
+    are entirely the transport's business.
+
+    Args:
+        index: The client's unique nonzero identifier.
+        vector: The private input vector over ``Z_m``.
+        modulus: Aggregation modulus ``m``.
+        threshold: Shamir reconstruction threshold ``t``.
+        rng: Client-local randomness.
+        group: DH group for both key pairs.
+        field: Shamir sharing field.
+        mask_prg: Mask PRG backend name or instance; becomes part of the
+            proposed negotiated header.
+        version: Protocol version to propose at Hello.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        vector: np.ndarray,
+        modulus: int,
+        threshold: int,
+        rng: np.random.Generator,
+        group: DhGroup,
+        field: PrimeField = DEFAULT_FIELD,
+        mask_prg: MaskPrg | str | None = None,
+        version: int = PROTOCOL_V1,
+    ) -> None:
+        self._crypto = BonawitzClient(
+            index=index,
+            vector=vector,
+            modulus=modulus,
+            threshold=threshold,
+            rng=rng,
+            group=group,
+            field=field,
+            mask_prg=mask_prg,
+        )
+        self.index = index
+        # Interned: decoded frames carrying the negotiated header
+        # resolve to this very object, so hot-path comparisons are
+        # identity checks.
+        self.header = intern_header(version, self._crypto._mask_prg.name)
+        #: Terminal negotiation failure, set on receiving a Reject.
+        self.rejected: NegotiationError | None = None
+
+    @property
+    def crypto(self) -> BonawitzClient:
+        """The wrapped crypto state machine (simulation accelerators
+        like :func:`~repro.secagg.bonawitz.warm_pairwise_agreements`
+        operate on it directly)."""
+        return self._crypto
+
+    def _encode(self, message: Message) -> bytes:
+        return encode_message(message, self.header)
+
+    def start(self) -> list[bytes]:
+        """Open the round: propose the header and advertise both keys.
+
+        Returns:
+            Two frames — :class:`~repro.secagg.wire.Hello` (whose header
+            carries the proposal) and the round-0
+            :class:`~repro.secagg.wire.Advertise`.
+        """
+        advertisement = self._crypto.advertise_keys()
+        return [
+            self._encode(Hello(sender=self.index)),
+            self._encode(advertisement),
+        ]
+
+    def handle(self, data: bytes) -> list[bytes]:
+        """Process one server datagram; returns the response frames.
+
+        The datagram may hold several concatenated frames (the roster
+        broadcast, a mailbox of sealed envelopes); it must be
+        homogeneous, as the server's broadcasts are.
+
+        Raises:
+            AggregationError: On a protocol violation — including the
+                core security rule (an unmask request naming a peer as
+                both survivor and dropout is refused).
+            NegotiationError: If a non-Reject frame carries a header
+                that does not match the negotiated one.
+        """
+        if self.rejected is not None:
+            raise AggregationError(
+                f"client {self.index} was rejected at Hello and holds no "
+                "round state"
+            )
+        # The routed mailbox is the quadratic inbound leg; bulk-decode it
+        # columnar when it has the homogeneous shape.
+        columns = decode_sealed_columns(data)
+        if columns is not None:
+            header, senders, recipients, ciphertexts, _ = columns
+            if header is not self.header and header != self.header:
+                raise NegotiationError(
+                    f"client {self.index} negotiated {self.header} but "
+                    f"received a frame speaking {header}"
+                )
+            misdelivered = set(recipients) - {self.index}
+            if misdelivered:
+                raise AggregationError(
+                    f"client {self.index} received an envelope for "
+                    f"{misdelivered.pop()}"
+                )
+            self._crypto.receive_share_matrix(senders, ciphertexts)
+            participants = frozenset(senders)
+            masked = self._crypto.masked_input(participants)
+            return [
+                self._encode(MaskedInput(sender=self.index, vector=masked))
+            ]
+        frames = decode_frames(data)
+        if not frames:
+            return []
+        first = frames[0][1]
+        if isinstance(first, Reject):
+            self.rejected = NegotiationError(
+                f"client {self.index} rejected at Hello: {first.reason}"
+            )
+            return []
+        for header, _ in frames:
+            if header is not self.header and header != self.header:
+                raise NegotiationError(
+                    f"client {self.index} negotiated {self.header} but "
+                    f"received a frame speaking {header}"
+                )
+        if isinstance(first, Advertise):
+            roster = {}
+            for _, message in frames:
+                if not isinstance(message, Advertise):
+                    raise AggregationError(
+                        "mixed message types in a roster broadcast"
+                    )
+                roster[message.index] = message
+            recipients, sealed = self._crypto.share_keys_matrix(roster)
+            return [
+                encode_sealed_matrix(
+                    self.index, recipients, sealed, self.header
+                )
+            ]
+        if isinstance(first, SealedShares):
+            envelopes = []
+            for _, message in frames:
+                if not isinstance(message, SealedShares):
+                    raise AggregationError(
+                        "mixed message types in a share delivery"
+                    )
+                envelopes.append(message)
+            return self._handle_share_delivery(envelopes)
+        if isinstance(first, UnmaskRequest):
+            if len(frames) != 1:
+                raise AggregationError(
+                    "an unmask request must arrive alone"
+                )
+            response = self._crypto.unmask(first)
+            return [self._encode(response)]
+        raise AggregationError(
+            f"client {self.index} cannot handle inbound "
+            f"{type(first).__name__}"
+        )
+
+    def _handle_share_delivery(
+        self, envelopes: list[SealedShares]
+    ) -> list[bytes]:
+        self._crypto.receive_shares(envelopes)
+        # U1 is derivable from the delivery itself: the server routes
+        # one envelope per round-1 completer (self included).
+        participants = frozenset(envelope.sender for envelope in envelopes)
+        masked = self._crypto.masked_input(participants)
+        return [self._encode(MaskedInput(sender=self.index, vector=masked))]
+
+
+class ServerSession:
+    """The aggregation server's sans-I/O protocol session.
+
+    Drive it phase by phase: :meth:`receive` inbound datagrams (in any
+    order, until the transport decides the phase is over), then
+    :meth:`advance` to close the phase and collect the outbound
+    per-recipient datagrams.  The session validates senders, enforces
+    thresholds through the wrapped crypto server, negotiates
+    version/backend at Hello, and tallies every byte in :attr:`stats`.
+
+    Args:
+        modulus: Aggregation modulus ``m``.
+        dimension: Vector length ``d``.
+        threshold: Shamir threshold ``t``.
+        field: Shamir sharing field (must match the clients').
+        group: DH group (must match the clients').
+        mask_prg: Mask PRG backend this round speaks.
+        accept_versions: Protocol versions the server may choose from;
+            the round itself runs at the highest one (a round's shared
+            broadcasts carry exactly one header, so every accepted
+            client must propose that version at Hello).
+        tamper_unmask_request: Test/adversary seam applied to the
+            round-3 announcement before it is encoded for broadcast.
+    """
+
+    def __init__(
+        self,
+        modulus: int,
+        dimension: int,
+        threshold: int,
+        field: PrimeField = DEFAULT_FIELD,
+        group: DhGroup = DhGroup(),
+        mask_prg: MaskPrg | str | None = None,
+        accept_versions: frozenset[int] = SUPPORTED_PROTOCOL_VERSIONS,
+        tamper_unmask_request: Callable[[UnmaskRequest], UnmaskRequest]
+        | None = None,
+    ) -> None:
+        if not accept_versions:
+            raise ConfigurationError(
+                "the server must accept at least one protocol version"
+            )
+        self._crypto = BonawitzServer(
+            modulus, dimension, threshold, field, group, mask_prg
+        )
+        self._threshold = threshold
+        self.header = intern_header(
+            max(accept_versions), self._crypto._mask_prg.name
+        )
+        self._tamper = tamper_unmask_request
+        self.stats = WireStats()
+        #: Clients refused at Hello, with the refusal reason.
+        self.rejections: dict[int, str] = {}
+        #: True once a tamper seam rewrote the unmask request.
+        self.tampered = False
+        self._phase = ROUND_ADVERTISE
+        self._hellos: dict[int, NegotiatedHeader] = {}
+        self._advertisements: dict[int, Advertise] = {}
+        self._envelopes: dict[int, list[SealedShares]] = {}
+        # Raw frame span per (sender, recipient): routed envelopes are
+        # forwarded verbatim, so the original bytes are reused instead
+        # of re-encoding quadratically many frames.
+        self._envelope_raw: dict[tuple[int, int], "memoryview | bytes"] = {}
+        self._masked: dict[int, np.ndarray] = {}
+        self._responses: dict[int, UnmaskResponse] = {}
+        self._expected: frozenset[int] = frozenset()
+        self._request: UnmaskRequest | None = None
+        self._modular_sum: np.ndarray | None = None
+
+    @property
+    def crypto(self) -> BonawitzServer:
+        """The wrapped crypto state machine."""
+        return self._crypto
+
+    @property
+    def phase(self) -> int:
+        """Current protocol phase (``ROUND_*``, or :data:`PHASE_DONE`)."""
+        return self._phase
+
+    @property
+    def phase_tag(self) -> str:
+        """Wire tag of the current phase."""
+        if self._phase == PHASE_DONE:
+            return "done"
+        return PHASE_TAGS[self._phase]
+
+    @property
+    def expected(self) -> frozenset[int]:
+        """Clients that may still deliver in the current phase.
+
+        Empty during the advertise phase — only the transport knows the
+        cohort before any client has spoken.
+        """
+        return self._expected
+
+    def received(self) -> frozenset[int]:
+        """Senders that already delivered in the current phase."""
+        tables = {
+            ROUND_ADVERTISE: self._advertisements,
+            ROUND_SHARE_KEYS: self._envelopes,
+            ROUND_MASKED_INPUT: self._masked,
+            ROUND_UNMASK: self._responses,
+        }
+        if self._phase == PHASE_DONE:
+            return frozenset()
+        return frozenset(tables[self._phase])
+
+    def phase_ready(self) -> bool:
+        """True once every expected client delivered (never during
+        advertise, where ``expected`` is the transport's knowledge)."""
+        return bool(self._expected) and self._expected <= self.received()
+
+    @property
+    def modular_sum(self) -> np.ndarray:
+        """The recovered aggregate; available once the round is done."""
+        if self._modular_sum is None:
+            raise AggregationError("the aggregate has not been recovered yet")
+        return self._modular_sum
+
+    @property
+    def included(self) -> frozenset[int]:
+        """``U2`` — clients whose input made the aggregate."""
+        if self._request is None:
+            raise AggregationError("survivors are not known yet")
+        return frozenset(self._request.survivors)
+
+    # -- inbound ----------------------------------------------------------
+
+    def receive(self, data: bytes, sender: int | None = None) -> None:
+        """Ingest one client datagram for the current phase.
+
+        Args:
+            data: One or more concatenated frames from a single client.
+            sender: The transport-authenticated sender identity; frames
+                claiming another sender are rejected (spoofing).
+
+        Raises:
+            AggregationError: On spoofed/duplicate/out-of-phase frames.
+        """
+        if self._phase == ROUND_SHARE_KEYS:
+            bulk = decode_sealed_datagram(data)
+            if bulk is not None:
+                header, envelopes, raws = bulk
+                if header is not self.header and header != self.header:
+                    raise NegotiationError(
+                        f"client {sender} sent a frame speaking {header} "
+                        f"into a round negotiated at {self.header}"
+                    )
+                if sender is None and envelopes:
+                    sender = envelopes[0].sender
+                for envelope in envelopes:
+                    if sender is not None and envelope.sender != sender:
+                        raise AggregationError(
+                            f"frame claims sender {envelope.sender} but "
+                            f"came from {sender}"
+                        )
+                if sender is not None:
+                    self._require_expected(sender)
+                    self._envelopes.setdefault(sender, []).extend(envelopes)
+                    for envelope, raw in zip(envelopes, raws):
+                        self._envelope_raw[
+                            (envelope.sender, envelope.recipient)
+                        ] = raw
+                    self.stats.record_upload(
+                        self.phase_tag,
+                        sender,
+                        len(data),
+                        messages=len(envelopes),
+                    )
+                return
+        frames = iter_frames(data)
+        for header, message, raw in frames:
+            claimed = self._sender_of(message)
+            if sender is not None and claimed != sender:
+                raise AggregationError(
+                    f"frame claims sender {claimed} but came from {sender}"
+                )
+            self._dispatch(header, message, claimed, raw)
+        if frames and sender is None:
+            sender = self._sender_of(frames[0][1])
+        if sender is not None:
+            self.stats.record_upload(
+                self.phase_tag, sender, len(data), messages=len(frames)
+            )
+
+    @staticmethod
+    def _sender_of(message: Message) -> int:
+        if isinstance(message, Hello):
+            return message.sender
+        if isinstance(message, Advertise):
+            return message.index
+        if isinstance(message, SealedShares):
+            return message.sender
+        if isinstance(message, MaskedInput):
+            return message.sender
+        if isinstance(message, UnmaskResponse):
+            return message.responder
+        raise AggregationError(
+            f"the server cannot ingest {type(message).__name__} frames"
+        )
+
+    def _dispatch(
+        self,
+        header: NegotiatedHeader,
+        message: Message,
+        sender: int,
+        raw: bytes | None = None,
+    ) -> None:
+        if isinstance(message, Hello):
+            if self._phase != ROUND_ADVERTISE:
+                raise AggregationError("Hello outside the advertise phase")
+            if sender in self._hellos or sender in self.rejections:
+                raise AggregationError(
+                    f"duplicate Hello from client {sender}"
+                )
+            if header.version != self.header.version:
+                # Every broadcast shares one header, so a round speaks
+                # exactly one version; a client proposing anything else
+                # — even another version the server *could* have chosen
+                # — could not follow the round's frames and is refused
+                # here rather than crashing mid-round.
+                self.rejections[sender] = (
+                    f"unsupported protocol version {header.version} "
+                    f"(round speaks {self.header.version})"
+                )
+            elif header.mask_prg != self.header.mask_prg:
+                self.rejections[sender] = (
+                    f"mask PRG backend {header.mask_prg!r} does not match "
+                    f"the round's {self.header.mask_prg!r}"
+                )
+            else:
+                self._hellos[sender] = header
+            return
+        if isinstance(message, Advertise):
+            if self._phase != ROUND_ADVERTISE:
+                raise AggregationError(
+                    "Advertise outside the advertise phase"
+                )
+            if sender in self.rejections:
+                return  # Rejected at Hello; the keys are ignored.
+            if sender not in self._hellos:
+                raise AggregationError(
+                    f"client {sender} advertised keys without a Hello"
+                )
+            if sender in self._advertisements:
+                raise AggregationError(
+                    f"duplicate advertisement from client {sender}"
+                )
+            self._advertisements[sender] = message
+            return
+        # Post-negotiation phases: the header must match exactly.
+        if header is not self.header and header != self.header:
+            raise NegotiationError(
+                f"client {sender} sent a frame speaking {header} into a "
+                f"round negotiated at {self.header}"
+            )
+        if isinstance(message, SealedShares):
+            if self._phase != ROUND_SHARE_KEYS:
+                raise AggregationError(
+                    "SealedShares outside the share-keys phase"
+                )
+            self._require_expected(sender)
+            self._envelopes.setdefault(sender, []).append(message)
+            if raw is not None:
+                self._envelope_raw[(message.sender, message.recipient)] = raw
+            return
+        if isinstance(message, MaskedInput):
+            if self._phase != ROUND_MASKED_INPUT:
+                raise AggregationError(
+                    "MaskedInput outside the masked-input phase"
+                )
+            self._require_expected(sender)
+            if sender in self._masked:
+                raise AggregationError(
+                    f"duplicate masked input from client {sender}"
+                )
+            self._masked[sender] = message.vector
+            return
+        if isinstance(message, UnmaskResponse):
+            if self._phase != ROUND_UNMASK:
+                raise AggregationError(
+                    "UnmaskResponse outside the unmask phase"
+                )
+            self._require_expected(sender)
+            if sender in self._responses:
+                raise AggregationError(
+                    f"duplicate unmask response from client {sender}"
+                )
+            self._responses[sender] = message
+            return
+        raise AggregationError(
+            f"the server cannot ingest {type(message).__name__} frames"
+        )
+
+    def _require_expected(self, sender: int) -> None:
+        if sender not in self._expected:
+            raise AggregationError(
+                f"client {sender} is not a participant of the "
+                f"{self.phase_tag} phase"
+            )
+
+    # -- outbound ---------------------------------------------------------
+
+    def advance(self) -> dict[int, bytes]:
+        """Close the current phase and emit the per-recipient datagrams.
+
+        Returns:
+            Recipient index -> encoded frames (roster broadcast, routed
+            envelopes, unmask request, or Reject notices).  Empty after
+            the final phase.
+
+        Raises:
+            AggregationError: If the phase's deliveries fall below the
+                Shamir threshold.
+            NegotiationError: If Hello rejections pushed the accepted
+                roster below the threshold.
+        """
+        if self._phase == ROUND_ADVERTISE:
+            out = self._close_advertise()
+        elif self._phase == ROUND_SHARE_KEYS:
+            out = self._close_share_keys()
+        elif self._phase == ROUND_MASKED_INPUT:
+            out = self._close_masked_input()
+        elif self._phase == ROUND_UNMASK:
+            self._modular_sum = self._crypto.recover_sum(
+                list(self._responses.values())
+            )
+            self._expected = frozenset()
+            self._phase = PHASE_DONE
+            return {}
+        else:
+            raise AggregationError("the round is already complete")
+        tag = PHASE_TAGS[self._phase]
+        for recipient, (payload, messages) in out.items():
+            self.stats.record_download(
+                tag, recipient, len(payload), messages=messages
+            )
+        self._phase += 1
+        return {
+            recipient: payload for recipient, (payload, _) in out.items()
+        }
+
+    def _close_advertise(self) -> dict[int, tuple[bytes, int]]:
+        try:
+            roster = self._crypto.collect_advertisements(
+                list(self._advertisements.values())
+            )
+        except AggregationError as error:
+            if self.rejections:
+                raise NegotiationError(
+                    f"{error} (after rejecting clients "
+                    f"{sorted(self.rejections)} at Hello)"
+                ) from error
+            raise
+        # One deterministic roster datagram, shared by every recipient.
+        broadcast = b"".join(
+            encode_message(roster[index], self.header)
+            for index in sorted(roster)
+        )
+        out: dict[int, tuple[bytes, int]] = {
+            index: (broadcast, len(roster)) for index in roster
+        }
+        for client, reason in self.rejections.items():
+            out[client] = (
+                encode_message(
+                    Reject(client=client, reason=reason), self.header
+                ),
+                1,
+            )
+        self._expected = frozenset(roster)
+        return out
+
+    def _close_share_keys(self) -> dict[int, tuple[bytes, int]]:
+        mailbox = self._crypto.route_shares(self._envelopes)
+
+        def frame_of(envelope: SealedShares) -> bytes:
+            raw = self._envelope_raw.get(
+                (envelope.sender, envelope.recipient)
+            )
+            return (
+                raw
+                if raw is not None
+                else encode_message(envelope, self.header)
+            )
+
+        out = {
+            recipient: (
+                b"".join(frame_of(envelope) for envelope in envelopes),
+                len(envelopes),
+            )
+            for recipient, envelopes in mailbox.items()
+        }
+        self._envelope_raw.clear()
+        self._expected = frozenset(mailbox)
+        return out
+
+    def _close_masked_input(self) -> dict[int, tuple[bytes, int]]:
+        request = self._crypto.collect_masked_inputs(self._masked)
+        if self._tamper is not None:
+            request = self._tamper(request)
+            self.tampered = True
+        self._request = request
+        payload = encode_message(request, self.header)
+        out = {
+            survivor: (payload, 1) for survivor in sorted(request.survivors)
+        }
+        self._expected = frozenset(request.survivors)
+        return out

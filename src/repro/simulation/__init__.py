@@ -55,6 +55,11 @@ from repro.simulation.sharding import (
     partition_cohort,
     shamir_threshold,
 )
+from repro.simulation.shm import (
+    SharedMemoryTransport,
+    ShmVectorBlock,
+    shared_memory_available,
+)
 
 __all__ = [
     "AlwaysAvailable",
@@ -74,6 +79,8 @@ __all__ = [
     "ShardReport",
     "ShardTask",
     "ShardedSecAggRound",
+    "SharedMemoryTransport",
+    "ShmVectorBlock",
     "SimulatedClock",
     "SimulationConfig",
     "SimulationEngine",
@@ -85,4 +92,5 @@ __all__ = [
     "get_execution_backend",
     "partition_cohort",
     "shamir_threshold",
+    "shared_memory_available",
 ]

@@ -125,8 +125,10 @@ class SimulationConfig:
             whose sums compose modularly (bit-identical to the flat sum
             over the same survivors, ``O(n^2/k)`` total protocol work).
         backend: How shard sub-rounds execute — ``"inline"``
-            (sequential, default) or ``"process"`` (a reusable OS
-            process pool); results are bit-identical either way.
+            (sequential, default), ``"process"`` (a reusable OS process
+            pool with the shared-memory vector transport), or
+            ``"process-pickle"`` (the same pool shipping vectors inside
+            the task pickle); results are bit-identical in all cases.
     """
 
     population_size: int = 32
@@ -193,6 +195,9 @@ class RoundRecord:
             ``config.verify_aggregate``).
         started_at: Simulated start time.
         completed_at: Simulated completion time.
+        wire_messages: Protocol messages moved this round (both
+            directions, all phases; 0 when no SecAgg traffic happened).
+        wire_bytes: Serialized wire bytes moved this round.
     """
 
     index: int
@@ -204,6 +209,8 @@ class RoundRecord:
     aggregate_matches: bool | None = None
     started_at: float = 0.0
     completed_at: float = 0.0
+    wire_messages: int = 0
+    wire_bytes: int = 0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -555,6 +562,10 @@ class SimulationEngine:
                 aggregate_matches=matches,
                 started_at=outcome.started_at,
                 completed_at=outcome.completed_at,
+                wire_messages=(
+                    outcome.wire.total_messages if outcome.wire else 0
+                ),
+                wire_bytes=outcome.wire.total_bytes if outcome.wire else 0,
             )
         )
         decoded = self.decoder.decode(outcome.modular_sum)

@@ -1,16 +1,19 @@
-"""Async dropout-tolerant SecAgg rounds over the Bonawitz state machines.
+"""Async dropout-tolerant SecAgg rounds: the mailbox transport.
 
-:func:`repro.secagg.bonawitz.run_bonawitz` executes the four-round
-protocol synchronously: every phase is a barrier, dropouts are a static
-schedule, and time does not exist.  This module re-hosts the *same*
-client/server state machines (:class:`~repro.secagg.bonawitz.BonawitzClient`
-/ :class:`~repro.secagg.bonawitz.BonawitzServer`) inside an event-driven
-simulation: every client is an asyncio task that sleeps its upload
-latency on the simulated clock before each message, and the server
-collects each phase's messages until either everyone expected has
-responded or the phase deadline passes — whichever comes first.
+:func:`repro.secagg.bonawitz.run_bonawitz` drives the sans-I/O protocol
+sessions (:mod:`repro.secagg.statemachine`) synchronously: every phase
+is a barrier, dropouts are a static schedule, and time does not exist.
+This module is the *other* transport over the very same sessions: every
+client is an asyncio task that sleeps its upload latency on the
+simulated clock before posting its wire frames into the server's
+mailbox, and the server collects each phase's datagrams until either
+everyone expected has responded or the phase deadline passes —
+whichever comes first.
 
-The consequences are exactly the ones the protocol was designed for:
+The protocol logic itself — message encoding, negotiation, phase
+bookkeeping, thresholds, crypto — lives entirely in the shared core;
+this file only moves bytes and decides when phases close.  The
+consequences are exactly the ones the protocol was designed for:
 
 * a client that crashes (plan says stop) or straggles past the deadline
   simply misses the phase; the surviving set shrinks monotonically
@@ -20,11 +23,18 @@ The consequences are exactly the ones the protocol was designed for:
   server raises :class:`~repro.errors.AggregationError` — the round
   aborts rather than mis-aggregating;
 * a message arriving after its phase closed is logged and ignored
-  (the straggler is treated as a dropout for the round).
+  (the straggler is treated as a dropout for the round);
+* a client proposing an unknown protocol version or mask-PRG backend is
+  refused at Hello with a typed :class:`~repro.secagg.wire.Reject` — its
+  task parks a :class:`~repro.errors.NegotiationError` and exits cleanly
+  while the rest of the round proceeds.
 
-Late in the round the server broadcasts an :class:`UnmaskRequest`; the
-``tamper_unmask_request`` seam lets tests inject the malicious overlap
-request that clients must refuse (the protocol's core security rule).
+Late in the round the server broadcasts an
+:class:`~repro.secagg.wire.UnmaskRequest`; the ``tamper_unmask_request``
+seam lets tests inject the malicious overlap request that clients must
+refuse (the protocol's core security rule).  Every datagram is tallied
+in the round's :class:`~repro.secagg.wire.WireStats`, surfaced on the
+:class:`RoundOutcome` and as per-phase ``wire-phase`` trace events.
 """
 
 from __future__ import annotations
@@ -42,25 +52,24 @@ from repro.secagg.bonawitz import (
     ROUND_MASKED_INPUT,
     ROUND_SHARE_KEYS,
     ROUND_UNMASK,
-    BonawitzClient,
-    BonawitzServer,
     UnmaskRequest,
     warm_pairwise_agreements,
 )
 from repro.secagg.field import DEFAULT_FIELD, PrimeField
 from repro.secagg.kernels import MaskPrg, get_mask_prg
 from repro.secagg.keys import TOY_GROUP, DhGroup
+from repro.secagg.statemachine import (
+    PHASE_TAGS,
+    ClientSession,
+    ServerSession,
+)
+from repro.secagg.wire import PROTOCOL_V1, WireStats
 from repro.simulation.clock import SimulatedClock
 from repro.simulation.events import Mailbox, SimulationTrace
 from repro.simulation.population import ClientPlan
 
-#: Wire tags, one per protocol phase.
-_TAGS = {
-    ROUND_ADVERTISE: "advertise",
-    ROUND_SHARE_KEYS: "share-keys",
-    ROUND_MASKED_INPUT: "masked-input",
-    ROUND_UNMASK: "unmask",
-}
+#: Wire tags, one per protocol phase (shared with the sans-I/O core).
+_TAGS = PHASE_TAGS
 
 #: Server -> client sentinel: "you are no longer part of this round".
 _EXCLUDED = object()
@@ -76,6 +85,8 @@ class RoundOutcome:
         dropped: Cohort members that dropped or straggled out.
         started_at: Simulated time the round began.
         completed_at: Simulated time the sum was recovered.
+        wire: Per-phase, per-client message/byte accounting for the
+            round (``None`` for outcomes built before any traffic).
     """
 
     modular_sum: np.ndarray
@@ -83,6 +94,7 @@ class RoundOutcome:
     dropped: frozenset[int]
     started_at: float
     completed_at: float
+    wire: WireStats | None = None
 
     @property
     def duration(self) -> float:
@@ -115,6 +127,9 @@ class AsyncSecAggRound:
             server and every cohort member — ``"sha256-ctr"`` (default,
             bit-compatible) or ``"philox"`` (fast), or a
             :class:`~repro.secagg.kernels.MaskPrg` instance.
+        client_versions: Protocol version each client proposes at Hello
+            (defaults to :data:`~repro.secagg.wire.PROTOCOL_V1`); the
+            seam for exercising version-negotiation rejections.
     """
 
     def __init__(
@@ -132,6 +147,7 @@ class AsyncSecAggRound:
         tamper_unmask_request: Callable[[UnmaskRequest], UnmaskRequest]
         | None = None,
         mask_prg: MaskPrg | str | None = None,
+        client_versions: Mapping[int, int] | None = None,
     ) -> None:
         if not vectors:
             raise ConfigurationError("cohort must not be empty")
@@ -164,6 +180,7 @@ class AsyncSecAggRound:
         self._trace = trace
         self._tamper = tamper_unmask_request
         self._mask_prg = get_mask_prg(mask_prg)
+        self._client_versions = dict(client_versions or {})
         # Spawn per-client generators in sorted order, like run_bonawitz.
         # The upper endpoint is exclusive, so 2**63 makes the full
         # 63-bit seed range reachable.
@@ -173,9 +190,9 @@ class AsyncSecAggRound:
         }
         self._inbox = Mailbox(clock)
         self._boxes = {u: Mailbox(clock) for u in self._cohort}
-        # Live client state machines, registered as their tasks spawn so
-        # the server can batch-warm the pairwise DH agreements.
-        self._live_clients: dict[int, BonawitzClient] = {}
+        # Live client sessions, registered as their tasks spawn so the
+        # server can batch-warm the pairwise DH agreements.
+        self._live_clients: dict[int, ClientSession] = {}
 
     def _plan(self, client: int) -> ClientPlan:
         return self._plans.get(client, ClientPlan())
@@ -226,64 +243,62 @@ class AsyncSecAggRound:
         return outcome
 
     async def _server_task(self, started_at: float) -> RoundOutcome:
-        server = BonawitzServer(
+        session = ServerSession(
             self._modulus,
             self._dimension,
             self._threshold,
             self._field,
             self._group,
             self._mask_prg,
+            tamper_unmask_request=self._tamper,
         )
-        # Phase 0 — AdvertiseKeys.
-        advertisements = await self._collect(
-            _TAGS[ROUND_ADVERTISE], expected=set(self._cohort)
-        )
-        roster = server.collect_advertisements(list(advertisements.values()))
-        # Pre-derive the roster's pairwise DH keys in one vectorised
-        # sweep (a pure memoisation warm-up; see bonawitz module docs).
-        warm_pairwise_agreements(
-            [
-                self._live_clients[u]
-                for u in sorted(roster)
-                if u in self._live_clients
-            ]
-        )
-        self._broadcast(set(roster), payload_for=lambda u: dict(roster))
-        # Phase 1 — ShareKeys.
-        envelopes = await self._collect(
-            _TAGS[ROUND_SHARE_KEYS], expected=set(roster)
-        )
-        mailbox = server.route_shares(envelopes)
-        participants = server.share_participants
-        self._broadcast(
-            set(mailbox),
-            payload_for=lambda u: (mailbox[u], participants),
-            among=set(roster),
-        )
-        # Phase 2 — MaskedInputCollection.
-        masked = await self._collect(
-            _TAGS[ROUND_MASKED_INPUT], expected=set(mailbox)
-        )
-        request = server.collect_masked_inputs(masked)
-        if self._tamper is not None:
-            request = self._tamper(request)
-            self._record("unmask-request-tampered")
-        self._broadcast(
-            set(request.survivors),
-            payload_for=lambda u: request,
-            among=set(mailbox),
-        )
-        # Phase 3 — Unmasking.
-        responses = await self._collect(
-            _TAGS[ROUND_UNMASK], expected=set(request.survivors)
-        )
-        modular_sum = server.recover_sum(list(responses.values()))
+        # Phase 0 is the only one where the cohort (the transport's
+        # knowledge) defines who may deliver; afterwards the session
+        # tracks the shrinking participant set itself.
+        expected = set(self._cohort)
+        deliveries: dict[int, bytes] = {}
+        for phase in (
+            ROUND_ADVERTISE,
+            ROUND_SHARE_KEYS,
+            ROUND_MASKED_INPUT,
+            ROUND_UNMASK,
+        ):
+            datagrams = await self._collect(_TAGS[phase], expected=expected)
+            for sender, payload in datagrams.items():
+                session.receive(payload, sender=sender)
+            deliveries = session.advance()
+            if phase == ROUND_ADVERTISE:
+                # Pre-derive the accepted roster's pairwise DH keys in
+                # one vectorised sweep (pure memoisation warm-up; the
+                # rejected clients' keys would never be used).
+                warm_pairwise_agreements(
+                    [
+                        self._live_clients[u].crypto
+                        for u in sorted(session.expected)
+                        if u in self._live_clients
+                    ]
+                )
+                for client, reason in session.rejections.items():
+                    self._record(
+                        "client-rejected", client=client, reason=reason
+                    )
+            if session.tampered and phase == ROUND_MASKED_INPUT:
+                self._record("unmask-request-tampered")
+            totals = session.stats.phase_totals().get(_TAGS[phase])
+            if totals is not None:
+                self._record("wire-phase", phase=_TAGS[phase], **totals)
+            if phase != ROUND_UNMASK:
+                self._broadcast(deliveries, among=expected)
+            expected = set(session.expected)
+        modular_sum = session.modular_sum
         completed_at = self._clock.now
-        included = frozenset(request.survivors)
+        included = session.included
         self._record(
             "round-complete",
             included=len(included),
             dropped=len(self._cohort) - len(included),
+            wire_messages=session.stats.total_messages,
+            wire_bytes=session.stats.total_bytes,
         )
         return RoundOutcome(
             modular_sum=modular_sum,
@@ -291,17 +306,18 @@ class AsyncSecAggRound:
             dropped=frozenset(self._cohort) - included,
             started_at=started_at,
             completed_at=completed_at,
+            wire=session.stats,
         )
 
-    async def _collect(self, tag: str, expected: set[int]) -> dict[int, object]:
-        """Gather one phase's messages until complete or deadline.
+    async def _collect(self, tag: str, expected: set[int]) -> dict[int, bytes]:
+        """Gather one phase's datagrams until complete or deadline.
 
         Messages from unexpected senders, duplicate senders, or earlier
         phases (stragglers whose phase already closed) are ignored and
         traced.
         """
         deadline = self._clock.now + self._phase_timeout
-        collected: dict[int, object] = {}
+        collected: dict[int, bytes] = {}
         while len(collected) < len(expected):
             item = await self._inbox.get_before(deadline)
             if item is None:
@@ -325,24 +341,21 @@ class AsyncSecAggRound:
         return collected
 
     def _broadcast(
-        self,
-        recipients: set[int],
-        payload_for: Callable[[int], object],
-        among: set[int] | None = None,
+        self, deliveries: dict[int, bytes], among: set[int]
     ) -> None:
-        """Send each recipient its payload; excluded peers get the
-        shutdown sentinel so their tasks terminate instead of hanging."""
-        pool = self._cohort if among is None else sorted(among)
-        for u in pool:
-            if u in recipients:
-                self._boxes[u].put(payload_for(u))
+        """Send each recipient its datagram; pool members with nothing
+        addressed to them get the shutdown sentinel so their tasks
+        terminate instead of hanging."""
+        for u in sorted(among | set(deliveries)):
+            if u in deliveries:
+                self._boxes[u].put(deliveries[u])
             else:
                 self._boxes[u].put(_EXCLUDED)
                 self._record("client-excluded", client=u)
 
     async def _client_task(self, index: int) -> None:
         plan = self._plan(index)
-        client = BonawitzClient(
+        session = ClientSession(
             index=index,
             vector=self._vectors[index],
             modulus=self._modulus,
@@ -351,46 +364,35 @@ class AsyncSecAggRound:
             group=self._group,
             field=self._field,
             mask_prg=self._mask_prg,
+            version=self._client_versions.get(index, PROTOCOL_V1),
         )
-        self._live_clients[index] = client
-        # Phase 0 — advertise both public keys.
+        self._live_clients[index] = session
+        # Phase 0 — propose the header and advertise both public keys.
         if not plan.responds_at(ROUND_ADVERTISE):
             self._record("client-dropped", client=index, phase=ROUND_ADVERTISE)
             return
         await self._clock.sleep(plan.latencies[ROUND_ADVERTISE])
-        self._send(index, ROUND_ADVERTISE, client.advertise_keys())
-        roster = await self._boxes[index].get()
-        if roster is _EXCLUDED:
-            return
-        # Phase 1 — Shamir-share b_u and the mask private key.
-        if not plan.responds_at(ROUND_SHARE_KEYS):
-            self._record("client-dropped", client=index, phase=ROUND_SHARE_KEYS)
-            return
-        await self._clock.sleep(plan.latencies[ROUND_SHARE_KEYS])
-        self._send(index, ROUND_SHARE_KEYS, client.share_keys(roster))
-        mail = await self._boxes[index].get()
-        if mail is _EXCLUDED:
-            return
-        envelopes, participants = mail
-        client.receive_shares(envelopes)
-        # Phase 2 — upload the doubly masked input.
-        if not plan.responds_at(ROUND_MASKED_INPUT):
-            self._record(
-                "client-dropped", client=index, phase=ROUND_MASKED_INPUT
-            )
-            return
-        await self._clock.sleep(plan.latencies[ROUND_MASKED_INPUT])
-        self._send(index, ROUND_MASKED_INPUT, client.masked_input(participants))
-        request = await self._boxes[index].get()
-        if request is _EXCLUDED:
-            return
-        # Phase 3 — reveal exactly the requested shares (refusing
-        # overlapping survivor/dropout requests).
-        if not plan.responds_at(ROUND_UNMASK):
-            self._record("client-dropped", client=index, phase=ROUND_UNMASK)
-            return
-        await self._clock.sleep(plan.latencies[ROUND_UNMASK])
-        self._send(index, ROUND_UNMASK, client.unmask(request))
+        self._send(index, ROUND_ADVERTISE, b"".join(session.start()))
+        # Phases 1-3 — receive the server's datagram, respond in kind.
+        for phase in (ROUND_SHARE_KEYS, ROUND_MASKED_INPUT, ROUND_UNMASK):
+            data = await self._boxes[index].get()
+            if data is _EXCLUDED:
+                return
+            if not plan.responds_at(phase):
+                self._record("client-dropped", client=index, phase=phase)
+                return
+            responses = session.handle(data)
+            if session.rejected is not None:
+                # Typed negotiation failure: the task ends cleanly; the
+                # error stays inspectable on the session.
+                self._record(
+                    "client-rejected-ack",
+                    client=index,
+                    reason=str(session.rejected),
+                )
+                return
+            await self._clock.sleep(plan.latencies[phase])
+            self._send(index, phase, b"".join(responses))
 
-    def _send(self, sender: int, phase: int, payload: object) -> None:
+    def _send(self, sender: int, phase: int, payload: bytes) -> None:
         self._inbox.put((sender, _TAGS[phase], payload))

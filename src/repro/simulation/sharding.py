@@ -20,7 +20,11 @@ work, and the shards are embarrassingly parallel.  The
   ideal for tests and small cohorts.
 * ``"process"`` — fanned out over a reusable
   :class:`concurrent.futures.ProcessPoolExecutor`, one OS process per
-  worker, for multi-core hosts.
+  worker, for multi-core hosts; shard vectors cross the process
+  boundary through a reusable shared-memory block
+  (:mod:`repro.simulation.shm`).
+* ``"process-pickle"`` — the same pool with vectors shipped inside the
+  task pickle (the vector-transport comparison baseline).
 
 Both backends produce **bit-identical results**: every shard derives
 its protocol randomness from a spawn-keyed
@@ -55,10 +59,17 @@ import numpy as np
 
 from repro.errors import AggregationError, ConfigurationError
 from repro.secagg.compose import compose_shard_sums
+from repro.secagg.wire import WireStats
 from repro.simulation.clock import SimulatedClock
 from repro.simulation.events import SimulationTrace, TraceEvent
 from repro.simulation.population import ClientPlan
 from repro.simulation.rounds import AsyncSecAggRound, RoundOutcome
+from repro.simulation.shm import (
+    SharedMemoryTransport,
+    ShmVectorBlock,
+    WorkerBlock,
+    shared_memory_available,
+)
 
 #: A Bonawitz instance needs at least two parties (threshold >= 2), so a
 #: shard below this size is never formed — the partition caps ``k``.
@@ -134,6 +145,9 @@ class ShardTask:
         plans: Behaviour plans for the shard's members.
         phase_timeout: Per-phase server deadline (simulated seconds).
         mask_prg: Mask PRG backend *name* (instances may not pickle).
+        shm: When set, ``vectors`` is empty and the inputs (plus the
+            result row) live in the shared-memory block this descriptor
+            names — the :mod:`repro.simulation.shm` vector transport.
     """
 
     shard_index: int
@@ -145,6 +159,7 @@ class ShardTask:
     plans: dict[int, ClientPlan]
     phase_timeout: float
     mask_prg: str | None = None
+    shm: "ShmVectorBlock | None" = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -179,14 +194,25 @@ def run_shard(task: ShardTask) -> ShardReport:
 
     Module-level (not a method) so :class:`ProcessBackend` can pickle a
     bare reference to it; the inline backend calls it directly.
+
+    When the task rode the shared-memory vector transport, the inputs
+    are read out of the block here and the composed sum is written back
+    into the task's result row (the returned outcome then carries an
+    empty placeholder the parent restores) — identical int64 values
+    either way, so results are bit-identical across transports.
     """
+    vectors = task.vectors
+    block: WorkerBlock | None = None
+    if task.shm is not None:
+        block = WorkerBlock(task.shm)
+        vectors = block.read_vectors()
     clock = SimulatedClock(start=task.start_time)
     trace = SimulationTrace(clock)
     rng = np.random.default_rng(
         np.random.SeedSequence(task.entropy, spawn_key=(task.shard_index,))
     )
     sub_round = AsyncSecAggRound(
-        vectors=task.vectors,
+        vectors=vectors,
         modulus=task.modulus,
         threshold=task.threshold,
         clock=clock,
@@ -202,9 +228,16 @@ def run_shard(task: ShardTask) -> ShardReport:
         outcome = clock.run(sub_round.run())
     except AggregationError as aggregation_error:
         error = str(aggregation_error)
+    if block is not None:
+        if outcome is not None:
+            block.write_result(outcome.modular_sum)
+            outcome = dataclasses.replace(
+                outcome, modular_sum=np.empty(0, dtype=np.int64)
+            )
+        block.close()
     return ShardReport(
         shard_index=task.shard_index,
-        members=tuple(sorted(task.vectors)),
+        members=tuple(sorted(vectors)),
         outcome=outcome,
         error=error,
         ended_at=clock.now,
@@ -259,17 +292,39 @@ class ProcessBackend(ExecutionBackend):
         max_workers: Pool width; defaults to
             ``min(cpu_count, _MAX_POOL_WORKERS)`` but at least 2, so
             shards overlap even where the container under-reports cores.
+        vector_transport: How shard input vectors (and result sums)
+            cross the process boundary — ``"shm"`` (default) moves them
+            through one :mod:`multiprocessing.shared_memory` block per
+            round (:mod:`repro.simulation.shm`), ``"pickle"`` ships
+            them inside the task pickle.  Results are bit-identical;
+            shm skips the vector serialisation entirely.  Platforms
+            without shared memory fall back to pickle transparently.
     """
 
     name = "process"
 
-    def __init__(self, max_workers: int | None = None) -> None:
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        vector_transport: str = "shm",
+    ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ConfigurationError(
                 f"max_workers must be >= 1, got {max_workers}"
             )
+        if vector_transport not in ("shm", "pickle"):
+            raise ConfigurationError(
+                "vector_transport must be 'shm' or 'pickle', got "
+                f"{vector_transport!r}"
+            )
         self._max_workers = max_workers
+        self._vector_transport = vector_transport
+        if vector_transport == "pickle":
+            self.name = "process-pickle"
         self._pool = None
+        # One shared block reused across every round this backend runs;
+        # built lazily, released with the pool.
+        self._shm_transport: SharedMemoryTransport | None = None
 
     def _ensure_pool(self):
         if self._pool is None:
@@ -285,7 +340,15 @@ class ProcessBackend(ExecutionBackend):
 
     def run_shards(self, tasks: Sequence[ShardTask]) -> list[ShardReport]:
         # map() preserves task order regardless of completion order.
-        return list(self._ensure_pool().map(run_shard, tasks))
+        pool = self._ensure_pool()
+        if self._vector_transport == "shm" and shared_memory_available():
+            if self._shm_transport is None:
+                self._shm_transport = SharedMemoryTransport()
+            packed = self._shm_transport.pack(tasks)
+            return self._shm_transport.unpack(
+                list(pool.map(run_shard, packed))
+            )
+        return list(pool.map(run_shard, tasks))
 
     def warm(self) -> None:
         self._ensure_pool()
@@ -294,6 +357,9 @@ class ProcessBackend(ExecutionBackend):
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._shm_transport is not None:
+            self._shm_transport.close()
+            self._shm_transport = None
 
     def __enter__(self) -> "ProcessBackend":
         return self
@@ -302,10 +368,16 @@ class ProcessBackend(ExecutionBackend):
         self.close()
 
 
+def _pickle_process_backend() -> ProcessBackend:
+    """Registry factory for the pickle-transport process backend."""
+    return ProcessBackend(vector_transport="pickle")
+
+
 #: Backend registry, keyed by wire/CLI name.
 EXECUTION_BACKENDS = {
     InlineBackend.name: InlineBackend,
     ProcessBackend.name: ProcessBackend,
+    "process-pickle": _pickle_process_backend,
 }
 
 #: The backend used when none is requested.
@@ -505,6 +577,11 @@ class ShardedSecAggRound:
         included = frozenset().union(
             *(report.outcome.included for report in succeeded)
         )
+        wire = WireStats().merge(
+            report.outcome.wire
+            for report in succeeded
+            if report.outcome.wire is not None
+        )
         if self._trace is not None:
             self._trace.record(
                 "sharded-round-complete",
@@ -520,4 +597,5 @@ class ShardedSecAggRound:
             dropped=frozenset(self._vectors) - included,
             started_at=started_at,
             completed_at=completed_at,
+            wire=wire,
         )

@@ -1,0 +1,280 @@
+"""Shared-memory vector transport for the process sharding backend.
+
+The ``"process"`` execution backend ships each
+:class:`~repro.simulation.sharding.ShardTask` to a worker over the
+:mod:`multiprocessing` pipe, which pickles it — including every client's
+input vector, the dominant payload at realistic dimensions.  This
+module moves those vectors (and the shard result sums coming back)
+through one :class:`multiprocessing.shared_memory.SharedMemory` block
+instead: the parent writes all shard inputs into a single ``(rows, d)``
+int64 region, the tasks carry only a tiny :class:`ShmVectorBlock`
+descriptor (block name + row indices), and each worker attaches the
+block, copies its rows out, and writes its composed sum back into its
+reserved result row.
+
+The transport is a pure optimisation: the bytes crossing the boundary
+are the same int64 values, so shard outcomes are **bit-identical** to
+the pickle path (the cross-backend equivalence suite pins this).  On
+platforms without POSIX shared memory the backend falls back to pickle
+transparently.
+
+Lifecycle: the parent owns the block — create in :meth:`pack`, unlink in
+:meth:`close` (``finally``-guarded by the backend).  Workers attach
+read-write but never unlink; on Python < 3.13 the attach registers the
+segment with the worker's resource tracker, which would warn about a
+"leak" at interpreter exit, so :func:`_attach` unregisters it — the
+parent remains the sole owner.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+try:  # pragma: no cover - import guard for exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+
+def shared_memory_available() -> bool:
+    """Whether this platform supports the shared-memory transport."""
+    return _shared_memory is not None
+
+
+@dataclasses.dataclass(frozen=True)
+class ShmVectorBlock:
+    """Descriptor of one shard's slice of the shared vector block.
+
+    Attributes:
+        name: OS name of the shared-memory segment.
+        total_rows: Row count of the whole ``(total_rows, dimension)``
+            int64 block (needed to re-map it in the worker).
+        dimension: Vector length ``d``.
+        rows: ``(client, row)`` pairs locating this shard's input
+            vectors inside the block.
+        result_row: Row reserved for this shard's composed modular sum.
+    """
+
+    name: str
+    total_rows: int
+    dimension: int
+    rows: tuple[tuple[int, int], ...]
+    result_row: int
+
+
+#: Worker-side attachment cache: the parent reuses one block (name)
+#: across rounds, so each worker process maps it once and keeps the
+#: mapping for the pool's lifetime instead of re-opening per shard.
+_attach_cache: dict[str, object] = {}
+
+
+def _attach_cached(name: str):
+    segment = _attach_cache.get(name)
+    if segment is None:
+        if len(_attach_cache) > 8:  # Stale names from resized blocks.
+            for stale in _attach_cache.values():
+                stale.close()
+            _attach_cache.clear()
+        segment = _attach(name)
+        _attach_cache[name] = segment
+    return segment
+
+
+def _attach(name: str):
+    """Attach an existing segment without adopting ownership.
+
+    The parent owns (and unlinks) the block; a worker that let the
+    attach register with the resource tracker would race other workers'
+    unregisters on the tracker's shared name set and spray ``KeyError``
+    noise at exit.  Python 3.13 exposes ``track=False`` for exactly
+    this; on older interpreters the registration is suppressed for the
+    duration of the attach (workers run one task at a time, so the
+    swap is not racy within the process).
+    """
+    assert _shared_memory is not None
+    try:
+        return _shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def _skip_shared_memory(res_name: str, rtype: str) -> None:
+        if rtype != "shared_memory":
+            original(res_name, rtype)
+
+    resource_tracker.register = _skip_shared_memory
+    try:
+        return _shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class WorkerBlock:
+    """Worker-side view of one shard's slice of the shared block.
+
+    The underlying mapping is cached per block name for the worker's
+    lifetime (the parent reuses one block across rounds), so opening a
+    :class:`WorkerBlock` per shard task costs a dict hit, not a
+    ``shm_open``.  :meth:`close` releases only this task's array view.
+    """
+
+    def __init__(self, block: ShmVectorBlock) -> None:
+        self._block = block
+        self._table = np.ndarray(
+            (block.total_rows, block.dimension),
+            dtype=np.int64,
+            buffer=_attach_cached(block.name).buf,
+        )
+
+    def read_vectors(self) -> dict[int, np.ndarray]:
+        """Copy this shard's input vectors out of the block."""
+        return {
+            client: np.array(self._table[row], dtype=np.int64)
+            for client, row in self._block.rows
+        }
+
+    def write_result(self, modular_sum: np.ndarray) -> None:
+        """Park the shard's composed sum in its reserved result row."""
+        self._table[self._block.result_row] = modular_sum
+
+    def close(self) -> None:
+        self._table = None  # Drop the view; the cached mapping stays.
+
+    def __enter__(self) -> "WorkerBlock":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SharedMemoryTransport:
+    """Parent-side manager of a reusable shared vector block.
+
+    One transport serves many rounds: :meth:`pack` reuses the existing
+    block whenever it is large enough (workers then reuse their cached
+    mapping — no per-round ``shm_open``), growing it — with a fresh OS
+    name — only when a round needs more rows.  Usage (what
+    :class:`~repro.simulation.sharding.ProcessBackend` does)::
+
+        packed = transport.pack(tasks)       # vectors -> block
+        reports = pool.map(run_shard, packed)
+        reports = transport.unpack(reports)  # sums <- block
+        ...                                  # further rounds reuse it
+        transport.close()                    # with the backend
+    """
+
+    def __init__(self) -> None:
+        if _shared_memory is None:  # pragma: no cover
+            raise ConfigurationError(
+                "multiprocessing.shared_memory is unavailable on this "
+                "platform; use the pickle vector transport"
+            )
+        self._segment = None
+        self._capacity = 0  # bytes
+        self._result_rows: dict[int, int] = {}
+        self._dimension = 0
+        self._total_rows = 0
+
+    def _ensure_capacity(self, total_rows: int, dimension: int) -> None:
+        needed = max(1, total_rows * dimension * 8)
+        if self._segment is None or needed > self._capacity:
+            self.close()
+            self._segment = _shared_memory.SharedMemory(
+                create=True, size=needed
+            )
+            self._capacity = self._segment.size
+
+    def _table(self) -> np.ndarray:
+        return np.ndarray(
+            (self._total_rows, self._dimension),
+            dtype=np.int64,
+            buffer=self._segment.buf,
+        )
+
+    def pack(self, tasks):
+        """Write every task's vectors into the (reused) block.
+
+        Returns:
+            The tasks with ``vectors`` emptied and ``shm`` descriptors
+            attached, in input order.
+        """
+        from repro.simulation.sharding import ShardTask  # cycle guard
+
+        dimensions = {
+            vector.shape[0]
+            for task in tasks
+            for vector in task.vectors.values()
+        }
+        if len(dimensions) != 1:
+            raise ConfigurationError(
+                f"shard vectors must share one dimension, got {dimensions}"
+            )
+        self._dimension = dimensions.pop()
+        self._total_rows = sum(len(task.vectors) for task in tasks) + len(
+            tasks
+        )
+        self._result_rows = {}
+        self._ensure_capacity(self._total_rows, self._dimension)
+        table = self._table()
+        packed: list[ShardTask] = []
+        row = 0
+        for task in tasks:
+            rows = []
+            for client in sorted(task.vectors):
+                table[row] = task.vectors[client]
+                rows.append((client, row))
+                row += 1
+            self._result_rows[task.shard_index] = row
+            packed.append(
+                dataclasses.replace(
+                    task,
+                    vectors={},
+                    shm=ShmVectorBlock(
+                        name=self._segment.name,
+                        total_rows=self._total_rows,
+                        dimension=self._dimension,
+                        rows=tuple(rows),
+                        result_row=row,
+                    ),
+                )
+            )
+            row += 1
+        return packed
+
+    def unpack(self, reports):
+        """Restore each successful report's modular sum from the block."""
+        if self._segment is None:
+            raise ConfigurationError("unpack called before pack")
+        table = self._table()
+        restored = []
+        for report in reports:
+            if report.outcome is not None and report.shard_index in (
+                self._result_rows
+            ):
+                row = self._result_rows[report.shard_index]
+                report = dataclasses.replace(
+                    report,
+                    outcome=dataclasses.replace(
+                        report.outcome,
+                        modular_sum=np.array(table[row], dtype=np.int64),
+                    ),
+                )
+            restored.append(report)
+        return restored
+
+    def close(self) -> None:
+        """Release and unlink the block; idempotent."""
+        if self._segment is not None:
+            self._segment.close()
+            try:
+                self._segment.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+            self._segment = None
+            self._capacity = 0

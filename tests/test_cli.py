@@ -148,6 +148,8 @@ class TestNewCommands:
         assert "cumulative privacy: eps=" in captured.out
         assert "exact=True" in captured.out
         assert "parameters digest:" in captured.out
+        assert "wire traffic:" in captured.out
+        assert "KiB/round" in captured.out
 
     def test_simulate_sharded(self, capsys):
         exit_code = main(

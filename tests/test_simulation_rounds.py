@@ -379,6 +379,53 @@ class TestTraceObservability:
         assert trace.count("message-received") >= 4 * len(outcome.included)
 
 
+class TestVersionNegotiation:
+    def test_unknown_version_client_is_rejected_not_crashed(self):
+        """A client proposing an unsupported protocol version is refused
+        at Hello with a typed Reject: its task exits cleanly, the round
+        completes without it, and the sum stays exact."""
+        vectors = make_vectors(6)
+        clock = SimulatedClock()
+        trace = SimulationTrace(clock)
+        secagg_round = AsyncSecAggRound(
+            vectors=vectors,
+            modulus=MODULUS,
+            threshold=4,
+            clock=clock,
+            rng=np.random.default_rng(1),
+            trace=trace,
+            client_versions={2: 99},
+        )
+        outcome = clock.run(secagg_round.run())
+        assert 2 in outcome.dropped
+        assert outcome.included == frozenset(vectors) - {2}
+        assert np.array_equal(
+            outcome.modular_sum, expected_sum(vectors, outcome.included)
+        )
+        rejected = trace.of_kind("client-rejected")
+        assert len(rejected) == 1
+        assert rejected[0].details["client"] == 2
+        assert "unsupported protocol version 99" in (
+            rejected[0].details["reason"]
+        )
+
+    def test_rejections_below_threshold_abort_with_typed_error(self):
+        from repro.errors import NegotiationError
+
+        vectors = make_vectors(5)
+        clock = SimulatedClock()
+        secagg_round = AsyncSecAggRound(
+            vectors=vectors,
+            modulus=MODULUS,
+            threshold=4,
+            clock=clock,
+            rng=np.random.default_rng(1),
+            client_versions={1: 7, 3: 7},
+        )
+        with pytest.raises(NegotiationError, match="after rejecting"):
+            clock.run(secagg_round.run())
+
+
 class TestMaskPrgKnob:
     def test_philox_round_sum_is_exact(self):
         vectors = make_vectors(6)

@@ -1,0 +1,258 @@
+"""Sans-I/O session tests: pure message pumping, no transport.
+
+Drives :class:`~repro.secagg.statemachine.ClientSession` /
+:class:`~repro.secagg.statemachine.ServerSession` with a hand-rolled
+in-test pump — the smallest possible transport — and covers what the
+transports themselves don't: version/PRG negotiation rejection at Hello
+(the typed failure path), strict phase/sender validation, and the wire
+accounting ledger.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import AggregationError, ConfigurationError, NegotiationError
+from repro.secagg.keys import TOY_GROUP
+from repro.secagg.statemachine import (
+    PHASE_TAGS,
+    ClientSession,
+    ServerSession,
+)
+from repro.secagg.wire import (
+    PROTOCOL_V1,
+    Hello,
+    Reject,
+    decode_message,
+    encode_message,
+)
+
+MODULUS = 2**12
+DIMENSION = 8
+
+
+def make_sessions(n=5, threshold=3, seed=0, versions=None, prgs=None):
+    rng = np.random.default_rng(seed)
+    inputs = rng.integers(0, MODULUS, size=(n, DIMENSION), dtype=np.int64)
+    clients = {
+        u: ClientSession(
+            index=u,
+            vector=inputs[u - 1],
+            modulus=MODULUS,
+            threshold=threshold,
+            rng=np.random.default_rng(seed + u),
+            group=TOY_GROUP,
+            version=(versions or {}).get(u, PROTOCOL_V1),
+            mask_prg=(prgs or {}).get(u),
+        )
+        for u in range(1, n + 1)
+    }
+    server = ServerSession(
+        MODULUS, DIMENSION, threshold, group=TOY_GROUP
+    )
+    return inputs, clients, server
+
+
+def pump(clients, server, skip=frozenset()):
+    """Run the full protocol synchronously; returns the recovered sum."""
+    for u in sorted(clients):
+        server.receive(b"".join(clients[u].start()), sender=u)
+    deliveries = server.advance()
+    for _ in range(3):
+        for u in sorted(deliveries):
+            if u in skip:
+                continue
+            out = clients[u].handle(deliveries[u])
+            if out and clients[u].rejected is None:
+                server.receive(b"".join(out), sender=u)
+        deliveries = server.advance()
+    return server.modular_sum
+
+
+class TestPureProtocolPump:
+    def test_sum_matches_plain_modular_sum(self):
+        inputs, clients, server = make_sessions()
+        total = pump(clients, server)
+        np.testing.assert_array_equal(
+            total, np.mod(inputs.sum(axis=0), MODULUS)
+        )
+        assert server.included == frozenset(clients)
+
+    def test_sessions_emit_no_side_channel(self):
+        # Sans-I/O: a session only ever returns bytes; nothing is sent
+        # until the caller moves them.  Starting two clients and never
+        # delivering leaves the server untouched.
+        _, clients, server = make_sessions(n=3, threshold=2)
+        clients[1].start()
+        clients[2].start()
+        assert server.received() == frozenset()
+
+    def test_expected_tracks_the_shrinking_participant_set(self):
+        _, clients, server = make_sessions(n=4, threshold=2)
+        for u in (1, 2, 3):  # client 4 never speaks
+            server.receive(b"".join(clients[u].start()), sender=u)
+        deliveries = server.advance()
+        assert server.expected == frozenset({1, 2, 3})
+        assert set(deliveries) == {1, 2, 3}
+
+    def test_phase_ready_once_everyone_delivered(self):
+        _, clients, server = make_sessions(n=3, threshold=2)
+        for u in sorted(clients):
+            server.receive(b"".join(clients[u].start()), sender=u)
+        deliveries = server.advance()
+        assert not server.phase_ready()
+        for u in sorted(deliveries):
+            server.receive(b"".join(clients[u].handle(deliveries[u])), sender=u)
+        assert server.phase_ready()
+
+
+class TestNegotiationFailurePath:
+    def test_unknown_version_rejected_at_hello_with_typed_error(self):
+        inputs, clients, server = make_sessions(
+            n=5, threshold=3, versions={2: 9}
+        )
+        for u in sorted(clients):
+            server.receive(b"".join(clients[u].start()), sender=u)
+        assert server.rejections == {
+            2: "unsupported protocol version 9 (round speaks 1)"
+        }
+        deliveries = server.advance()
+        # The rejected client gets a typed Reject, not roster bytes.
+        _, reject = decode_message(deliveries[2])
+        assert isinstance(reject, Reject)
+        assert "unsupported protocol version 9" in reject.reason
+        assert clients[2].handle(deliveries[2]) == []
+        assert isinstance(clients[2].rejected, NegotiationError)
+        # The round carries on without it and the sum stays exact.
+        for _ in range(3):
+            for u in sorted(deliveries):
+                if u == 2:
+                    continue
+                out = clients[u].handle(deliveries[u])
+                server.receive(b"".join(out), sender=u)
+            deliveries = server.advance()
+        np.testing.assert_array_equal(
+            server.modular_sum,
+            np.mod(np.delete(inputs, 1, axis=0).sum(axis=0), MODULUS),
+        )
+        assert server.included == frozenset({1, 3, 4, 5})
+
+    def test_mismatched_prg_backend_rejected_at_hello(self):
+        _, clients, server = make_sessions(n=4, threshold=2, prgs={3: "philox"})
+        for u in sorted(clients):
+            server.receive(b"".join(clients[u].start()), sender=u)
+        assert 3 in server.rejections
+        assert "philox" in server.rejections[3]
+        deliveries = server.advance()
+        clients[3].handle(deliveries[3])
+        assert isinstance(clients[3].rejected, NegotiationError)
+
+    def test_rejections_below_threshold_raise_negotiation_error(self):
+        _, clients, server = make_sessions(
+            n=3, threshold=3, versions={1: 7, 2: 7}
+        )
+        for u in sorted(clients):
+            server.receive(b"".join(clients[u].start()), sender=u)
+        with pytest.raises(NegotiationError, match="after rejecting"):
+            server.advance()
+
+    def test_negotiation_error_is_an_aggregation_error(self):
+        # Round-level handlers that abort on AggregationError keep
+        # working; callers can still distinguish the typed subclass.
+        assert issubclass(NegotiationError, AggregationError)
+
+    def test_rejected_client_holds_no_round_state(self):
+        _, clients, server = make_sessions(n=3, threshold=2, versions={1: 5})
+        for u in sorted(clients):
+            server.receive(b"".join(clients[u].start()), sender=u)
+        deliveries = server.advance()
+        clients[1].handle(deliveries[1])
+        with pytest.raises(AggregationError, match="rejected at Hello"):
+            clients[1].handle(deliveries[1])
+
+    def test_server_must_accept_at_least_one_version(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            ServerSession(
+                MODULUS,
+                DIMENSION,
+                2,
+                group=TOY_GROUP,
+                accept_versions=frozenset(),
+            )
+
+
+class TestStrictValidation:
+    def test_spoofed_sender_rejected(self):
+        _, clients, server = make_sessions(n=3, threshold=2)
+        frames = b"".join(clients[2].start())
+        with pytest.raises(AggregationError, match="claims sender"):
+            server.receive(frames, sender=1)
+
+    def test_duplicate_hello_rejected(self):
+        _, clients, server = make_sessions(n=3, threshold=2)
+        frames = b"".join(clients[1].start())
+        server.receive(frames, sender=1)
+        with pytest.raises(AggregationError, match="duplicate Hello"):
+            server.receive(frames, sender=1)
+
+    def test_advertise_without_hello_rejected(self):
+        _, clients, server = make_sessions(n=3, threshold=2)
+        hello, advertise = clients[1].start()
+        with pytest.raises(AggregationError, match="without a Hello"):
+            server.receive(advertise, sender=1)
+
+    def test_out_of_phase_message_rejected(self):
+        _, clients, server = make_sessions(n=3, threshold=2)
+        for u in sorted(clients):
+            server.receive(b"".join(clients[u].start()), sender=u)
+        server.advance()
+        late_hello = encode_message(Hello(sender=1), clients[1].header)
+        with pytest.raises(AggregationError, match="advertise phase"):
+            server.receive(late_hello, sender=1)
+
+    def test_header_mismatch_mid_round_is_a_negotiation_error(self):
+        _, clients, server = make_sessions(n=3, threshold=2)
+        for u in sorted(clients):
+            server.receive(b"".join(clients[u].start()), sender=u)
+        deliveries = server.advance()
+        # Rewrite the roster broadcast's PRG name in place (same length,
+        # so the framing stays valid): the client must refuse the
+        # foreign header rather than mis-expand masks later.
+        foreign = deliveries[1].replace(b"sha256-ctr", b"sha999-ctr")
+        with pytest.raises(NegotiationError, match="speaking"):
+            clients[1].handle(foreign)
+
+    def test_sum_unavailable_before_recovery(self):
+        _, _, server = make_sessions(n=3, threshold=2)
+        with pytest.raises(AggregationError, match="not been recovered"):
+            server.modular_sum
+
+
+class TestWireAccounting:
+    def test_every_phase_and_client_is_tallied(self):
+        _, clients, server = make_sessions(n=4, threshold=3)
+        pump(clients, server)
+        stats = server.stats
+        phases = stats.phase_totals()
+        assert set(phases) == set(PHASE_TAGS.values())
+        # Uploads: 2 hello+advertise frames, n share envelopes, 1 masked
+        # input and 1 unmask response per client.
+        n = len(clients)
+        assert phases["advertise"]["up_messages"] == 2 * n
+        assert phases["share-keys"]["up_messages"] == n * n
+        assert phases["share-keys"]["down_messages"] == n * n
+        assert phases["masked-input"]["up_messages"] == n
+        assert phases["unmask"]["up_messages"] == n
+        assert phases["unmask"]["down_messages"] == 0
+        per_client = stats.client_totals()
+        assert set(per_client) == set(clients)
+        assert all(entry["up_bytes"] > 0 for entry in per_client.values())
+
+    def test_bytes_match_what_crossed_the_pump(self):
+        _, clients, server = make_sessions(n=3, threshold=2)
+        sent = 0
+        for u in sorted(clients):
+            datagram = b"".join(clients[u].start())
+            sent += len(datagram)
+            server.receive(datagram, sender=u)
+        uploads = server.stats.phase_totals()["advertise"]
+        assert uploads["up_bytes"] == sent
