@@ -37,6 +37,7 @@ from repro.simulation import (
     get_execution_backend,
     shamir_threshold,
 )
+from repro.telemetry import MetricsRegistry, MetricsReport
 
 POPULATIONS = [32, 128, 512]
 DIMENSION = 64
@@ -53,13 +54,16 @@ def _run_rounds(
     bench_rng: np.random.Generator,
     shards: int = 1,
     backend: str = "inline",
-) -> tuple[float, int, dict]:
+    telemetry: bool = False,
+) -> tuple[float, int, dict, MetricsReport | None]:
     """Run ``num_rounds`` aggregation rounds.
 
     Returns:
-        ``(rounds/sec, total drops, wire)`` where ``wire`` aggregates
-        the rounds' :class:`~repro.secagg.wire.WireStats` — total
-        messages/bytes plus a per-phase byte breakdown.
+        ``(rounds/sec, total drops, wire, report)`` where ``wire``
+        aggregates the rounds' :class:`~repro.secagg.wire.WireStats` —
+        total messages/bytes plus a per-phase byte breakdown — and
+        ``report`` carries the metrics registry snapshot when
+        ``telemetry`` was on (``None`` otherwise).
     """
     population = Population(
         population_size,
@@ -67,6 +71,7 @@ def _run_rounds(
         seed=20220601,
     )
     clock = SimulatedClock()
+    registry = MetricsRegistry() if telemetry else None
     executor = get_execution_backend(backend)
     # Pool start-up is lazy; pull it out of the timed window so the
     # recorded rounds/sec measures protocol cost, not worker spawn.
@@ -98,6 +103,7 @@ def _run_rounds(
                     plans=plans,
                     phase_timeout=60.0,
                     backend=executor,
+                    metrics=registry,
                 )
                 outcome = sharded_round.execute()
             else:
@@ -111,6 +117,7 @@ def _run_rounds(
                     rng=rng,
                     plans=plans,
                     phase_timeout=60.0,
+                    metrics=registry,
                 )
                 outcome = clock.run(secagg_round.run())
             expected = np.zeros(DIMENSION, dtype=np.int64)
@@ -131,7 +138,12 @@ def _run_rounds(
         elapsed = time.perf_counter() - started
     finally:
         executor.close()
-    return num_rounds / elapsed, total_dropped, wire
+    report = (
+        MetricsReport(snapshot=registry.snapshot())
+        if registry is not None
+        else None
+    )
+    return num_rounds / elapsed, total_dropped, wire, report
 
 
 def _wire_suffix(wire: dict) -> str:
@@ -147,7 +159,7 @@ def _wire_suffix(wire: dict) -> str:
 def test_rounds_per_second(population_size, emit, bench_rng):
     """Bounded-cohort throughput across the population sweep."""
     cohort = min(population_size, 48)
-    rounds_per_sec, dropped, wire = _run_rounds(
+    rounds_per_sec, dropped, wire, _ = _run_rounds(
         population_size, cohort, num_rounds=2, bench_rng=bench_rng
     )
     emit(
@@ -161,7 +173,7 @@ def test_rounds_per_second(population_size, emit, bench_rng):
 
 def test_wire_accounting_per_phase(emit, bench_rng):
     """Per-phase wire breakdown of the bounded-cohort configuration."""
-    rounds_per_sec, _, wire = _run_rounds(
+    rounds_per_sec, _, wire, _ = _run_rounds(
         128, 48, num_rounds=2, bench_rng=bench_rng
     )
     breakdown = " ".join(
@@ -183,7 +195,7 @@ def test_wire_accounting_per_phase(emit, bench_rng):
 def test_rounds_per_second_sharded(shards, emit, bench_rng):
     """Sharded bounded-cohort throughput (inline backend, tier-1)."""
     population_size, cohort = 128, 48
-    rounds_per_sec, dropped, wire = _run_rounds(
+    rounds_per_sec, dropped, wire, _ = _run_rounds(
         population_size,
         cohort,
         num_rounds=2,
@@ -204,7 +216,7 @@ def test_rounds_per_second_sharded(shards, emit, bench_rng):
 @pytest.mark.parametrize("population_size", [128, 512])
 def test_rounds_per_second_full_cohort(population_size, emit, bench_rng):
     """Full-cohort throughput: the protocol's quadratic regime."""
-    rounds_per_sec, dropped, wire = _run_rounds(
+    rounds_per_sec, dropped, wire, _ = _run_rounds(
         population_size, population_size, num_rounds=1, bench_rng=bench_rng
     )
     emit(
@@ -232,7 +244,7 @@ def test_rounds_per_second_full_cohort_sharded(backend, emit, bench_rng):
     # Three rounds: a single ~1.3s round is too noisy to compare the
     # vector transports, and the reused shared-memory block only shows
     # its amortised cost from the second round on.
-    rounds_per_sec, dropped, wire = _run_rounds(
+    rounds_per_sec, dropped, wire, _ = _run_rounds(
         population_size,
         population_size,
         num_rounds=3,
@@ -248,3 +260,79 @@ def test_rounds_per_second_full_cohort_sharded(backend, emit, bench_rng):
         RESULTS_FILE,
     )
     assert rounds_per_sec > 0
+
+
+def test_phase_latency_quantiles(emit, bench_rng):
+    """p50/p99 per-phase latencies on both clocks, from the registry."""
+    _, _, _, report = _run_rounds(
+        128, 48, num_rounds=2, bench_rng=bench_rng, telemetry=True
+    )
+    assert report is not None
+    rows = report.phase_latency_rows()
+    assert [row["phase"] for row in rows] == [
+        "advertise", "share-keys", "masked-input", "unmask"
+    ]
+    for row in rows:
+        emit(
+            f"sim_phase_latency phase={row['phase']:>12s} "
+            f"sim_p50={row['sim_p50']:.4f} sim_p99={row['sim_p99']:.4f} "
+            f"wall_p50={row['wall_p50']:.4f} wall_p99={row['wall_p99']:.4f}",
+            RESULTS_FILE,
+        )
+
+
+def test_telemetry_not_slower(emit, bench_rng):
+    """Metering must not slow rounds beyond run-to-run noise (tier-1)."""
+    plain, _, _, _ = _run_rounds(128, 48, num_rounds=2, bench_rng=bench_rng)
+    metered, _, _, report = _run_rounds(
+        128, 48, num_rounds=2, bench_rng=bench_rng, telemetry=True
+    )
+    emit(
+        f"sim_telemetry_overhead population= 128 cohort<= 48 "
+        f"plain_rps={plain:8.3f} metered_rps={metered:8.3f} "
+        f"overhead={100 * (plain / metered - 1):+.1f}%",
+        RESULTS_FILE,
+    )
+    assert report is not None
+    assert report.counter_sum("secagg_rounds_total") > 0
+    # Same 1.5x slack as the kernel-throughput smoke: generous against
+    # wall-clock noise, still catches an instrumentation hot path.
+    assert metered * 1.5 >= plain
+
+
+@pytest.mark.slow
+def test_telemetry_overhead_full_cohort_sharded(emit, bench_rng):
+    """Metering overhead in the pop-512 sharded regime (target <= 5%).
+
+    The heaviest configuration is where per-phase spans, wire counters
+    and shard-snapshot absorption would show up if they cost anything;
+    the emitted overhead percentage tracks the measured figure while
+    the assertion only demands not-slower within benchmark noise.
+    """
+    population_size, shards = 512, 8
+    plain, _, _, _ = _run_rounds(
+        population_size,
+        population_size,
+        num_rounds=3,
+        bench_rng=bench_rng,
+        shards=shards,
+    )
+    metered, _, _, report = _run_rounds(
+        population_size,
+        population_size,
+        num_rounds=3,
+        bench_rng=bench_rng,
+        shards=shards,
+        telemetry=True,
+    )
+    emit(
+        f"sim_telemetry_overhead population={population_size:4d} "
+        f"full-cohort shards={shards} plain_rps={plain:8.3f} "
+        f"metered_rps={metered:8.3f} "
+        f"overhead={100 * (plain / metered - 1):+.1f}%",
+        RESULTS_FILE,
+    )
+    assert report is not None
+    # Every shard's sub-round reported in, relabeled per shard.
+    assert report.counter_sum("secagg_rounds_total") >= 3 * shards - 3
+    assert metered * 1.5 >= plain

@@ -198,6 +198,11 @@ def command_simulate(args) -> int:
 
     from repro.errors import ConfigurationError
 
+    if args.no_telemetry and args.metrics_out:
+        raise SystemExit(
+            "simulate: --metrics-out needs the metrics registry; "
+            "drop --no-telemetry"
+        )
     try:
         availability = AlwaysAvailable(latency=args.latency)
         if args.straggler_sigma > 0:
@@ -227,6 +232,8 @@ def command_simulate(args) -> int:
             verify_aggregate=args.verify,
             shards=args.shards,
             backend=args.backend,
+            telemetry=not args.no_telemetry,
+            trace_max_events=args.trace_max_events,
         )
         engine = SimulationEngine(config, availability=availability)
     except ConfigurationError as error:
@@ -267,6 +274,31 @@ def command_simulate(args) -> int:
           f"delta={result.delta:g}")
     print(f"final test accuracy: {100 * result.final_accuracy:.1f}%")
     print(f"parameters digest: {result.parameters_digest}")
+    if result.metrics is not None:
+        rows = [
+            row for row in result.metrics.phase_latency_rows()
+            if row.get("sim_p50") is not None
+        ]
+        if rows:
+            print("phase latency (simulated seconds):")
+            for row in rows:
+                print(f"  {row['phase']:>12s}: p50={row['sim_p50']:7.3f}s  "
+                      f"p99={row['sim_p99']:7.3f}s  "
+                      f"(wall p50={row['wall_p50'] * 1e3:.1f}ms)")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(result.metrics.to_prometheus())
+        print(f"metrics written to {args.metrics_out}")
+    if args.trace_out:
+        from repro.telemetry import trace_to_json_lines
+
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            for line in trace_to_json_lines(engine.trace.events):
+                handle.write(line)
+                handle.write("\n")
+        print(f"trace written to {args.trace_out} "
+              f"({len(engine.trace)} events, "
+              f"{engine.trace.dropped_events} dropped)")
     return 0
 
 
@@ -419,6 +451,20 @@ def main(argv: Sequence[str] | None = None) -> int:
                                       "shared-memory vector transport; "
                                       "process-pickle ships vectors in the "
                                       "task pickle)")
+    simulate_parser.add_argument("--metrics-out", metavar="PATH",
+                                 default=None,
+                                 help="write end-of-run metrics in "
+                                      "Prometheus text exposition format")
+    simulate_parser.add_argument("--trace-out", metavar="PATH", default=None,
+                                 help="write the simulation trace as JSON "
+                                      "lines")
+    simulate_parser.add_argument("--no-telemetry", action="store_true",
+                                 help="skip the metrics registry entirely "
+                                      "(results are bit-identical either "
+                                      "way)")
+    simulate_parser.add_argument("--trace-max-events", type=int, default=None,
+                                 help="ring-buffer cap on retained trace "
+                                      "events (default: keep all)")
     simulate_parser.set_defaults(handler=command_simulate)
 
     account_parser = subparsers.add_parser(

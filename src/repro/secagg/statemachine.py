@@ -34,6 +34,14 @@ The server session also keeps the round's wire ledger
 (:class:`~repro.secagg.wire.WireStats`): every frame it receives or
 emits is tallied per phase and client, so transports get message/byte
 accounting for free.
+
+Both sessions optionally report into a
+:class:`~repro.telemetry.registry.MetricsRegistry`: negotiation
+outcomes and categorized reject reasons
+(``secagg_negotiations_total`` / ``secagg_negotiation_rejects_total``),
+and frames decoded/encoded per role and direction
+(``secagg_frames_total``).  With ``metrics=None`` (the default) the
+sessions do no metric work at all — the no-telemetry path.
 """
 
 from __future__ import annotations
@@ -75,6 +83,7 @@ from repro.secagg.wire import (
     intern_header,
     iter_frames,
 )
+from repro.telemetry.registry import MetricsRegistry
 
 #: Wire tag per protocol phase — shared by transports, traces and the
 #: accounting ledger.
@@ -108,6 +117,8 @@ class ClientSession:
         mask_prg: Mask PRG backend name or instance; becomes part of the
             proposed negotiated header.
         version: Protocol version to propose at Hello.
+        metrics: Optional registry for frame/rejection counters; the
+            default collects nothing.
     """
 
     def __init__(
@@ -121,6 +132,7 @@ class ClientSession:
         field: PrimeField = DEFAULT_FIELD,
         mask_prg: MaskPrg | str | None = None,
         version: int = PROTOCOL_V1,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self._crypto = BonawitzClient(
             index=index,
@@ -139,6 +151,18 @@ class ClientSession:
         self.header = intern_header(version, self._crypto._mask_prg.name)
         #: Terminal negotiation failure, set on receiving a Reject.
         self.rejected: NegotiationError | None = None
+        self._m_frames_in = self._m_frames_out = self._m_rejected = None
+        if metrics is not None:
+            frames = metrics.counter(
+                "secagg_frames_total",
+                "Wire frames decoded (in) / encoded (out), per role.",
+            )
+            self._m_frames_in = frames.labels(role="client", direction="in")
+            self._m_frames_out = frames.labels(role="client", direction="out")
+            self._m_rejected = metrics.counter(
+                "secagg_client_rejections_total",
+                "Hello rejections acknowledged by clients.",
+            ).labels()
 
     @property
     def crypto(self) -> BonawitzClient:
@@ -150,6 +174,13 @@ class ClientSession:
     def _encode(self, message: Message) -> bytes:
         return encode_message(message, self.header)
 
+    def _count_frames(self, inbound: int, outbound: int) -> None:
+        if self._m_frames_in is not None:
+            if inbound:
+                self._m_frames_in.inc(inbound)
+            if outbound:
+                self._m_frames_out.inc(outbound)
+
     def start(self) -> list[bytes]:
         """Open the round: propose the header and advertise both keys.
 
@@ -159,6 +190,7 @@ class ClientSession:
             :class:`~repro.secagg.wire.Advertise`.
         """
         advertisement = self._crypto.advertise_keys()
+        self._count_frames(0, 2)
         return [
             self._encode(Hello(sender=self.index)),
             self._encode(advertisement),
@@ -202,6 +234,7 @@ class ClientSession:
             self._crypto.receive_share_matrix(senders, ciphertexts)
             participants = frozenset(senders)
             masked = self._crypto.masked_input(participants)
+            self._count_frames(len(senders), 1)
             return [
                 self._encode(MaskedInput(sender=self.index, vector=masked))
             ]
@@ -213,6 +246,9 @@ class ClientSession:
             self.rejected = NegotiationError(
                 f"client {self.index} rejected at Hello: {first.reason}"
             )
+            self._count_frames(1, 0)
+            if self._m_rejected is not None:
+                self._m_rejected.inc()
             return []
         for header, _ in frames:
             if header is not self.header and header != self.header:
@@ -229,6 +265,7 @@ class ClientSession:
                     )
                 roster[message.index] = message
             recipients, sealed = self._crypto.share_keys_matrix(roster)
+            self._count_frames(len(frames), len(recipients))
             return [
                 encode_sealed_matrix(
                     self.index, recipients, sealed, self.header
@@ -242,6 +279,7 @@ class ClientSession:
                         "mixed message types in a share delivery"
                     )
                 envelopes.append(message)
+            self._count_frames(len(frames), 1)
             return self._handle_share_delivery(envelopes)
         if isinstance(first, UnmaskRequest):
             if len(frames) != 1:
@@ -249,6 +287,7 @@ class ClientSession:
                     "an unmask request must arrive alone"
                 )
             response = self._crypto.unmask(first)
+            self._count_frames(1, 1)
             return [self._encode(response)]
         raise AggregationError(
             f"client {self.index} cannot handle inbound "
@@ -289,6 +328,8 @@ class ServerSession:
             client must propose that version at Hello).
         tamper_unmask_request: Test/adversary seam applied to the
             round-3 announcement before it is encoded for broadcast.
+        metrics: Optional registry for negotiation-outcome and frame
+            counters; the default collects nothing.
     """
 
     def __init__(
@@ -302,6 +343,7 @@ class ServerSession:
         accept_versions: frozenset[int] = SUPPORTED_PROTOCOL_VERSIONS,
         tamper_unmask_request: Callable[[UnmaskRequest], UnmaskRequest]
         | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if not accept_versions:
             raise ConfigurationError(
@@ -333,6 +375,23 @@ class ServerSession:
         self._expected: frozenset[int] = frozenset()
         self._request: UnmaskRequest | None = None
         self._modular_sum: np.ndarray | None = None
+        self._m_frames_in = self._m_frames_out = None
+        self._m_negotiations = self._m_rejects = None
+        if metrics is not None:
+            frames = metrics.counter(
+                "secagg_frames_total",
+                "Wire frames decoded (in) / encoded (out), per role.",
+            )
+            self._m_frames_in = frames.labels(role="server", direction="in")
+            self._m_frames_out = frames.labels(role="server", direction="out")
+            self._m_negotiations = metrics.counter(
+                "secagg_negotiations_total",
+                "Hello negotiation outcomes.",
+            )
+            self._m_rejects = metrics.counter(
+                "secagg_negotiation_rejects_total",
+                "Hello rejections by reason category.",
+            )
 
     @property
     def crypto(self) -> BonawitzServer:
@@ -434,6 +493,8 @@ class ServerSession:
                         len(data),
                         messages=len(envelopes),
                     )
+                    if self._m_frames_in is not None and envelopes:
+                        self._m_frames_in.inc(len(envelopes))
                 return
         frames = iter_frames(data)
         for header, message, raw in frames:
@@ -449,6 +510,8 @@ class ServerSession:
             self.stats.record_upload(
                 self.phase_tag, sender, len(data), messages=len(frames)
             )
+            if self._m_frames_in is not None and frames:
+                self._m_frames_in.inc(len(frames))
 
     @staticmethod
     def _sender_of(message: Message) -> int:
@@ -490,13 +553,16 @@ class ServerSession:
                     f"unsupported protocol version {header.version} "
                     f"(round speaks {self.header.version})"
                 )
+                self._count_negotiation("rejected", "version")
             elif header.mask_prg != self.header.mask_prg:
                 self.rejections[sender] = (
                     f"mask PRG backend {header.mask_prg!r} does not match "
                     f"the round's {self.header.mask_prg!r}"
                 )
+                self._count_negotiation("rejected", "mask-prg")
             else:
                 self._hellos[sender] = header
+                self._count_negotiation("accepted")
             return
         if isinstance(message, Advertise):
             if self._phase != ROUND_ADVERTISE:
@@ -559,6 +625,12 @@ class ServerSession:
             f"the server cannot ingest {type(message).__name__} frames"
         )
 
+    def _count_negotiation(self, outcome: str, reason: str | None = None) -> None:
+        if self._m_negotiations is not None:
+            self._m_negotiations.labels(outcome=outcome).inc()
+            if reason is not None:
+                self._m_rejects.labels(reason=reason).inc()
+
     def _require_expected(self, sender: int) -> None:
         if sender not in self._expected:
             raise AggregationError(
@@ -602,6 +674,8 @@ class ServerSession:
             self.stats.record_download(
                 tag, recipient, len(payload), messages=messages
             )
+            if self._m_frames_out is not None:
+                self._m_frames_out.inc(messages)
         self._phase += 1
         return {
             recipient: payload for recipient, (payload, _) in out.items()

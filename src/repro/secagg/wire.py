@@ -1041,3 +1041,56 @@ class WireStats:
                             tally.bytes, tally.messages
                         )
         return self
+
+    def snapshot(self) -> "WireStats":
+        """A deep, independent copy of the current counters.
+
+        Periodic scrapers take a snapshot per interval and
+        :meth:`diff` consecutive snapshots for per-interval deltas;
+        the live ledger keeps accumulating unaffected.
+        """
+        copy = WireStats()
+        return copy.merge([self])
+
+    def diff(self, prev: "WireStats") -> "WireStats":
+        """Cell-wise difference ``self - prev`` as a new ledger.
+
+        ``prev`` must be an earlier :meth:`snapshot` of the same
+        accounting stream (counters only grow, so every delta is
+        non-negative); cells that did not change are omitted, keeping
+        interval deltas sparse.
+
+        Raises:
+            ValueError: If any cell of ``prev`` exceeds this ledger's —
+                the snapshots are from different streams or out of
+                order.
+        """
+        delta = WireStats()
+        for mine, theirs, out in (
+            (self.uploads, prev.uploads, delta.uploads),
+            (self.downloads, prev.downloads, delta.downloads),
+        ):
+            for phase, cells in mine.items():
+                previous_cells = theirs.get(phase, {})
+                for client, tally in cells.items():
+                    earlier = previous_cells.get(client, WireTally())
+                    messages = tally.messages - earlier.messages
+                    nbytes = tally.bytes - earlier.bytes
+                    if messages < 0 or nbytes < 0:
+                        raise ValueError(
+                            f"diff against a later snapshot: phase "
+                            f"{phase!r} client {client} went backwards"
+                        )
+                    if messages or nbytes:
+                        self._cell(out, phase, client).add(nbytes, messages)
+            for phase, previous_cells in theirs.items():
+                cells = mine.get(phase, {})
+                for client, earlier in previous_cells.items():
+                    if client not in cells and (
+                        earlier.messages or earlier.bytes
+                    ):
+                        raise ValueError(
+                            f"diff against a later snapshot: phase "
+                            f"{phase!r} client {client} vanished"
+                        )
+        return delta

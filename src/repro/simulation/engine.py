@@ -79,6 +79,11 @@ from repro.simulation.sharding import (
     get_execution_backend,
     shamir_threshold,
 )
+from repro.telemetry import (
+    COHORT_SIZE_BUCKETS,
+    MetricsRegistry,
+    MetricsReport,
+)
 
 #: Run-scoped spawn-key purposes (distinct namespace from the per-round
 #: purposes in :mod:`repro.simulation.population` by key length).
@@ -129,6 +134,17 @@ class SimulationConfig:
             pool with the shared-memory vector transport), or
             ``"process-pickle"`` (the same pool shipping vectors inside
             the task pickle); results are bit-identical in all cases.
+        telemetry: Meter the run into a
+            :class:`~repro.telemetry.MetricsRegistry` (phase latencies,
+            round/dropout/wire counters, cumulative-epsilon gauge) and
+            attach the end-of-run :class:`~repro.telemetry.MetricsReport`
+            to the result.  Instrumentation never touches the RNG, so
+            runs are bit-identical either way; ``False`` removes even
+            the bookkeeping cost.
+        trace_max_events: Ring-buffer cap on the run's
+            :class:`~repro.simulation.events.SimulationTrace` (oldest
+            events beyond the cap are dropped and counted); ``None``
+            (default) retains every event.
     """
 
     population_size: int = 32
@@ -151,11 +167,18 @@ class SimulationConfig:
     verify_aggregate: bool = False
     shards: int = 1
     backend: str = "inline"
+    telemetry: bool = True
+    trace_max_events: int | None = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ConfigurationError(
                 f"shards must be >= 1, got {self.shards}"
+            )
+        if self.trace_max_events is not None and self.trace_max_events < 1:
+            raise ConfigurationError(
+                "trace_max_events must be >= 1 or None, got "
+                f"{self.trace_max_events}"
             )
         if self.backend not in EXECUTION_BACKENDS:
             raise ConfigurationError(
@@ -226,6 +249,9 @@ class SimulationResult:
         sim_duration: Total simulated seconds of SecAgg traffic.
         parameters_digest: SHA-256 of the final model parameters —
             equal digests prove bit-identical runs.
+        metrics: End-of-run :class:`~repro.telemetry.MetricsReport`
+            (exportable to Prometheus text or JSON lines), or ``None``
+            when the run disabled telemetry.
     """
 
     records: tuple[RoundRecord, ...]
@@ -235,6 +261,7 @@ class SimulationResult:
     mechanism_summary: dict
     sim_duration: float
     parameters_digest: str
+    metrics: MetricsReport | None = None
 
     @property
     def final_accuracy(self) -> float:
@@ -352,6 +379,9 @@ class SimulationEngine:
         self._curves: dict[int, object] = {}  # survivor count -> RDP curve
         self._records: list[RoundRecord] = []
         self._backend = None  # ExecutionBackend, built per run()
+        self._metrics: MetricsRegistry | None = None
+        self._m_sim_rounds = self._m_cohort = None
+        self._m_epsilon = self._m_fallbacks = None
 
     @property
     def sampling_rate(self) -> float:
@@ -362,9 +392,36 @@ class SimulationEngine:
         """Execute the full training run; returns the collected result."""
         self._records = []
         self._clock = SimulatedClock()
-        self.trace = SimulationTrace(self._clock)
+        self.trace = SimulationTrace(
+            self._clock, max_events=self.config.trace_max_events
+        )
         self.encoder = self.decoder = self._ledger = None
         self._curves = {}
+        if self.config.telemetry:
+            self._metrics = MetricsRegistry()
+            self._m_sim_rounds = self._metrics.counter(
+                "sim_rounds_total",
+                "Scheduled training rounds, by status.",
+            )
+            self._m_cohort = self._metrics.histogram(
+                "sim_cohort_size",
+                "Poisson-sampled cohort size per scheduled round.",
+                buckets=COHORT_SIZE_BUCKETS,
+            )
+            self._m_epsilon = self._metrics.gauge(
+                "sim_cumulative_epsilon",
+                "Cumulative privacy ledger epsilon after the latest "
+                "charged round.",
+            )
+            self._m_fallbacks = self._metrics.counter(
+                "sim_ledger_fallbacks_total",
+                "Rounds charged at the calibrated expectation because "
+                "the realized survivor count was infeasible.",
+            )
+        else:
+            self._metrics = None
+            self._m_sim_rounds = self._m_cohort = None
+            self._m_epsilon = self._m_fallbacks = None
         # Only sharded runs execute through a backend; flat runs drive
         # AsyncSecAggRound on the engine clock directly.
         self._backend = (
@@ -387,6 +444,17 @@ class SimulationEngine:
         digest = hashlib.sha256(
             np.ascontiguousarray(self.model.get_flat_parameters()).tobytes()
         ).hexdigest()
+        report: MetricsReport | None = None
+        if self._metrics is not None:
+            self._metrics.gauge(
+                "sim_clock_seconds",
+                "Simulated seconds the full run spanned.",
+            ).set(self._clock.now)
+            self._metrics.gauge(
+                "sim_trace_dropped_events",
+                "Trace events evicted by the ring-buffer cap.",
+            ).set(float(self.trace.dropped_events))
+            report = MetricsReport(snapshot=self._metrics.snapshot())
         return SimulationResult(
             records=tuple(self._records),
             history=history,
@@ -397,6 +465,7 @@ class SimulationEngine:
             ),
             sim_duration=self._clock.now,
             parameters_digest=digest,
+            metrics=report,
         )
 
     def _ensure_wired(self) -> None:
@@ -452,20 +521,31 @@ class SimulationEngine:
             self.trace.record(
                 "ledger-fallback", contributors=contributors
             )
+            if self._m_fallbacks is not None:
+                self._m_fallbacks.inc()
             self._ledger.step_subsampled(
                 self._round_curve(self.config.expected_cohort),
                 self.sampling_rate,
             )
-        return self._current_epsilon()
+        epsilon = self._current_epsilon()
+        if self._m_epsilon is not None and not math.isnan(epsilon):
+            self._m_epsilon.set(epsilon)
+        return epsilon
 
     def _current_epsilon(self) -> float:
         if self._ledger is None:
             return float("nan")
         return self._ledger.epsilon(self.config.delta)
 
+    def _count_sim_round(self, status: str, cohort_size: int) -> None:
+        if self._m_sim_rounds is not None:
+            self._m_sim_rounds.labels(status=status).inc()
+            self._m_cohort.observe(float(cohort_size))
+
     def _record_skipped_round(self, round_index: int) -> None:
         """An empty Poisson sample still counts as a scheduled round."""
         self._ensure_wired()
+        self._count_sim_round("skipped", 0)
         epsilon = self._charge_round(self.config.expected_cohort)
         now = self._clock.now if self._clock is not None else 0.0
         self._records.append(
@@ -518,6 +598,7 @@ class SimulationEngine:
                     phase_timeout=self.config.phase_timeout,
                     backend=self._backend,
                     trace=self.trace,
+                    metrics=self._metrics,
                 )
                 outcome = sharded_round.execute()
             else:
@@ -533,6 +614,7 @@ class SimulationEngine:
                     plans=plans,
                     phase_timeout=self.config.phase_timeout,
                     trace=self.trace,
+                    metrics=self._metrics,
                 )
                 outcome = self._clock.run(secagg_round.run())
         except AggregationError:
@@ -545,6 +627,7 @@ class SimulationEngine:
                     reference + vectors[client], self.config.modulus
                 )
             matches = bool(np.array_equal(reference, outcome.modular_sum))
+        self._count_sim_round("completed", len(cohort))
         # Charge dropout (lost noise shares) honestly while keeping the
         # paper's expected-batch convention for Poisson size fluctuation.
         survivor_fraction = len(outcome.included) / len(cohort)
@@ -578,6 +661,7 @@ class SimulationEngine:
         cohort: tuple[int, ...],
     ) -> np.ndarray:
         """Non-private baseline: direct sum, no SecAgg, no ledger."""
+        self._count_sim_round("completed", len(cohort))
         self._records.append(
             RoundRecord(
                 index=round_index,
@@ -595,6 +679,7 @@ class SimulationEngine:
         self, round_index: int, cohort: tuple[int, ...], started_at: float
     ) -> None:
         """Below-threshold round: no release, conservative ledger charge."""
+        self._count_sim_round("aborted", len(cohort))
         epsilon = self._charge_round(self.config.expected_cohort)
         self.trace.record("round-aborted", round=round_index)
         self._records.append(

@@ -35,10 +35,19 @@ seam lets tests inject the malicious overlap request that clients must
 refuse (the protocol's core security rule).  Every datagram is tallied
 in the round's :class:`~repro.secagg.wire.WireStats`, surfaced on the
 :class:`RoundOutcome` and as per-phase ``wire-phase`` trace events.
+
+With a :class:`~repro.telemetry.MetricsRegistry` attached, the round
+additionally reports per-phase latency histograms on both clocks
+(via :func:`~repro.telemetry.time_phase` spans), outcome / dropout /
+timeout / straggler counters, and wire byte+message counters derived
+from per-phase :meth:`WireStats.diff <repro.secagg.wire.WireStats.diff>`
+deltas.  Instrumentation only ever *reads* the simulated clock — never
+the RNG — so metered and unmetered runs stay bit-identical.
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 from collections.abc import Callable, Mapping
 
@@ -65,6 +74,8 @@ from repro.secagg.statemachine import (
 )
 from repro.secagg.wire import PROTOCOL_V1, WireStats
 from repro.simulation.clock import SimulatedClock
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.spans import time_phase
 from repro.simulation.events import Mailbox, SimulationTrace
 from repro.simulation.population import ClientPlan
 
@@ -130,6 +141,12 @@ class AsyncSecAggRound:
         client_versions: Protocol version each client proposes at Hello
             (defaults to :data:`~repro.secagg.wire.PROTOCOL_V1`); the
             seam for exercising version-negotiation rejections.
+        metrics: Optional :class:`~repro.telemetry.MetricsRegistry` the
+            round reports into — per-phase latency histograms (on both
+            clocks), round outcome / dropout / timeout counters, and
+            wire byte+message counters fed from the session's
+            :class:`~repro.secagg.wire.WireStats`.  ``None`` (default)
+            keeps the round entirely instrumentation-free.
     """
 
     def __init__(
@@ -148,6 +165,7 @@ class AsyncSecAggRound:
         | None = None,
         mask_prg: MaskPrg | str | None = None,
         client_versions: Mapping[int, int] | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if not vectors:
             raise ConfigurationError("cohort must not be empty")
@@ -193,6 +211,46 @@ class AsyncSecAggRound:
         # Live client sessions, registered as their tasks spawn so the
         # server can batch-warm the pairwise DH agreements.
         self._live_clients: dict[int, ClientSession] = {}
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_sim_phase = metrics.histogram(
+                "secagg_phase_sim_duration_seconds",
+                "Simulated seconds per protocol phase.",
+            )
+            self._m_wall_phase = metrics.histogram(
+                "secagg_phase_wall_duration_seconds",
+                "Wall-clock compute seconds per protocol phase.",
+            )
+            self._m_rounds = metrics.counter(
+                "secagg_rounds_total",
+                "Secure-aggregation rounds finished, by outcome.",
+            )
+            self._m_dropped = metrics.counter(
+                "secagg_clients_dropped_total",
+                "Cohort members that dropped or straggled out, by phase.",
+            )
+            self._m_timeouts = metrics.counter(
+                "secagg_phase_timeouts_total",
+                "Phases the server closed at the deadline, by phase.",
+            )
+            self._m_ignored = metrics.counter(
+                "secagg_messages_ignored_total",
+                "Datagrams ignored: stragglers, duplicates, unknown "
+                "senders.",
+            )
+            self._m_wire_messages = metrics.counter(
+                "secagg_wire_messages_total",
+                "Protocol messages on the wire, by phase and direction.",
+            )
+            self._m_wire_bytes = metrics.counter(
+                "secagg_wire_bytes_total",
+                "Serialized bytes on the wire, by phase and direction.",
+            )
+        else:
+            self._m_sim_phase = self._m_wall_phase = None
+            self._m_rounds = self._m_dropped = None
+            self._m_timeouts = self._m_ignored = None
+            self._m_wire_messages = self._m_wire_bytes = None
 
     def _plan(self, client: int) -> ClientPlan:
         return self._plans.get(client, ClientPlan())
@@ -200,6 +258,40 @@ class AsyncSecAggRound:
     def _record(self, kind: str, **details) -> None:
         if self._trace is not None:
             self._trace.record(kind, **details)
+
+    def _phase_span(self, tag: str):
+        """A dual-clock span for one phase, or a no-op without metrics."""
+        if self._metrics is None:
+            return contextlib.nullcontext()
+        return time_phase(
+            tag,
+            clock=self._clock,
+            sim_histogram=self._m_sim_phase.labels(phase=tag),
+            wall_histogram=self._m_wall_phase.labels(phase=tag),
+        )
+
+    def _count_round(self, outcome: str) -> None:
+        if self._m_rounds is not None:
+            self._m_rounds.labels(outcome=outcome).inc()
+
+    def _count_dropped(self, phase: int) -> None:
+        if self._m_dropped is not None:
+            self._m_dropped.labels(phase=_TAGS[phase]).inc()
+
+    def _count_wire(self, tag: str, totals: Mapping[str, int]) -> None:
+        if self._m_wire_messages is None:
+            return
+        for direction in ("up", "down"):
+            messages = totals.get(f"{direction}_messages", 0)
+            if messages:
+                self._m_wire_messages.labels(
+                    phase=tag, direction=direction
+                ).inc(messages)
+            volume = totals.get(f"{direction}_bytes", 0)
+            if volume:
+                self._m_wire_bytes.labels(
+                    phase=tag, direction=direction
+                ).inc(volume)
 
     async def run(self) -> RoundOutcome:
         """Execute the round; returns the outcome or raises on failure.
@@ -224,6 +316,7 @@ class AsyncSecAggRound:
                     task.cancel()
             await asyncio.gather(*tasks.values(), return_exceptions=True)
         if server_error is not None:
+            self._count_round("aborted")
             # Prefer a client-side protocol rejection as the root cause
             # (e.g. the overlap-refusal rule): the server's threshold
             # failure is its downstream symptom.  Checked *after* the
@@ -239,7 +332,9 @@ class AsyncSecAggRound:
         for u in self._cohort:
             task = tasks[u]
             if task.done() and not task.cancelled() and task.exception():
+                self._count_round("aborted")
                 raise task.exception()
+        self._count_round("completed")
         return outcome
 
     async def _server_task(self, started_at: float) -> RoundOutcome:
@@ -251,45 +346,53 @@ class AsyncSecAggRound:
             self._group,
             self._mask_prg,
             tamper_unmask_request=self._tamper,
+            metrics=self._metrics,
         )
         # Phase 0 is the only one where the cohort (the transport's
         # knowledge) defines who may deliver; afterwards the session
         # tracks the shrinking participant set itself.
         expected = set(self._cohort)
         deliveries: dict[int, bytes] = {}
+        observing = self._trace is not None or self._metrics is not None
         for phase in (
             ROUND_ADVERTISE,
             ROUND_SHARE_KEYS,
             ROUND_MASKED_INPUT,
             ROUND_UNMASK,
         ):
-            datagrams = await self._collect(_TAGS[phase], expected=expected)
-            for sender, payload in datagrams.items():
-                session.receive(payload, sender=sender)
-            deliveries = session.advance()
-            if phase == ROUND_ADVERTISE:
-                # Pre-derive the accepted roster's pairwise DH keys in
-                # one vectorised sweep (pure memoisation warm-up; the
-                # rejected clients' keys would never be used).
-                warm_pairwise_agreements(
-                    [
-                        self._live_clients[u].crypto
-                        for u in sorted(session.expected)
-                        if u in self._live_clients
-                    ]
-                )
-                for client, reason in session.rejections.items():
-                    self._record(
-                        "client-rejected", client=client, reason=reason
+            tag = _TAGS[phase]
+            wire_before = session.stats.snapshot() if observing else None
+            with self._phase_span(tag):
+                datagrams = await self._collect(tag, expected=expected)
+                for sender, payload in datagrams.items():
+                    session.receive(payload, sender=sender)
+                deliveries = session.advance()
+                if phase == ROUND_ADVERTISE:
+                    # Pre-derive the accepted roster's pairwise DH keys
+                    # in one vectorised sweep (pure memoisation warm-up;
+                    # the rejected clients' keys would never be used).
+                    warm_pairwise_agreements(
+                        [
+                            self._live_clients[u].crypto
+                            for u in sorted(session.expected)
+                            if u in self._live_clients
+                        ]
                     )
-            if session.tampered and phase == ROUND_MASKED_INPUT:
-                self._record("unmask-request-tampered")
-            totals = session.stats.phase_totals().get(_TAGS[phase])
-            if totals is not None:
-                self._record("wire-phase", phase=_TAGS[phase], **totals)
-            if phase != ROUND_UNMASK:
-                self._broadcast(deliveries, among=expected)
-            expected = set(session.expected)
+                    for client, reason in session.rejections.items():
+                        self._record(
+                            "client-rejected", client=client, reason=reason
+                        )
+                if session.tampered and phase == ROUND_MASKED_INPUT:
+                    self._record("unmask-request-tampered")
+                if phase != ROUND_UNMASK:
+                    self._broadcast(deliveries, among=expected)
+                expected = set(session.expected)
+            if wire_before is not None:
+                delta = session.stats.diff(wire_before)
+                totals = delta.phase_totals().get(tag)
+                if totals is not None:
+                    self._record("wire-phase", phase=tag, **totals)
+                    self._count_wire(tag, totals)
         modular_sum = session.modular_sum
         completed_at = self._clock.now
         included = session.included
@@ -326,6 +429,8 @@ class AsyncSecAggRound:
                     phase=tag,
                     missing=sorted(expected - set(collected)),
                 )
+                if self._m_timeouts is not None:
+                    self._m_timeouts.labels(phase=tag).inc()
                 break
             sender, sender_tag, payload = item
             if sender_tag != tag or sender not in expected or (
@@ -335,6 +440,8 @@ class AsyncSecAggRound:
                     "message-ignored", sender=sender, phase=sender_tag,
                     during=tag,
                 )
+                if self._m_ignored is not None:
+                    self._m_ignored.inc()
                 continue
             collected[sender] = payload
             self._record("message-received", sender=sender, phase=tag)
@@ -365,11 +472,13 @@ class AsyncSecAggRound:
             field=self._field,
             mask_prg=self._mask_prg,
             version=self._client_versions.get(index, PROTOCOL_V1),
+            metrics=self._metrics,
         )
         self._live_clients[index] = session
         # Phase 0 — propose the header and advertise both public keys.
         if not plan.responds_at(ROUND_ADVERTISE):
             self._record("client-dropped", client=index, phase=ROUND_ADVERTISE)
+            self._count_dropped(ROUND_ADVERTISE)
             return
         await self._clock.sleep(plan.latencies[ROUND_ADVERTISE])
         self._send(index, ROUND_ADVERTISE, b"".join(session.start()))
@@ -380,6 +489,7 @@ class AsyncSecAggRound:
                 return
             if not plan.responds_at(phase):
                 self._record("client-dropped", client=index, phase=phase)
+                self._count_dropped(phase)
                 return
             responses = session.handle(data)
             if session.rejected is not None:

@@ -50,6 +50,7 @@ Only if every shard aborts does the round raise
 from __future__ import annotations
 
 import abc
+import contextlib
 import dataclasses
 import math
 import os
@@ -70,6 +71,8 @@ from repro.simulation.shm import (
     WorkerBlock,
     shared_memory_available,
 )
+from repro.telemetry.registry import MetricsRegistry, MetricsSnapshot
+from repro.telemetry.spans import time_phase
 
 #: A Bonawitz instance needs at least two parties (threshold >= 2), so a
 #: shard below this size is never formed — the partition caps ``k``.
@@ -148,6 +151,10 @@ class ShardTask:
         shm: When set, ``vectors`` is empty and the inputs (plus the
             result row) live in the shared-memory block this descriptor
             names — the :mod:`repro.simulation.shm` vector transport.
+        collect_metrics: When true the worker meters its sub-round into
+            a private registry and ships the (picklable) snapshot back
+            on the report for the parent to absorb under a ``shard``
+            label.
     """
 
     shard_index: int
@@ -160,6 +167,7 @@ class ShardTask:
     phase_timeout: float
     mask_prg: str | None = None
     shm: "ShmVectorBlock | None" = None
+    collect_metrics: bool = False
 
 
 @dataclasses.dataclass(frozen=True)
@@ -178,6 +186,10 @@ class ShardReport:
             parent's epoch, so times merge directly).
         pending_timers: Shard-clock leak counter at exit; zero when the
             timer-cancellation contract held.
+        metrics: Snapshot of the shard's private metrics registry when
+            the task asked for one (``collect_metrics``), else ``None``.
+            Frozen tuples all the way down, so it pickles across the
+            process boundary unchanged.
     """
 
     shard_index: int
@@ -187,6 +199,7 @@ class ShardReport:
     ended_at: float
     events: tuple[TraceEvent, ...]
     pending_timers: int
+    metrics: MetricsSnapshot | None = None
 
 
 def run_shard(task: ShardTask) -> ShardReport:
@@ -208,6 +221,7 @@ def run_shard(task: ShardTask) -> ShardReport:
         vectors = block.read_vectors()
     clock = SimulatedClock(start=task.start_time)
     trace = SimulationTrace(clock)
+    registry = MetricsRegistry() if task.collect_metrics else None
     rng = np.random.default_rng(
         np.random.SeedSequence(task.entropy, spawn_key=(task.shard_index,))
     )
@@ -221,6 +235,7 @@ def run_shard(task: ShardTask) -> ShardReport:
         phase_timeout=task.phase_timeout,
         trace=trace,
         mask_prg=task.mask_prg,
+        metrics=registry,
     )
     outcome: RoundOutcome | None = None
     error: str | None = None
@@ -243,6 +258,7 @@ def run_shard(task: ShardTask) -> ShardReport:
         ended_at=clock.now,
         events=tuple(trace.events),
         pending_timers=clock.pending_timers,
+        metrics=registry.snapshot() if registry is not None else None,
     )
 
 
@@ -325,6 +341,15 @@ class ProcessBackend(ExecutionBackend):
         # One shared block reused across every round this backend runs;
         # built lazily, released with the pool.
         self._shm_transport: SharedMemoryTransport | None = None
+
+    @property
+    def effective_transport(self) -> str:
+        """The vector transport actually in use on this platform —
+        requested ``"shm"`` degrades to ``"pickle"`` where POSIX shared
+        memory is unavailable."""
+        if self._vector_transport == "shm" and shared_memory_available():
+            return "shm"
+        return "pickle"
 
     def _ensure_pool(self):
         if self._pool is None:
@@ -437,6 +462,13 @@ class ShardedSecAggRound:
         trace: Optional parent event log; shard traces are merged into
             it, each event annotated with its shard index.
         mask_prg: Mask PRG backend name shared by every shard.
+        metrics: Optional :class:`~repro.telemetry.MetricsRegistry`.
+            Each shard sub-round meters into a private registry (in the
+            worker process, for the process backends) whose snapshot is
+            absorbed back here under a ``shard="<index>"`` label; the
+            parent additionally times backend dispatch and merge, and
+            counts the vector bytes that crossed the worker boundary by
+            transport (``shm`` vs ``pickle``).
     """
 
     def __init__(
@@ -452,6 +484,7 @@ class ShardedSecAggRound:
         backend: ExecutionBackend | str | None = None,
         trace: SimulationTrace | None = None,
         mask_prg: str | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if not vectors:
             raise ConfigurationError("cohort must not be empty")
@@ -486,6 +519,25 @@ class ShardedSecAggRound:
         # one draw regardless of k).
         self._entropy = int(rng.integers(0, 2**63))
         self.last_reports: tuple[ShardReport, ...] = ()
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_dispatch = metrics.histogram(
+                "secagg_shard_dispatch_seconds",
+                "Wall seconds the backend spent running a round's "
+                "shards, by backend.",
+            )
+            self._m_merge = metrics.histogram(
+                "secagg_shard_merge_seconds",
+                "Wall seconds spent absorbing shard reports (metrics "
+                "and traces) back into the parent round.",
+            )
+            self._m_transfer = metrics.counter(
+                "secagg_shard_transfer_bytes_total",
+                "Vector payload bytes that crossed the worker "
+                "boundary, by transport.",
+            )
+        else:
+            self._m_dispatch = self._m_merge = self._m_transfer = None
 
     @property
     def num_shards(self) -> int:
@@ -509,9 +561,25 @@ class ShardedSecAggRound:
                 },
                 phase_timeout=self._phase_timeout,
                 mask_prg=self._mask_prg,
+                collect_metrics=self._metrics is not None,
             )
             for index, members in enumerate(self._partition)
         ]
+
+    def _transport_label(self) -> str | None:
+        """How shard vectors cross the worker boundary, or ``None``
+        when they never leave this process (inline backend)."""
+        if isinstance(self._backend, ProcessBackend):
+            return self._backend.effective_transport
+        return None
+
+    def _wall_span(self, name: str, instrument, **labels):
+        """A wall-clock-only span, or a no-op without metrics."""
+        if instrument is None:
+            return contextlib.nullcontext()
+        if labels:
+            instrument = instrument.labels(**labels)
+        return time_phase(name, wall_histogram=instrument)
 
     def _merge_traces(self, reports: Sequence[ShardReport]) -> None:
         if self._trace is None:
@@ -543,13 +611,41 @@ class ShardedSecAggRound:
                 threshold.
         """
         started_at = self._clock.now
+        tasks = self._build_tasks(started_at)
         try:
-            reports = self._backend.run_shards(self._build_tasks(started_at))
+            with self._wall_span(
+                "shard-dispatch", self._m_dispatch,
+                backend=self._backend.name,
+            ):
+                reports = self._backend.run_shards(tasks)
         finally:
             if self._owns_backend:
                 self._backend.close()
         self.last_reports = tuple(reports)
-        self._merge_traces(reports)
+        if self._metrics is not None:
+            transport = self._transport_label()
+            if transport is not None:
+                moved = sum(
+                    vector.nbytes
+                    for task in tasks
+                    for vector in task.vectors.values()
+                )
+                moved += sum(
+                    report.outcome.modular_sum.nbytes
+                    for report in reports
+                    if report.outcome is not None
+                )
+                self._m_transfer.labels(transport=transport).inc(moved)
+        with self._wall_span("shard-merge", self._m_merge):
+            if self._metrics is not None:
+                for report in reports:
+                    if report.metrics is not None:
+                        self._metrics.absorb(
+                            report.metrics.with_labels(
+                                shard=str(report.shard_index)
+                            )
+                        )
+            self._merge_traces(reports)
         completed_at = max(report.ended_at for report in reports)
         self._clock.advance_to(completed_at)
         succeeded = [report for report in reports if report.outcome is not None]

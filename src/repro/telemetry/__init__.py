@@ -1,0 +1,66 @@
+"""``repro.telemetry`` — the measurement layer of the simulation stack.
+
+A dependency-free metrics registry (counters, gauges, histograms with
+fixed log-scale latency buckets, labeled series), thread- and
+process-merge-safe snapshots, two exporters (Prometheus text exposition
+and JSON lines), and span timers that measure simulated and wall time
+together.  The simulation stack — round drivers, sharding, the engine,
+the sans-I/O protocol sessions — reports into one registry per run; the
+future network server exposes the same exposition text on ``/metrics``.
+
+Layering:
+
+* :mod:`~repro.telemetry.registry` — instruments, registry, snapshots.
+* :mod:`~repro.telemetry.spans` — dual-clock region timing.
+* :mod:`~repro.telemetry.exporters` — exposition/JSONL render + parse.
+* :mod:`~repro.telemetry.report` — the frozen end-of-run report.
+"""
+
+from repro.telemetry.exporters import (
+    ParsedMetrics,
+    parse_prometheus,
+    to_json_lines,
+    to_prometheus,
+    trace_to_json_lines,
+)
+from repro.telemetry.registry import (
+    COHORT_SIZE_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    SeriesSnapshot,
+    merge_snapshots,
+)
+from repro.telemetry.report import (
+    PHASE_ORDER,
+    SIM_PHASE_HISTOGRAM,
+    WALL_PHASE_HISTOGRAM,
+    MetricsReport,
+)
+from repro.telemetry.spans import Span, time_phase
+
+__all__ = [
+    "COHORT_SIZE_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "PHASE_ORDER",
+    "SIM_PHASE_HISTOGRAM",
+    "WALL_PHASE_HISTOGRAM",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsReport",
+    "MetricsSnapshot",
+    "ParsedMetrics",
+    "SeriesSnapshot",
+    "Span",
+    "merge_snapshots",
+    "parse_prometheus",
+    "time_phase",
+    "to_json_lines",
+    "to_prometheus",
+    "trace_to_json_lines",
+]

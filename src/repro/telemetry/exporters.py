@@ -1,0 +1,325 @@
+"""Snapshot exporters: Prometheus text exposition and JSON lines.
+
+Two output formats, one input (:class:`~repro.telemetry.registry.MetricsSnapshot`):
+
+* :func:`to_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, one sample per line, histograms as
+  cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``).
+  This is the exact payload a ``/metrics`` endpoint will serve;
+  :func:`parse_prometheus` is the matching validator/parser used by the
+  round-trip tests and the CI smoke step (it rejects malformed lines,
+  duplicate series, and non-monotone histogram buckets).
+* :func:`to_json_lines` — one JSON object per series, for log
+  pipelines and ad-hoc analysis.
+
+Plus :func:`trace_to_json_lines`, which streams a
+:class:`~repro.simulation.events.SimulationTrace`'s events as JSONL —
+``repro simulate --trace-out`` writes exactly this.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from collections.abc import Iterable, Iterator
+
+from repro.telemetry.registry import (
+    COUNTER,
+    GAUGE,
+    HISTOGRAM,
+    MetricsSnapshot,
+    SeriesSnapshot,
+)
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+_LABEL_PAIR = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+
+
+def _format_value(value: float) -> str:
+    """Format a sample value: integers bare, floats via repr (which
+    round-trips exactly through ``float()``), infinities Prometheus-style."""
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _unescape_label(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _label_text(labels: Iterable[tuple[str, str]]) -> str:
+    inner = ",".join(
+        f'{name}="{_escape_label(value)}"' for name, value in labels
+    )
+    return f"{{{inner}}}" if inner else ""
+
+
+def _series_lines(series: SeriesSnapshot) -> Iterator[str]:
+    if series.kind == HISTOGRAM:
+        cumulative = 0
+        for bound, count in series.buckets:
+            cumulative += count
+            le = (
+                "+Inf" if math.isinf(bound) else _format_value(bound)
+            )
+            labels = series.labels + (("le", le),)
+            yield f"{series.name}_bucket{_label_text(labels)} {cumulative}"
+        yield (
+            f"{series.name}_sum{_label_text(series.labels)} "
+            f"{_format_value(series.sum)}"
+        )
+        yield (
+            f"{series.name}_count{_label_text(series.labels)} "
+            f"{series.count}"
+        )
+    else:
+        yield (
+            f"{series.name}{_label_text(series.labels)} "
+            f"{_format_value(series.value or 0.0)}"
+        )
+
+
+def to_prometheus(snapshot: MetricsSnapshot) -> str:
+    """Render a snapshot in the Prometheus text exposition format.
+
+    Series are grouped by family in sorted name order, each family
+    preceded by its ``# HELP`` and ``# TYPE`` headers; within a family
+    the samples follow the snapshot's (sorted-label) order.  The output
+    is deterministic for a given snapshot.
+    """
+    by_name: dict[str, list[SeriesSnapshot]] = {}
+    for series in snapshot.series:
+        by_name.setdefault(series.name, []).append(series)
+    lines: list[str] = []
+    for name in sorted(by_name):
+        group = by_name[name]
+        help_text = next((s.help for s in group if s.help), "")
+        if help_text:
+            escaped = help_text.replace("\\", "\\\\").replace("\n", "\\n")
+            lines.append(f"# HELP {name} {escaped}")
+        lines.append(f"# TYPE {name} {group[0].kind}")
+        for series in group:
+            lines.extend(_series_lines(series))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class ParsedMetrics:
+    """The result of :func:`parse_prometheus`.
+
+    Attributes:
+        types: Family name -> declared kind.
+        samples: ``(sample_name, ((label, value), ...))`` -> float.
+    """
+
+    def __init__(
+        self,
+        types: dict[str, str],
+        samples: dict[tuple[str, tuple[tuple[str, str], ...]], float],
+    ) -> None:
+        self.types = types
+        self.samples = samples
+
+    def value(self, name: str, **labels: object) -> float | None:
+        """Sample value for an exact (name, labels) match."""
+        key = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+        return self.samples.get((name, key))
+
+    def family_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self.types))
+
+
+def _parse_labels(text: str | None) -> tuple[tuple[str, str], ...]:
+    if not text:
+        return ()
+    pairs = []
+    position = 0
+    while position < len(text):
+        match = _LABEL_PAIR.match(text, position)
+        if match is None:
+            raise ValueError(f"malformed label section: {text!r}")
+        pairs.append(
+            (match.group("name"), _unescape_label(match.group("value")))
+        )
+        position = match.end()
+        if position < len(text):
+            if text[position] != ",":
+                raise ValueError(f"malformed label section: {text!r}")
+            position += 1
+    return tuple(sorted(pairs))
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+def parse_prometheus(text: str) -> ParsedMetrics:
+    """Parse (and validate) text exposition output.
+
+    Raises:
+        ValueError: On a malformed line, a sample whose family has no
+            ``# TYPE`` declaration, a duplicate ``(name, labels)``
+            series, or a histogram whose cumulative bucket counts
+            decrease or whose ``+Inf`` bucket disagrees with ``_count``.
+    """
+    types: dict[str, str] = {}
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) != 4 or parts[3] not in (
+                COUNTER, GAUGE, HISTOGRAM,
+            ):
+                raise ValueError(f"line {line_number}: bad TYPE line {line!r}")
+            if parts[2] in types:
+                raise ValueError(
+                    f"line {line_number}: duplicate TYPE for {parts[2]}"
+                )
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # HELP and comments.
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {line_number}: malformed sample {line!r}")
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels"))
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"line {line_number}: bad sample value {line!r}"
+            ) from None
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base is not None and types.get(base) == HISTOGRAM:
+                family = base
+                break
+        if family not in types:
+            raise ValueError(
+                f"line {line_number}: sample {name!r} precedes its TYPE "
+                "declaration"
+            )
+        key = (name, labels)
+        if key in samples:
+            raise ValueError(
+                f"line {line_number}: duplicate series {name}"
+                f"{dict(labels)!r}"
+            )
+        samples[key] = value
+    _validate_histograms(types, samples)
+    return ParsedMetrics(types=types, samples=samples)
+
+
+def _validate_histograms(
+    types: dict[str, str],
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float],
+) -> None:
+    for family, kind in types.items():
+        if kind != HISTOGRAM:
+            continue
+        # Group bucket samples by their non-le labels.
+        buckets: dict[tuple, list[tuple[float, float]]] = {}
+        for (name, labels), value in samples.items():
+            if name != f"{family}_bucket":
+                continue
+            le = dict(labels).get("le")
+            if le is None:
+                raise ValueError(f"{name}: bucket sample without le label")
+            rest = tuple(pair for pair in labels if pair[0] != "le")
+            buckets.setdefault(rest, []).append((_parse_value(le), value))
+        for rest, pairs in buckets.items():
+            pairs.sort(key=lambda pair: pair[0])
+            counts = [count for _, count in pairs]
+            if counts != sorted(counts):
+                raise ValueError(
+                    f"{family}{dict(rest)!r}: cumulative bucket counts "
+                    "decrease"
+                )
+            if not math.isinf(pairs[-1][0]):
+                raise ValueError(
+                    f"{family}{dict(rest)!r}: missing +Inf bucket"
+                )
+            total = samples.get((f"{family}_count", rest))
+            if total is not None and total != pairs[-1][1]:
+                raise ValueError(
+                    f"{family}{dict(rest)!r}: +Inf bucket {pairs[-1][1]} "
+                    f"!= _count {total}"
+                )
+
+
+def _json_default(value: object) -> object:
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    item = getattr(value, "item", None)
+    if callable(item):  # numpy scalars
+        return item()
+    return str(value)
+
+
+def to_json_lines(snapshot: MetricsSnapshot) -> str:
+    """Render a snapshot as JSON lines (one object per series)."""
+    lines = []
+    for series in snapshot.series:
+        record: dict[str, object] = {
+            "name": series.name,
+            "kind": series.kind,
+            "labels": dict(series.labels),
+        }
+        if series.kind == HISTOGRAM:
+            record["buckets"] = [
+                ["+Inf" if math.isinf(bound) else bound, count]
+                for bound, count in series.buckets
+            ]
+            record["sum"] = series.sum
+            record["count"] = series.count
+        else:
+            record["value"] = series.value
+        lines.append(json.dumps(record, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def trace_to_json_lines(events: Iterable) -> Iterator[str]:
+    """Stream trace events as JSONL records.
+
+    Each yielded line is one event: ``{"time": ..., "kind": ...,
+    "details": {...}}`` with sets and numpy scalars coerced to plain
+    JSON values.
+    """
+    for event in events:
+        yield json.dumps(
+            {
+                "time": event.time,
+                "kind": event.kind,
+                "details": dict(event.details),
+            },
+            sort_keys=True,
+            default=_json_default,
+        )

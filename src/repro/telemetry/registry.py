@@ -1,0 +1,583 @@
+"""A dependency-free metrics registry: counters, gauges, histograms.
+
+This is the measurement core the whole simulation stack reports
+through, and the surface a future network server will expose verbatim
+on a ``/metrics`` endpoint.  Design constraints, in order:
+
+* **No dependencies.**  The container bakes in numpy/scipy only; the
+  registry is pure stdlib, so it can ship inside worker processes and
+  CI smoke scripts without an import gamble.
+* **Merge-safe snapshots.**  A :class:`MetricsRegistry` is mutable and
+  thread-safe (one lock per registry); :meth:`MetricsRegistry.snapshot`
+  freezes it into a :class:`MetricsSnapshot` of plain picklable tuples.
+  Snapshots merge commutatively and associatively for counters and
+  histograms (count- and sum-preserving — property-tested), which is
+  what makes per-shard / per-process collection composable: every shard
+  sub-round collects into its own registry, ships the snapshot back in
+  its report, and the parent absorbs them in any order.
+* **Fixed log-scale latency buckets.**  Histograms default to
+  :data:`DEFAULT_LATENCY_BUCKETS` (powers of two from 0.5 ms to ~524 s)
+  so independently-created histograms always merge, and so p50/p99
+  estimates stay comparable across runs and machines.
+
+Naming follows Prometheus conventions — ``*_total`` counters,
+``*_seconds`` histograms — because the text exposition exporter
+(:mod:`repro.telemetry.exporters`) pins that format.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import math
+import re
+import threading
+from collections.abc import Iterable, Mapping
+
+from repro.errors import ConfigurationError
+
+#: Fixed log-scale latency buckets: 0.5 ms doubling up to ~524 s.  One
+#: shared geometry means any two latency histograms merge bucket-wise.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = tuple(
+    5e-4 * 2.0**k for k in range(21)
+)
+
+#: Log-scale size buckets for cohort/population-shaped histograms.
+COHORT_SIZE_BUCKETS: tuple[float, ...] = tuple(
+    float(2**k) for k in range(13)
+)
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Series kinds (also the exposition ``# TYPE`` values).
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+
+def _validate_labels(names: tuple[str, ...]) -> tuple[str, ...]:
+    for name in names:
+        if not _LABEL_NAME.match(name) or name == "le":
+            raise ConfigurationError(f"invalid label name {name!r}")
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"duplicate label names in {names}")
+    return tuple(names)
+
+
+def _label_key(labels: Mapping[str, object]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing series (one labeled child)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counters only go up; got increment {amount}"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A set-to-current-value series (one labeled child)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """A fixed-bucket distribution series (one labeled child).
+
+    Buckets are defined by their (strictly increasing, finite) upper
+    bounds; every observation also lands in an implicit ``+Inf``
+    bucket, and the exact sum and count are tracked alongside, so
+    merging histograms preserves both.
+    """
+
+    __slots__ = ("_lock", "bounds", "_counts", "_inf", "_sum", "_count")
+
+    def __init__(
+        self, lock: threading.Lock, bounds: tuple[float, ...]
+    ) -> None:
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ConfigurationError(
+                "histogram bounds must be non-empty and strictly increasing"
+            )
+        if any(not math.isfinite(b) for b in bounds):
+            raise ConfigurationError("histogram bounds must be finite")
+        self._lock = lock
+        self.bounds = tuple(float(b) for b in bounds)
+        self._counts = [0] * len(bounds)
+        self._inf = 0  # observations above the last finite bound
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        with self._lock:
+            index = bisect.bisect_left(self.bounds, value)
+            if index < len(self.bounds):
+                self._counts[index] += 1
+            else:
+                self._inf += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def bucket_counts(self) -> tuple[int, ...]:
+        """Per-bucket (non-cumulative) counts, ``+Inf`` last."""
+        return tuple(self._counts) + (self._inf,)
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by bucket interpolation.
+
+        Mirrors Prometheus's ``histogram_quantile``: the target rank is
+        located in cumulative bucket counts and linearly interpolated
+        within the bucket.  Observations above the last finite bound
+        clamp to that bound.  Returns ``nan`` for an empty histogram.
+        """
+        if not 0 <= q <= 1:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if self._count == 0:
+            return float("nan")
+        rank = q * self._count
+        cumulative = 0
+        for index, count in enumerate(self._counts):
+            previous = cumulative
+            cumulative += count
+            if cumulative >= rank and count:
+                lower = self.bounds[index - 1] if index else 0.0
+                upper = self.bounds[index]
+                return lower + (upper - lower) * (rank - previous) / count
+        return self.bounds[-1]
+
+
+@dataclasses.dataclass(frozen=True)
+class SeriesSnapshot:
+    """One frozen series: a (name, labels) cell with its value(s).
+
+    ``value`` is set for counters/gauges; ``buckets`` (pairs of
+    ``(upper_bound, non_cumulative_count)``, ``+Inf`` last), ``sum``
+    and ``count`` for histograms.  Plain tuples throughout — picklable
+    across process boundaries by construction.
+    """
+
+    name: str
+    kind: str
+    help: str
+    labels: tuple[tuple[str, str], ...]
+    value: float | None = None
+    buckets: tuple[tuple[float, int], ...] | None = None
+    sum: float | None = None
+    count: int | None = None
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile of a histogram series."""
+        if self.kind != HISTOGRAM or self.buckets is None:
+            raise ConfigurationError(
+                f"{self.name} is a {self.kind}, not a histogram"
+            )
+        if not self.count:
+            return float("nan")
+        rank = q * self.count
+        cumulative = 0
+        for index, (bound, bucket_count) in enumerate(self.buckets):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                if not math.isfinite(bound):
+                    return self.buckets[index - 1][0] if index else float("nan")
+                lower = self.buckets[index - 1][0] if index else 0.0
+                return lower + (bound - lower) * (rank - previous) / bucket_count
+        return self.buckets[-2][0] if len(self.buckets) > 1 else float("nan")
+
+
+def _merge_series(
+    mine: SeriesSnapshot, theirs: SeriesSnapshot
+) -> SeriesSnapshot:
+    if mine.kind != theirs.kind:
+        raise ConfigurationError(
+            f"cannot merge series {mine.name}: kind {mine.kind} vs "
+            f"{theirs.kind}"
+        )
+    help_text = mine.help or theirs.help
+    if mine.kind == COUNTER:
+        return dataclasses.replace(
+            mine, help=help_text, value=(mine.value or 0) + (theirs.value or 0)
+        )
+    if mine.kind == GAUGE:
+        # Right-biased: the later snapshot's reading wins (gauges state
+        # a current value; summing them would be meaningless).
+        return dataclasses.replace(mine, help=help_text, value=theirs.value)
+    bounds_mine = tuple(b for b, _ in mine.buckets)
+    bounds_theirs = tuple(b for b, _ in theirs.buckets)
+    if bounds_mine != bounds_theirs:
+        raise ConfigurationError(
+            f"cannot merge histogram {mine.name}: bucket bounds differ"
+        )
+    return dataclasses.replace(
+        mine,
+        help=help_text,
+        buckets=tuple(
+            (bound, count_a + count_b)
+            for (bound, count_a), (_, count_b) in zip(
+                mine.buckets, theirs.buckets
+            )
+        ),
+        sum=mine.sum + theirs.sum,
+        count=mine.count + theirs.count,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricsSnapshot:
+    """A frozen, picklable view of a registry at one instant.
+
+    Snapshots are the unit of cross-thread and cross-process metric
+    transport: merge them (counters and histograms add, gauges take the
+    later reading), relabel them (:meth:`with_labels` — how shard
+    snapshots gain their ``shard`` label), and export them
+    (:mod:`repro.telemetry.exporters`).
+    """
+
+    series: tuple[SeriesSnapshot, ...] = ()
+
+    def merge(self, *others: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Fold other snapshots into a new one (self unchanged).
+
+        Counter and histogram merging is commutative and associative
+        (count/sum-preserving); gauge cells are right-biased.
+        """
+        table: dict[tuple[str, tuple[tuple[str, str], ...]], SeriesSnapshot]
+        table = {(s.name, s.labels): s for s in self.series}
+        for other in others:
+            for series in other.series:
+                key = (series.name, series.labels)
+                existing = table.get(key)
+                table[key] = (
+                    series if existing is None
+                    else _merge_series(existing, series)
+                )
+        return MetricsSnapshot(
+            series=tuple(table[key] for key in sorted(table))
+        )
+
+    def with_labels(self, **labels: object) -> "MetricsSnapshot":
+        """A copy with extra labels stamped onto every series.
+
+        Existing labels win on collision — a shard cannot overwrite a
+        label a series already carries.
+        """
+        extra = _label_key(labels)
+        out = []
+        for series in self.series:
+            existing = dict(series.labels)
+            merged = dict(extra)
+            merged.update(existing)
+            out.append(
+                dataclasses.replace(series, labels=tuple(sorted(merged.items())))
+            )
+        return MetricsSnapshot(series=tuple(out))
+
+    def get(self, name: str, **labels: object) -> SeriesSnapshot | None:
+        """The exact series for (name, labels), or ``None``."""
+        key = _label_key(labels)
+        for series in self.series:
+            if series.name == name and series.labels == key:
+                return series
+        return None
+
+    def value(self, name: str, **labels: object) -> float | None:
+        """Exact-match counter/gauge value, or ``None``."""
+        series = self.get(name, **labels)
+        return None if series is None else series.value
+
+    def sum_values(self, name: str, **labels: object) -> float:
+        """Sum of counter/gauge values over series matching a label
+        subset (e.g. all phases of one wire counter)."""
+        want = dict(_label_key(labels))
+        total = 0.0
+        for series in self.series:
+            if series.name != name or series.value is None:
+                continue
+            have = dict(series.labels)
+            if all(have.get(k) == v for k, v in want.items()):
+                total += series.value
+        return total
+
+    def quantile(self, name: str, q: float, **labels: object) -> float:
+        """Exact-match histogram quantile (``nan`` if absent/empty)."""
+        series = self.get(name, **labels)
+        if series is None:
+            return float("nan")
+        return series.quantile(q)
+
+    def aggregate(self, name: str, **labels: object) -> SeriesSnapshot | None:
+        """Merge every series of ``name`` matching a label subset into
+        one series carrying just the queried labels — e.g. all shards'
+        ``phase="advertise"`` latency histograms as one histogram.
+        Counters add and histograms add bucket-wise; gauges are skipped
+        (no single cross-series reading is meaningful).  Returns
+        ``None`` when nothing matches.
+        """
+        want = _label_key(labels)
+        want_map = dict(want)
+        merged: SeriesSnapshot | None = None
+        for series in self.series:
+            if series.name != name or series.kind == GAUGE:
+                continue
+            have = dict(series.labels)
+            if not all(have.get(k) == v for k, v in want_map.items()):
+                continue
+            candidate = dataclasses.replace(series, labels=want)
+            merged = (
+                candidate
+                if merged is None
+                else _merge_series(merged, candidate)
+            )
+        return merged
+
+    def names(self) -> tuple[str, ...]:
+        """Sorted distinct series names."""
+        return tuple(sorted({series.name for series in self.series}))
+
+
+def merge_snapshots(snapshots: Iterable[MetricsSnapshot]) -> MetricsSnapshot:
+    """Merge any number of snapshots (order-independent for counters
+    and histograms; empty input gives an empty snapshot)."""
+    return MetricsSnapshot().merge(*snapshots)
+
+
+class _Family:
+    """One named metric with its kind, help text and labeled children."""
+
+    __slots__ = ("name", "kind", "help", "bounds", "_lock", "_children")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        lock: threading.Lock,
+        bounds: tuple[float, ...] | None = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.bounds = bounds
+        self._lock = lock
+        self._children: dict[tuple[tuple[str, str], ...], object] = {}
+
+    def labels(self, **labels: object):
+        """The child series for these label values (created on first
+        use, memoised after)."""
+        for label in labels:
+            if not _LABEL_NAME.match(label) or label == "le":
+                raise ConfigurationError(f"invalid label name {label!r}")
+        key = _label_key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                if self.kind == COUNTER:
+                    child = Counter(self._lock)
+                elif self.kind == GAUGE:
+                    child = Gauge(self._lock)
+                else:
+                    child = Histogram(self._lock, self.bounds)
+                self._children[key] = child
+        return child
+
+    # Unlabeled convenience: a family used without labels behaves as
+    # its single anonymous child.
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.labels().dec(amount)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self.labels().value
+
+    def _snapshot_series(self) -> list[SeriesSnapshot]:
+        out = []
+        for key in sorted(self._children):
+            child = self._children[key]
+            if self.kind == HISTOGRAM:
+                bounds = child.bounds + (float("inf"),)
+                out.append(
+                    SeriesSnapshot(
+                        name=self.name,
+                        kind=self.kind,
+                        help=self.help,
+                        labels=key,
+                        buckets=tuple(zip(bounds, child.bucket_counts())),
+                        sum=child.sum,
+                        count=child.count,
+                    )
+                )
+            else:
+                out.append(
+                    SeriesSnapshot(
+                        name=self.name,
+                        kind=self.kind,
+                        help=self.help,
+                        labels=key,
+                        value=child.value,
+                    )
+                )
+        return out
+
+
+class MetricsRegistry:
+    """The mutable collection instruments report into.
+
+    One registry per collection domain (one per simulation run; one per
+    shard sub-round worker).  ``counter``/``gauge``/``histogram`` are
+    idempotent get-or-create: asking twice for the same name returns
+    the same family, asking with a conflicting kind (or conflicting
+    histogram buckets) raises.  All mutation shares one lock, so
+    threads may report concurrently and :meth:`snapshot` is consistent.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        bounds: tuple[float, ...] | None = None,
+    ) -> _Family:
+        if not _METRIC_NAME.match(name):
+            raise ConfigurationError(f"invalid metric name {name!r}")
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, kind, help_text, self._lock, bounds)
+                self._families[name] = family
+                return family
+        if family.kind != kind:
+            raise ConfigurationError(
+                f"metric {name!r} already registered as a {family.kind}"
+            )
+        if kind == HISTOGRAM and bounds is not None and (
+            family.bounds != tuple(float(b) for b in bounds)
+        ):
+            raise ConfigurationError(
+                f"histogram {name!r} already registered with different "
+                "buckets"
+            )
+        return family
+
+    def counter(self, name: str, help_text: str = "") -> _Family:
+        """Get or create a counter family."""
+        return self._family(name, COUNTER, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> _Family:
+        """Get or create a gauge family."""
+        return self._family(name, GAUGE, help_text)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> _Family:
+        """Get or create a histogram family with fixed bucket bounds."""
+        return self._family(
+            name, HISTOGRAM, help_text, tuple(float(b) for b in buckets)
+        )
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Freeze every series into a picklable, mergeable snapshot."""
+        with self._lock:
+            families = [self._families[name] for name in sorted(self._families)]
+        series: list[SeriesSnapshot] = []
+        for family in families:
+            series.extend(family._snapshot_series())
+        return MetricsSnapshot(series=tuple(series))
+
+    def absorb(self, snapshot: MetricsSnapshot) -> None:
+        """Fold a snapshot into the live registry.
+
+        The shard-merge path: counters add, histogram buckets add
+        (bounds must match any existing family), gauges overwrite.
+        Series arriving with labels the family has not seen simply
+        create new children — label schemas are per-series, as in the
+        exposition format itself.
+        """
+        for series in snapshot.series:
+            labels = dict(series.labels)
+            if series.kind == COUNTER:
+                self.counter(series.name, series.help).labels(**labels).inc(
+                    series.value or 0.0
+                )
+            elif series.kind == GAUGE:
+                self.gauge(series.name, series.help).labels(**labels).set(
+                    series.value or 0.0
+                )
+            else:
+                bounds = tuple(
+                    bound for bound, _ in series.buckets
+                    if math.isfinite(bound)
+                )
+                child = self.histogram(
+                    series.name, series.help, bounds
+                ).labels(**labels)
+                with self._lock:
+                    for index, (_, count) in enumerate(series.buckets):
+                        if index < len(child._counts):
+                            child._counts[index] += count
+                        else:
+                            child._inf += count
+                    child._sum += series.sum
+                    child._count += series.count

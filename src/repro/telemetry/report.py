@@ -1,0 +1,90 @@
+"""The end-of-run metrics report attached to a simulation result.
+
+:class:`MetricsReport` wraps one frozen
+:class:`~repro.telemetry.registry.MetricsSnapshot` with the accessors a
+caller actually wants after a run — exposition text for ``--metrics-out``,
+per-phase latency quantiles for the benchmark tables, counter lookups
+for assertions — without re-exposing the mutable registry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.telemetry.exporters import to_json_lines, to_prometheus
+from repro.telemetry.registry import MetricsSnapshot
+
+#: Wire-tag order of the protocol phases, for stable report rows.
+PHASE_ORDER = ("advertise", "share-keys", "masked-input", "unmask")
+
+#: The phase-latency histogram names the round drivers observe into.
+SIM_PHASE_HISTOGRAM = "secagg_phase_sim_duration_seconds"
+WALL_PHASE_HISTOGRAM = "secagg_phase_wall_duration_seconds"
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricsReport:
+    """A run's frozen metrics, with reporting conveniences.
+
+    Attributes:
+        snapshot: Every series collected during the run (engine,
+            rounds, shards, sessions — already merged).
+    """
+
+    snapshot: MetricsSnapshot
+
+    def to_prometheus(self) -> str:
+        """The run's metrics in Prometheus text exposition format."""
+        return to_prometheus(self.snapshot)
+
+    def to_json_lines(self) -> str:
+        """The run's metrics as JSON lines."""
+        return to_json_lines(self.snapshot)
+
+    def counter(self, name: str, **labels: object) -> float:
+        """Exact-match counter/gauge value (0.0 when absent)."""
+        value = self.snapshot.value(name, **labels)
+        return 0.0 if value is None else value
+
+    def counter_sum(self, name: str, **labels: object) -> float:
+        """Sum over all series of ``name`` matching a label subset."""
+        return self.snapshot.sum_values(name, **labels)
+
+    def phase_latency(
+        self, phase: str, q: float, clock: str = "sim"
+    ) -> float:
+        """The ``q``-quantile latency of one protocol phase.
+
+        Args:
+            phase: Wire phase tag (see :data:`PHASE_ORDER`).
+            q: Quantile in [0, 1].
+            clock: ``"sim"`` (simulated seconds) or ``"wall"``.
+
+        Aggregates across any extra labels (a sharded run's per-shard
+        series fold into one distribution per phase).
+        """
+        name = SIM_PHASE_HISTOGRAM if clock == "sim" else WALL_PHASE_HISTOGRAM
+        series = self.snapshot.aggregate(name, phase=phase)
+        return float("nan") if series is None else series.quantile(q)
+
+    def phase_latency_rows(
+        self, quantiles: tuple[float, ...] = (0.5, 0.99)
+    ) -> list[dict[str, float | str]]:
+        """One row per phase with sim/wall latency quantiles.
+
+        Phases with no observations are omitted; each row maps
+        ``phase`` plus ``sim_p50``-style keys for every requested
+        quantile on both clocks.
+        """
+        rows: list[dict[str, float | str]] = []
+        for phase in PHASE_ORDER:
+            series = self.snapshot.aggregate(SIM_PHASE_HISTOGRAM, phase=phase)
+            if series is None or not series.count:
+                continue
+            row: dict[str, float | str] = {"phase": phase}
+            for q in quantiles:
+                suffix = f"p{round(q * 100)}"
+                row[f"sim_{suffix}"] = self.phase_latency(phase, q, "sim")
+                row[f"wall_{suffix}"] = self.phase_latency(phase, q, "wall")
+            rows.append(row)
+        return rows

@@ -190,6 +190,70 @@ class TestNewCommands:
         assert exit_code == 0
         assert "eps=nan" in captured.out
 
+    def test_simulate_metrics_and_trace_out(self, capsys, tmp_path):
+        import json
+
+        from repro.telemetry import parse_prometheus
+
+        metrics_path = tmp_path / "metrics.prom"
+        trace_path = tmp_path / "trace.jsonl"
+        exit_code = main(
+            [
+                "simulate",
+                "--clients", "16",
+                "--cohort", "8",
+                "--rounds", "2",
+                "--hidden", "2",
+                "--test-records", "32",
+                "--dropout-rate", "0.1",
+                "--metrics-out", str(metrics_path),
+                "--trace-out", str(trace_path),
+                "--trace-max-events", "40",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "phase latency" in captured.out
+        assert f"metrics written to {metrics_path}" in captured.out
+        assert "trace written to" in captured.out
+        parsed = parse_prometheus(metrics_path.read_text())
+        assert parsed.types["sim_rounds_total"] == "counter"
+        assert parsed.types["secagg_phase_sim_duration_seconds"] == (
+            "histogram"
+        )
+        lines = trace_path.read_text().splitlines()
+        assert 0 < len(lines) <= 40
+        assert all("kind" in json.loads(line) for line in lines)
+
+    def test_simulate_no_telemetry_conflicts_with_metrics_out(self, tmp_path):
+        with pytest.raises(SystemExit, match="--no-telemetry"):
+            main(
+                [
+                    "simulate",
+                    "--clients", "16",
+                    "--cohort", "8",
+                    "--no-telemetry",
+                    "--metrics-out", str(tmp_path / "m.prom"),
+                ]
+            )
+
+    def test_simulate_no_telemetry_skips_latency_summary(self, capsys):
+        exit_code = main(
+            [
+                "simulate",
+                "--clients", "16",
+                "--cohort", "8",
+                "--rounds", "1",
+                "--hidden", "2",
+                "--test-records", "32",
+                "--dropout-rate", "0",
+                "--no-telemetry",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "phase latency" not in captured.out
+
     def test_account_command(self, capsys):
         exit_code = main(["account", "--lambdas", "200", "--value", "1.5"])
         captured = capsys.readouterr()

@@ -373,3 +373,52 @@ class TestValidation:
         assert shamir_threshold(1.0, 7) == 7
         with pytest.raises(ConfigurationError):
             shamir_threshold(0.0, 8)
+
+
+class TestWirePhaseTraceEvents:
+    """Per-phase wire accounting events in the merged sharded trace."""
+
+    def _wire_events(self, trace):
+        return [e for e in trace.events if e.kind == "wire-phase"]
+
+    def test_every_shard_emits_all_four_phases(self):
+        vectors = make_vectors(8)
+        _, _, _, trace = run_sharded(vectors, shards=2, trace=True)
+        events = self._wire_events(trace)
+        per_shard = {}
+        for event in events:
+            assert "shard" in event.details
+            per_shard.setdefault(event.details["shard"], []).append(
+                event.details["phase"]
+            )
+        expected = ["advertise", "share-keys", "masked-input", "unmask"]
+        assert set(per_shard) == {0, 1}
+        for phases in per_shard.values():
+            assert phases == expected
+
+    def test_merged_events_are_time_sorted(self):
+        vectors = make_vectors(12)
+        plans = {u: ClientPlan(latencies=(0.1 * u, 0.0, 0.0, 0.0))
+                 for u in vectors}
+        _, _, _, trace = run_sharded(
+            vectors, shards=3, plans=plans, trace=True
+        )
+        times = [e.time for e in self._wire_events(trace)]
+        assert len(times) == 12  # 3 shards x 4 phases
+        assert times == sorted(times)
+
+    def test_per_shard_wire_totals_sum_to_outcome_stats(self):
+        vectors = make_vectors(8)
+        outcome, _, _, trace = run_sharded(vectors, shards=2, trace=True)
+        events = self._wire_events(trace)
+        for key in ("up_bytes", "down_bytes", "up_messages",
+                    "down_messages"):
+            assert sum(e.details.get(key, 0) for e in events) == sum(
+                totals[key]
+                for totals in outcome.wire.phase_totals().values()
+            )
+        assert sum(
+            e.details.get("up_messages", 0)
+            + e.details.get("down_messages", 0)
+            for e in events
+        ) == outcome.wire.total_messages
