@@ -307,6 +307,7 @@ def command_account(args) -> int:
     from repro.accounting.pld import smm_pair_pmfs, tight_epsilon
     from repro.accounting.rdp import best_epsilon
     from repro.accounting.divergences import smm_rdp
+    from repro.errors import PrivacyAccountingError
     import math
 
     value = args.value
@@ -326,8 +327,14 @@ def command_account(args) -> int:
             )
             ratio = f"{rdp / pld:7.2f}"
             rdp_text = f"{rdp:10.4f}"
-        except Exception:
+        except (PrivacyAccountingError, ValueError, OverflowError) as error:
+            # Expected accounting failures only (no finite RDP order
+            # under delta, numeric overflow at extreme lambda); genuine
+            # defects in the RDP path must propagate, not print "n/a".
             rdp_text, ratio = f"{'n/a':>10s}", f"{'-':>7s}"
+            print(f"{total_lambda:10.1f} {rdp_text} {pld:10.4f} {ratio}"
+                  f"  ({error})")
+            continue
         print(f"{total_lambda:10.1f} {rdp_text} {pld:10.4f} {ratio}")
     return 0
 
@@ -353,6 +360,104 @@ def command_attack(args) -> int:
     print("integer Skellam noise: support is all of Z for every answer -> "
           "the distinguisher never concludes (0.0%)")
     return 0
+
+
+def command_serve(args) -> int:
+    """Serve SecAgg rounds to real TCP clients (the repro.net server)."""
+    import asyncio
+
+    from repro.net import SecAggServer, ServerConfig
+    from repro.telemetry import to_prometheus
+
+    cohort = args.cohort
+    threshold = (
+        args.threshold if args.threshold is not None else max(2, cohort // 2)
+    )
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        metrics_port=None if args.metrics_port < 0 else args.metrics_port,
+        modulus=1 << args.bits,
+        dimension=args.dimension,
+        threshold=threshold,
+        cohort_size=cohort,
+        rounds=args.rounds,
+        phase_timeout=args.phase_timeout,
+        join_timeout=args.join_timeout,
+        mask_prg=args.mask_prg,
+    )
+    server = SecAggServer(config)
+
+    async def run():
+        async with server:
+            banner = (
+                f"secagg server listening on {config.host}:{server.port}"
+            )
+            if server.metrics_port is not None:
+                banner += f" (/metrics on port {server.metrics_port})"
+            print(banner)
+            sys.stdout.flush()  # The CI smoke step tails this from a file.
+            return await server.serve_rounds()
+
+    results = asyncio.run(run())
+    for result in results:
+        if result.aborted is not None:
+            print(f"round {result.index}: ABORTED: {result.aborted}")
+            continue
+        print(f"round {result.index}: {len(result.included)} included, "
+              f"{len(result.dropped)} dropped "
+              f"({len(result.evicted)} evicted, "
+              f"{len(result.rejected)} rejected at Hello) "
+              f"in {result.wall_duration:.3f}s  digest={result.digest}")
+    if args.digest_out:
+        with open(args.digest_out, "w", encoding="utf-8") as handle:
+            for result in results:
+                handle.write(f"{result.digest or 'aborted'}\n")
+        print(f"digests written to {args.digest_out}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(to_prometheus(server.metrics.snapshot()))
+        print(f"metrics written to {args.metrics_out}")
+    return 0 if all(r.aborted is None for r in results) else 1
+
+
+def command_swarm(args) -> int:
+    """Run a swarm of concurrent SecAgg clients against a server."""
+    import asyncio
+
+    from repro.net import SwarmConfig, expected_digest, run_swarm
+
+    config = SwarmConfig(
+        clients=args.clients,
+        dimension=args.dimension,
+        modulus=1 << args.bits,
+        threshold=args.threshold,
+        seed=args.seed,
+        dropouts=args.dropouts,
+        dropout_phase=args.dropout_phase,
+        bad_version=args.bad_version,
+        delay=args.delay,
+        jitter=args.jitter,
+        chaos_cancel=args.chaos_cancel,
+        mask_prg=args.mask_prg,
+        client_timeout=args.timeout,
+    )
+    result = asyncio.run(run_swarm(args.host, args.port, config))
+    for status in ("completed", "dropped", "rejected", "disconnected",
+                   "cancelled", "error"):
+        count = result.count(status)
+        if count:
+            print(f"{status:>12s}: {count}")
+    for report in result.reports:
+        if report.status == "error":
+            print(f"  client {report.index} error: {report.detail}")
+    if args.show_expected_digest:
+        if args.chaos_cancel:
+            print("expected digest: n/a (chaos mode is not replayable "
+                  "in memory)")
+        else:
+            print(f"expected digest: {expected_digest(config)}")
+    return 0 if result.completed else 1
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -488,6 +593,73 @@ def main(argv: Sequence[str] | None = None) -> int:
     attack_parser.add_argument("--mantissa-bits", type=int, default=12)
     attack_parser.add_argument("--seed", type=int, default=0)
     attack_parser.set_defaults(handler=command_attack)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="serve SecAgg rounds over TCP (real sockets)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=0,
+                              help="TCP port (0 = ephemeral, printed at "
+                                   "start-up)")
+    serve_parser.add_argument("--metrics-port", type=int, default=0,
+                              help="HTTP /metrics port (0 = ephemeral, "
+                                   "-1 = disabled)")
+    serve_parser.add_argument("--cohort", type=int, default=16,
+                              help="clients admitted into each round")
+    serve_parser.add_argument("--threshold", type=int, default=None,
+                              help="Shamir threshold (default: cohort // 2)")
+    serve_parser.add_argument("--dimension", type=int, default=32)
+    serve_parser.add_argument("--bits", type=int, default=16,
+                              help="aggregation modulus is 2**bits")
+    serve_parser.add_argument("--rounds", type=int, default=1)
+    serve_parser.add_argument("--phase-timeout", type=float, default=30.0,
+                              help="wall seconds before stragglers are "
+                                   "evicted from a phase")
+    serve_parser.add_argument("--join-timeout", type=float, default=30.0)
+    serve_parser.add_argument("--mask-prg", default=None)
+    serve_parser.add_argument("--digest-out", metavar="PATH", default=None,
+                              help="write one aggregate digest per round "
+                                   "(CI compares against the in-memory "
+                                   "transport)")
+    serve_parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                              help="write final metrics in Prometheus text "
+                                   "exposition format")
+    serve_parser.set_defaults(handler=command_serve)
+
+    swarm_parser = subparsers.add_parser(
+        "swarm", help="drive N concurrent SecAgg clients at a server"
+    )
+    swarm_parser.add_argument("--host", default="127.0.0.1")
+    swarm_parser.add_argument("--port", type=int, required=True)
+    swarm_parser.add_argument("--clients", type=int, default=16)
+    swarm_parser.add_argument("--dimension", type=int, default=32)
+    swarm_parser.add_argument("--bits", type=int, default=16)
+    swarm_parser.add_argument("--threshold", type=int, default=None,
+                              help="Shamir threshold (default: clients // 2;"
+                                   " must match the server)")
+    swarm_parser.add_argument("--seed", type=int, default=7)
+    swarm_parser.add_argument("--dropouts", type=int, default=0,
+                              help="deterministic dropouts: the last K "
+                                   "indices stop at --dropout-phase")
+    swarm_parser.add_argument("--dropout-phase", type=int, default=2,
+                              choices=[0, 1, 2, 3])
+    swarm_parser.add_argument("--bad-version", type=int, default=0,
+                              help="clients proposing an unsupported "
+                                   "protocol version (typed Reject)")
+    swarm_parser.add_argument("--delay", type=float, default=0.0,
+                              help="fixed sleep before every send (s)")
+    swarm_parser.add_argument("--jitter", type=float, default=0.0,
+                              help="max deterministic per-client extra "
+                                   "delay (s)")
+    swarm_parser.add_argument("--chaos-cancel", type=int, default=0,
+                              help="client tasks cancelled mid-round")
+    swarm_parser.add_argument("--mask-prg", default=None)
+    swarm_parser.add_argument("--timeout", type=float, default=60.0,
+                              help="per-delivery client timeout (s)")
+    swarm_parser.add_argument("--show-expected-digest", action="store_true",
+                              help="also print the in-memory reference "
+                                   "digest for this schedule")
+    swarm_parser.set_defaults(handler=command_swarm)
 
     args = parser.parse_args(argv)
     return args.handler(args)

@@ -1,0 +1,64 @@
+"""``repro.net`` — the real-socket transport over the sans-I/O core.
+
+Everything above the protocol layer and below the CLI: a
+length-prefixed datagram codec for TCP (:mod:`~repro.net.frames`), the
+asyncio aggregation server driving one
+:class:`~repro.secagg.statemachine.ServerSession` per round with
+wall-clock phase deadlines and straggler eviction
+(:mod:`~repro.net.server`), a single-client driver with fault injection
+(:mod:`~repro.net.client`), a reproducible concurrent swarm whose
+aggregate is bit-identical to the in-memory transport for the same
+seeds (:mod:`~repro.net.swarm`), and a Prometheus ``/metrics`` HTTP
+endpoint serving the same telemetry registry the simulator reports
+into (:mod:`~repro.net.http`).
+
+Stdlib asyncio only — no new dependencies.
+"""
+
+from repro.net.client import ClientPlan, ClientReport, run_client
+from repro.net.frames import (
+    MAX_DATAGRAM_BYTES,
+    encode_datagram,
+    read_datagram,
+    write_datagram,
+)
+from repro.net.http import (
+    METRICS_CONTENT_TYPE,
+    scrape_metrics,
+    start_metrics_endpoint,
+)
+from repro.net.server import NetRoundResult, SecAggServer, ServerConfig
+from repro.net.swarm import (
+    SwarmConfig,
+    SwarmResult,
+    client_plans,
+    derive_population,
+    dropout_schedule,
+    expected_aggregate,
+    expected_digest,
+    run_swarm,
+)
+
+__all__ = [
+    "MAX_DATAGRAM_BYTES",
+    "METRICS_CONTENT_TYPE",
+    "ClientPlan",
+    "ClientReport",
+    "NetRoundResult",
+    "SecAggServer",
+    "ServerConfig",
+    "SwarmConfig",
+    "SwarmResult",
+    "client_plans",
+    "derive_population",
+    "dropout_schedule",
+    "encode_datagram",
+    "expected_aggregate",
+    "expected_digest",
+    "read_datagram",
+    "run_client",
+    "run_swarm",
+    "scrape_metrics",
+    "start_metrics_endpoint",
+    "write_datagram",
+]

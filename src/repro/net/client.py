@@ -1,0 +1,210 @@
+"""One swarm participant: a :class:`ClientSession` on a real socket.
+
+:func:`run_client` drives the sans-I/O client session over TCP against
+a :class:`~repro.net.server.SecAggServer`: connect, send the handshake
+datagram (Hello + Advertise — the server binds the connection to the
+Hello's sender index), then alternate ``read delivery -> handle ->
+send response`` through the three remaining phases.  The function never
+raises on protocol-level outcomes; everything a swarm wants to count
+comes back as a :class:`ClientReport`.
+
+Fault injection is part of the contract, not an afterthought:
+
+* ``delay`` sleeps before every send (straggler injection — push a
+  client past the server's phase deadline and it is evicted, not
+  waited on);
+* ``drop_at_phase`` silently stops participating before that phase's
+  upload — phase 0 means "never connects", matching ``run_bonawitz``'s
+  ``dropouts={index: 0}`` semantics exactly, so a swarm schedule can be
+  replayed against the in-memory transport for bit-identical aggregates;
+* ``version`` proposes a protocol version at Hello — an unsupported one
+  exercises the typed-Reject path over a real socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+
+import numpy as np
+
+from repro.errors import AggregationError
+from repro.net.frames import read_datagram, write_datagram
+from repro.secagg.bonawitz import (
+    ROUND_ADVERTISE,
+    ROUND_MASKED_INPUT,
+    ROUND_SHARE_KEYS,
+    ROUND_UNMASK,
+)
+from repro.secagg.field import DEFAULT_FIELD, PrimeField
+from repro.secagg.keys import TOY_GROUP, DhGroup
+from repro.secagg.statemachine import PHASE_TAGS, ClientSession
+from repro.secagg.wire import PROTOCOL_V1
+
+
+@dataclasses.dataclass(frozen=True)
+class ClientPlan:
+    """What one swarm client does this round.
+
+    Attributes:
+        index: Protocol index (nonzero; the id the handshake binds).
+        seed: Seed of the client's local RNG — the swarm derives these
+            exactly like :func:`~repro.secagg.bonawitz.run_bonawitz`
+            derives per-client generators, which is what makes the
+            network aggregate bit-identical to the in-memory one.
+        delay: Seconds to sleep before each post-handshake upload
+            (0 = none); the handshake itself is never delayed.
+        drop_at_phase: Protocol phase (0-3) before whose upload the
+            client silently stops, or ``None`` to run to completion.
+            Phase 0 means the client never connects.
+        version: Protocol version proposed at Hello.
+    """
+
+    index: int
+    seed: int
+    delay: float = 0.0
+    drop_at_phase: int | None = None
+    version: int = PROTOCOL_V1
+
+
+@dataclasses.dataclass(frozen=True)
+class ClientReport:
+    """How one client's round went.
+
+    ``status`` is one of ``completed`` (all four uploads sent),
+    ``rejected`` (typed Reject at Hello), ``dropped`` (planned dropout),
+    ``disconnected`` (the transport failed or the server closed early),
+    or ``error`` (a protocol violation surfaced client-side).
+    """
+
+    index: int
+    status: str
+    detail: str = ""
+    uploads_sent: int = 0
+
+
+async def run_client(
+    host: str,
+    port: int,
+    plan: ClientPlan,
+    vector: np.ndarray,
+    modulus: int,
+    threshold: int,
+    group: DhGroup = TOY_GROUP,
+    field: PrimeField = DEFAULT_FIELD,
+    mask_prg: str | None = None,
+    timeout: float = 60.0,
+) -> ClientReport:
+    """Run one client's whole round against a listening server.
+
+    Args:
+        host/port: The server's TCP address.
+        plan: Identity, seed and fault-injection schedule.
+        vector: The client's private input over ``Z_modulus``.
+        modulus/threshold/group/field/mask_prg: Protocol parameters —
+            must match the server's.
+        timeout: Wall seconds to wait for any single server delivery.
+
+    Returns:
+        The client's :class:`ClientReport`; never raises for
+        protocol-level outcomes.
+    """
+    if plan.drop_at_phase == ROUND_ADVERTISE:
+        return ClientReport(
+            index=plan.index,
+            status="dropped",
+            detail="round-0 dropout: never connected",
+        )
+    session = ClientSession(
+        index=plan.index,
+        vector=np.asarray(vector),
+        modulus=modulus,
+        threshold=threshold,
+        rng=np.random.default_rng(plan.seed),
+        group=group,
+        field=field,
+        mask_prg=mask_prg,
+        version=plan.version,
+    )
+    uploads = 0
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+    except (ConnectionError, OSError) as error:
+        return ClientReport(
+            index=plan.index, status="disconnected", detail=str(error)
+        )
+    try:
+        # The handshake is never delayed: straggler injection targets
+        # the round's phases, and a late *join* would just hold the
+        # cohort open rather than exercise a phase deadline.
+        await write_datagram(writer, b"".join(session.start()))
+        uploads += 1
+        for phase in (ROUND_SHARE_KEYS, ROUND_MASKED_INPUT, ROUND_UNMASK):
+            delivery = await asyncio.wait_for(read_datagram(reader), timeout)
+            if delivery is None:
+                return ClientReport(
+                    index=plan.index,
+                    status="disconnected",
+                    detail=(
+                        f"server closed before the {PHASE_TAGS[phase]} "
+                        "delivery"
+                    ),
+                    uploads_sent=uploads,
+                )
+            responses = session.handle(delivery)
+            if session.rejected is not None:
+                return ClientReport(
+                    index=plan.index,
+                    status="rejected",
+                    detail=str(session.rejected),
+                    uploads_sent=uploads,
+                )
+            if plan.drop_at_phase == phase:
+                # A mid-round dropout receives the phase's delivery and
+                # then silently disconnects instead of uploading — the
+                # client is *in the roster* and fails at this phase,
+                # exactly ``run_bonawitz``'s ``dropouts={index: phase}``.
+                # Vanishing before the delivery would instead remove the
+                # join from the forming cohort and stall the server at
+                # the join deadline.
+                return ClientReport(
+                    index=plan.index,
+                    status="dropped",
+                    detail=(
+                        f"planned dropout before the "
+                        f"{PHASE_TAGS[phase]} upload"
+                    ),
+                    uploads_sent=uploads,
+                )
+            if plan.delay:
+                await asyncio.sleep(plan.delay)
+            if responses:
+                await write_datagram(writer, b"".join(responses))
+                uploads += 1
+        return ClientReport(
+            index=plan.index, status="completed", uploads_sent=uploads
+        )
+    except AggregationError as error:
+        return ClientReport(
+            index=plan.index,
+            status="error",
+            detail=str(error),
+            uploads_sent=uploads,
+        )
+    except (
+        asyncio.TimeoutError,
+        asyncio.IncompleteReadError,
+        ConnectionError,
+        OSError,
+    ) as error:
+        return ClientReport(
+            index=plan.index,
+            status="disconnected",
+            detail=str(error) or type(error).__name__,
+            uploads_sent=uploads,
+        )
+    finally:
+        writer.close()
+        with contextlib.suppress(ConnectionError, OSError):
+            await writer.wait_closed()

@@ -1,0 +1,121 @@
+"""A minimal HTTP/1.1 endpoint serving the metrics registry.
+
+One job: expose a live :class:`~repro.telemetry.registry.MetricsRegistry`
+as ``GET /metrics`` in the Prometheus text exposition format — the very
+same payload :func:`repro.telemetry.to_prometheus` renders for the
+simulator's ``--metrics-out``, so a scraper cannot tell (and should not
+care) whether a histogram was fed by the simulated clock or a real
+socket.  ``GET /healthz`` answers ``ok`` for readiness probes; anything
+else is a 404.
+
+Dependency-free by design (stdlib asyncio only): the whole request
+parser is "read the request line, drain headers until the blank line" —
+enough for Prometheus, curl, and the CI smoke step, and not a general
+web server on purpose.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.telemetry.exporters import to_prometheus
+from repro.telemetry.registry import MetricsRegistry
+
+#: Content type Prometheus expects from a text-exposition endpoint.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Bound on the request head (line + headers) a client may send.
+_MAX_REQUEST_BYTES = 16 * 1024
+
+
+def _response(status: str, content_type: str, body: bytes) -> bytes:
+    head = (
+        f"HTTP/1.1 {status}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+async def _handle(
+    registry: MetricsRegistry,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        request_line = await reader.readline()
+        consumed = len(request_line)
+        while consumed < _MAX_REQUEST_BYTES:  # Drain headers.
+            line = await reader.readline()
+            consumed += len(line)
+            if line in (b"\r\n", b"\n", b""):
+                break
+        parts = request_line.split()
+        if len(parts) < 2 or parts[0] != b"GET":
+            payload = _response(
+                "405 Method Not Allowed", "text/plain", b"GET only\n"
+            )
+        elif parts[1] in (b"/metrics", b"/metrics/"):
+            body = to_prometheus(registry.snapshot()).encode("utf-8")
+            payload = _response("200 OK", METRICS_CONTENT_TYPE, body)
+        elif parts[1] == b"/healthz":
+            payload = _response("200 OK", "text/plain", b"ok\n")
+        else:
+            payload = _response("404 Not Found", "text/plain", b"not found\n")
+        writer.write(payload)
+        await writer.drain()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        pass  # The scraper went away; nothing to answer.
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+
+async def start_metrics_endpoint(
+    registry: MetricsRegistry,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> asyncio.AbstractServer:
+    """Start the ``/metrics`` HTTP listener; returns the asyncio server.
+
+    Pass ``port=0`` for an ephemeral port; read the bound address back
+    from ``server.sockets[0].getsockname()``.
+    """
+
+    async def handler(reader, writer):
+        await _handle(registry, reader, writer)
+
+    return await asyncio.start_server(handler, host=host, port=port)
+
+
+async def scrape_metrics(host: str, port: int) -> str:
+    """Fetch ``/metrics`` from an endpoint (tests and examples).
+
+    Returns the exposition body; raises :class:`ConnectionError` on a
+    non-200 status.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            f"GET /metrics HTTP/1.1\r\nHost: {host}\r\n\r\n".encode("ascii")
+        )
+        await writer.drain()
+        raw = await reader.read(-1)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n", 1)[0]
+    if not status_line.startswith(b"HTTP/1.1 200"):
+        raise ConnectionError(
+            f"metrics endpoint answered {status_line.decode(errors='replace')}"
+        )
+    return body.decode("utf-8")

@@ -1,0 +1,648 @@
+"""The real-socket SecAgg aggregation server.
+
+This is the third transport over the sans-I/O protocol core — after the
+synchronous in-memory loop (:func:`repro.secagg.bonawitz.run_bonawitz`)
+and the simulated-clock mailbox
+(:class:`repro.simulation.rounds.AsyncSecAggRound`) — and the first one
+whose clients are *real peers on real sockets*: an asyncio TCP listener
+drives one :class:`~repro.secagg.statemachine.ServerSession` per round,
+with wall-clock phase deadlines doing the job the simulated clock's
+``phase_timeout`` does in the simulator.
+
+Transport rules (everything the protocol core deliberately does not
+decide):
+
+* **Identity is connection-bound.**  A connection's first datagram must
+  open with :class:`~repro.secagg.wire.Hello`; the Hello's sender index
+  becomes the connection's bound client id (first come, first bound —
+  a duplicate id is refused with a typed
+  :class:`~repro.secagg.wire.Reject`).  Every subsequent datagram is
+  ingested as ``session.receive(data, sender=<bound id>)``, so a frame
+  claiming a different origin raises inside the core and the connection
+  is evicted — one socket can never impersonate another.
+* **Phases close on the wall clock.**  A phase ends at the earlier of
+  "every expected client delivered" and ``phase_timeout`` seconds;
+  stragglers are treated as dropouts, exactly like the simulator.
+* **Disconnects are evictions, not hangs.**  A peer that vanishes
+  mid-phase (or whose socket is already gone at phase start) is removed
+  from the waiting set immediately; Bonawitz dropout tolerance does the
+  rest.
+* **Late traffic is ignored and counted**, mirroring the mailbox
+  transport's ``message-ignored`` semantics.
+
+Telemetry lands in the *same* metric families the simulator reports
+(``secagg_phase_wall_duration_seconds``, ``secagg_rounds_total``,
+``secagg_wire_bytes_total``, ...), plus a handful of ``net_*`` families
+only a real listener has (connections, evictions, round wall time); the
+registry is served live over HTTP ``GET /metrics``
+(:mod:`repro.net.http`), so simulated and real runs share one metrics
+catalog and one scrape format.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import hashlib
+
+import numpy as np
+
+from repro.errors import AggregationError, ConfigurationError
+from repro.net.frames import MAX_DATAGRAM_BYTES, read_datagram, write_datagram
+from repro.net.http import start_metrics_endpoint
+from repro.secagg.field import DEFAULT_FIELD, PrimeField
+from repro.secagg.keys import TOY_GROUP, DhGroup
+from repro.secagg.statemachine import PHASE_TAGS, ServerSession
+from repro.secagg.bonawitz import (
+    ROUND_ADVERTISE,
+    ROUND_MASKED_INPUT,
+    ROUND_SHARE_KEYS,
+    ROUND_UNMASK,
+)
+from repro.secagg.wire import Hello, Reject, WireStats, decode_frames, encode_message
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.spans import time_phase
+
+
+@dataclasses.dataclass(frozen=True)
+class ServerConfig:
+    """Configuration of one :class:`SecAggServer`.
+
+    Attributes:
+        host: Interface to bind (default loopback).
+        port: TCP port (0 = ephemeral; read it back from
+            :attr:`SecAggServer.port` after start).
+        metrics_port: Port for the HTTP ``/metrics`` endpoint (0 =
+            ephemeral, ``None`` = no endpoint).
+        modulus: Aggregation modulus ``m``.
+        dimension: Vector length ``d`` every client must upload.
+        threshold: Shamir reconstruction threshold ``t``.
+        cohort_size: Connections to admit into each round; the round
+            starts once this many clients have completed the handshake
+            (or ``join_timeout`` expires after the first join).
+        rounds: Rounds to serve before :meth:`SecAggServer.serve_rounds`
+            returns.
+        phase_timeout: Wall seconds the server waits per phase before
+            evicting the stragglers and moving on.
+        join_timeout: Wall seconds after the first handshake to wait
+            for the rest of the cohort.
+        mask_prg: Mask PRG backend name for the round's negotiated
+            header.
+        group: DH group — defaults to the fast 61-bit toy group, the
+            same default the in-memory drivers use.
+        max_datagram_bytes: Upload size bound enforced by the framing
+            layer, per datagram.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    metrics_port: int | None = 0
+    modulus: int = 2**16
+    dimension: int = 32
+    threshold: int = 2
+    cohort_size: int = 4
+    rounds: int = 1
+    phase_timeout: float = 30.0
+    join_timeout: float = 30.0
+    mask_prg: str | None = None
+    group: DhGroup = TOY_GROUP
+    field: PrimeField = DEFAULT_FIELD
+    max_datagram_bytes: int = MAX_DATAGRAM_BYTES
+
+    def __post_init__(self) -> None:
+        if self.cohort_size < 2:
+            raise ConfigurationError(
+                f"cohort_size must be >= 2, got {self.cohort_size}"
+            )
+        if not 2 <= self.threshold <= self.cohort_size:
+            raise ConfigurationError(
+                f"threshold must lie in [2, {self.cohort_size}], "
+                f"got {self.threshold}"
+            )
+        if self.phase_timeout <= 0 or self.join_timeout <= 0:
+            raise ConfigurationError("timeouts must be > 0")
+        if self.rounds < 1:
+            raise ConfigurationError(f"rounds must be >= 1, got {self.rounds}")
+
+
+@dataclasses.dataclass(frozen=True)
+class NetRoundResult:
+    """Outcome of one served round.
+
+    Attributes:
+        index: Round number (0-based).
+        modular_sum: The recovered aggregate, or ``None`` if aborted.
+        included: ``U2`` — clients whose input made the aggregate.
+        dropped: Round participants that dropped, straggled, or were
+            evicted before their input made it in.
+        evicted: Subset of ``dropped`` the *transport* removed
+            (disconnects, spoofed frames, protocol violations).
+        rejected: Clients refused at Hello, with the refusal reason.
+        aborted: Abort reason, or ``None`` on success.
+        wall_duration: Wall seconds from round start to completion.
+        wire: The round's byte/message ledger.
+    """
+
+    index: int
+    modular_sum: np.ndarray | None
+    included: frozenset[int]
+    dropped: frozenset[int]
+    evicted: frozenset[int]
+    rejected: dict[int, str]
+    aborted: str | None
+    wall_duration: float
+    wire: WireStats | None
+
+    @property
+    def digest(self) -> str | None:
+        """SHA-256 hex digest of the aggregate (``None`` if aborted) —
+        directly comparable with the in-memory transports' digests."""
+        if self.modular_sum is None:
+            return None
+        return hashlib.sha256(self.modular_sum.tobytes()).hexdigest()
+
+
+class _Connection:
+    """One accepted, handshake-bound client connection."""
+
+    __slots__ = ("client", "writer")
+
+    def __init__(self, client: int, writer: asyncio.StreamWriter) -> None:
+        self.client = client
+        self.writer = writer
+
+    def close(self) -> None:
+        with contextlib.suppress(ConnectionError, OSError, RuntimeError):
+            self.writer.close()
+
+
+class SecAggServer:
+    """Serve SecAgg rounds to real TCP clients.
+
+    Usage (one event loop; the swarm may share it or live in another
+    process entirely)::
+
+        server = SecAggServer(ServerConfig(cohort_size=16, threshold=10))
+        await server.start()
+        results = await server.serve_rounds()
+        await server.stop()
+
+    Args:
+        config: The server configuration.
+        metrics: Registry to report into (and to serve on ``/metrics``);
+            a private one is created by default.
+    """
+
+    def __init__(
+        self,
+        config: ServerConfig,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.config = config
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.results: list[NetRoundResult] = []
+        # Header for pre-round Reject notices (duplicate ids); rounds
+        # negotiate their own header via their ServerSession.
+        self._reject_header = ServerSession(
+            config.modulus, config.dimension, config.threshold,
+            config.field, config.group, config.mask_prg,
+        ).header
+        self._server: asyncio.AbstractServer | None = None
+        self._metrics_server: asyncio.AbstractServer | None = None
+        self._inbox: asyncio.Queue = asyncio.Queue()
+        self._connections: dict[int, _Connection] = {}
+        self._handler_tasks: set[asyncio.Task] = set()
+        self._pending_joins: dict[int, bytes] = {}
+        # Same family names (and help) the simulator's rounds report
+        # into, so /metrics holds one catalog for both worlds.
+        self._m_wall_phase = self.metrics.histogram(
+            "secagg_phase_wall_duration_seconds",
+            "Wall-clock compute seconds per protocol phase.",
+        )
+        self._m_rounds = self.metrics.counter(
+            "secagg_rounds_total",
+            "Secure-aggregation rounds finished, by outcome.",
+        )
+        self._m_timeouts = self.metrics.counter(
+            "secagg_phase_timeouts_total",
+            "Phases the server closed at the deadline, by phase.",
+        )
+        self._m_dropped = self.metrics.counter(
+            "secagg_clients_dropped_total",
+            "Cohort members that dropped or straggled out, by phase.",
+        )
+        self._m_ignored = self.metrics.counter(
+            "secagg_messages_ignored_total",
+            "Datagrams ignored: stragglers, duplicates, unknown senders.",
+        )
+        self._m_wire_messages = self.metrics.counter(
+            "secagg_wire_messages_total",
+            "Protocol messages on the wire, by phase and direction.",
+        )
+        self._m_wire_bytes = self.metrics.counter(
+            "secagg_wire_bytes_total",
+            "Serialized bytes on the wire, by phase and direction.",
+        )
+        # Families only a real listener has.
+        self._m_connections = self.metrics.counter(
+            "net_connections_total",
+            "TCP connections by handshake outcome.",
+        )
+        self._m_evictions = self.metrics.counter(
+            "net_evictions_total",
+            "Clients evicted from a round by the transport, by reason.",
+        )
+        self._m_round_wall = self.metrics.histogram(
+            "net_round_wall_seconds",
+            "Wall seconds per served round, handshake to aggregate.",
+        )
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the TCP listener (and the ``/metrics`` endpoint)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host,
+            port=self.config.port,
+        )
+        if self.config.metrics_port is not None:
+            self._metrics_server = await start_metrics_endpoint(
+                self.metrics, host=self.config.host,
+                port=self.config.metrics_port,
+            )
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (after :meth:`start`)."""
+        if self._server is None:
+            raise ConfigurationError("the server has not been started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def metrics_port(self) -> int | None:
+        """The bound ``/metrics`` port, or ``None`` when disabled."""
+        if self._metrics_server is None:
+            return None
+        return self._metrics_server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop listening and drop every open connection."""
+        for server in (self._server, self._metrics_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+        self._server = self._metrics_server = None
+        for connection in list(self._connections.values()):
+            connection.close()
+        self._connections.clear()
+        # Drain the per-connection reader tasks: the closes above feed
+        # them EOF, so they exit on their own.  Waiting (rather than
+        # cancelling) matters on Python 3.11, where cancelling a
+        # streams-server handler task makes the protocol's completion
+        # callback itself raise and spam the loop's exception handler.
+        tasks = [
+            task for task in self._handler_tasks
+            if task is not asyncio.current_task()
+        ]
+        if tasks:
+            done, pending = await asyncio.wait(tasks, timeout=2.0)
+            for task in pending:  # pragma: no cover - stuck handler
+                task.cancel()
+            if pending:  # pragma: no cover
+                await asyncio.wait(pending, timeout=1.0)
+
+    async def __aenter__(self) -> "SecAggServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- connection handling ---------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handler_tasks.add(task)
+            task.add_done_callback(self._handler_tasks.discard)
+        limit = self.config.max_datagram_bytes
+        try:
+            handshake = await asyncio.wait_for(
+                read_datagram(reader, limit), self.config.join_timeout
+            )
+        except (AggregationError, asyncio.TimeoutError, ConnectionError):
+            self._m_connections.labels(outcome="malformed-handshake").inc()
+            writer.close()
+            return
+        if handshake is None:
+            self._m_connections.labels(outcome="malformed-handshake").inc()
+            writer.close()
+            return
+        client = self._bound_client(handshake)
+        if client is None:
+            self._m_connections.labels(outcome="malformed-handshake").inc()
+            writer.close()
+            return
+        if client in self._connections:
+            self._m_connections.labels(outcome="duplicate-id").inc()
+            await self._refuse(
+                writer, client,
+                f"client id {client} is already bound to another connection",
+            )
+            return
+        connection = _Connection(client, writer)
+        self._connections[client] = connection
+        self._m_connections.labels(outcome="accepted").inc()
+        await self._inbox.put(("join", client, handshake))
+        try:
+            while True:
+                payload = await read_datagram(reader, limit)
+                if payload is None:
+                    break
+                await self._inbox.put(("data", client, payload))
+        except (AggregationError, ConnectionError, OSError):
+            pass  # Mid-datagram disconnect or frame abuse: same eviction.
+        finally:
+            if self._connections.get(client) is connection:
+                del self._connections[client]
+            await self._inbox.put(("gone", client, b""))
+            connection.close()
+
+    @staticmethod
+    def _bound_client(handshake: bytes) -> int | None:
+        """The client id a handshake datagram binds, or ``None``.
+
+        The first frame must be a :class:`~repro.secagg.wire.Hello` with
+        a positive sender index; the full datagram (Hello + Advertise)
+        is later fed to the session verbatim.
+        """
+        try:
+            frames = decode_frames(handshake)
+        except AggregationError:
+            return None
+        if not frames or not isinstance(frames[0][1], Hello):
+            return None
+        sender = frames[0][1].sender
+        return sender if sender > 0 else None
+
+    async def _refuse(
+        self, writer: asyncio.StreamWriter, client: int, reason: str
+    ) -> None:
+        """Answer a doomed handshake with a typed Reject, then close."""
+        with contextlib.suppress(ConnectionError, OSError):
+            await write_datagram(
+                writer,
+                encode_message(
+                    Reject(client=client, reason=reason),
+                    self._reject_header,
+                ),
+            )
+        writer.close()
+
+    # -- round driving ----------------------------------------------------
+
+    async def serve_rounds(self) -> list[NetRoundResult]:
+        """Serve ``config.rounds`` rounds; returns their results."""
+        for index in range(self.config.rounds):
+            result = await self._run_round(index)
+            self.results.append(result)
+        return self.results
+
+    async def _run_round(self, index: int) -> NetRoundResult:
+        loop = asyncio.get_running_loop()
+        joins = await self._gather_cohort()
+        # Snapshot the cohort's connection *objects*: by round end the
+        # same client ids may already be bound to next-round
+        # connections, and cleanup must not close those.
+        round_connections = [
+            self._connections[client]
+            for client in joins
+            if client in self._connections
+        ]
+        started = loop.time()
+        session = ServerSession(
+            self.config.modulus,
+            self.config.dimension,
+            self.config.threshold,
+            self.config.field,
+            self.config.group,
+            self.config.mask_prg,
+            metrics=self.metrics,
+        )
+        evicted: set[int] = set()
+        aborted: str | None = None
+        with time_phase("round", wall_histogram=self._m_round_wall):
+            expected = set(joins)
+            for phase in (
+                ROUND_ADVERTISE,
+                ROUND_SHARE_KEYS,
+                ROUND_MASKED_INPUT,
+                ROUND_UNMASK,
+            ):
+                tag = PHASE_TAGS[phase]
+                wire_before = session.stats.snapshot()
+                with time_phase(
+                    tag,
+                    wall_histogram=self._m_wall_phase.labels(phase=tag),
+                ):
+                    if phase == ROUND_ADVERTISE:
+                        datagrams = joins
+                    else:
+                        datagrams = await self._collect(tag, expected, evicted)
+                    for client in sorted(datagrams):
+                        self._ingest(
+                            session, client, datagrams[client], tag, evicted
+                        )
+                    try:
+                        deliveries = session.advance()
+                    except AggregationError as error:
+                        aborted = str(error)
+                        break
+                    if phase != ROUND_UNMASK:
+                        await self._deliver(deliveries, tag, evicted)
+                    expected = set(session.expected)
+                self._wire_delta(session, wire_before, tag)
+        wall_duration = loop.time() - started
+        participants = frozenset(joins)
+        if aborted is None:
+            included = session.included
+            modular_sum = session.modular_sum
+            self._m_rounds.labels(outcome="completed").inc()
+        else:
+            included = frozenset()
+            modular_sum = None
+            self._m_rounds.labels(outcome="aborted").inc()
+        self._close_round_connections(round_connections)
+        return NetRoundResult(
+            index=index,
+            modular_sum=modular_sum,
+            included=included,
+            dropped=participants - included,
+            evicted=frozenset(evicted),
+            rejected=dict(session.rejections),
+            aborted=aborted,
+            wall_duration=wall_duration,
+            wire=session.stats,
+        )
+
+    async def _gather_cohort(self) -> dict[int, bytes]:
+        """Admit handshakes until the cohort is full (or times out)."""
+        loop = asyncio.get_running_loop()
+        joins: dict[int, bytes] = {}
+        while self._pending_joins and len(joins) < self.config.cohort_size:
+            client, handshake = self._pending_joins.popitem()
+            if client in self._connections:
+                joins[client] = handshake
+        deadline = (
+            loop.time() + self.config.join_timeout if joins else None
+        )
+        while len(joins) < self.config.cohort_size:
+            if deadline is None:
+                event = await self._inbox.get()
+            else:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    event = await asyncio.wait_for(
+                        self._inbox.get(), remaining
+                    )
+                except asyncio.TimeoutError:
+                    break
+            kind, client, payload = event
+            if kind == "join":
+                joins[client] = payload
+                if deadline is None:
+                    deadline = loop.time() + self.config.join_timeout
+            elif kind == "gone":
+                joins.pop(client, None)
+            else:
+                self._m_ignored.inc()
+        return joins
+
+    async def _collect(
+        self, tag: str, expected: set[int], evicted: set[int]
+    ) -> dict[int, bytes]:
+        """Gather one phase's datagrams until complete or deadline.
+
+        Members whose connection is already gone at phase start are
+        evicted immediately — a mid-phase disconnect must never leave
+        the round waiting out the full deadline for a peer that cannot
+        answer.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.phase_timeout
+        collected: dict[int, bytes] = {}
+        pending = {
+            client
+            for client in expected
+            if client not in evicted
+        }
+        for client in sorted(pending):
+            if client not in self._connections:
+                self._evict(client, tag, evicted, reason="disconnect")
+        pending -= evicted
+        while pending - set(collected):
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                self._expire(tag, pending - set(collected))
+                break
+            try:
+                kind, client, payload = await asyncio.wait_for(
+                    self._inbox.get(), remaining
+                )
+            except asyncio.TimeoutError:
+                self._expire(tag, pending - set(collected))
+                break
+            if kind == "join":
+                # A connection for the *next* round; park it.
+                self._pending_joins[client] = payload
+                continue
+            if kind == "gone":
+                if client in pending and client not in collected:
+                    self._evict(client, tag, evicted, reason="disconnect")
+                    pending.discard(client)
+                continue
+            if client not in pending or client in collected:
+                self._m_ignored.inc()
+                continue
+            collected[client] = payload
+        return collected
+
+    def _expire(self, tag: str, missing: set[int]) -> None:
+        self._m_timeouts.labels(phase=tag).inc()
+        for client in missing:
+            self._m_dropped.labels(phase=tag).inc()
+            self._m_evictions.labels(reason="straggler").inc()
+
+    def _ingest(
+        self,
+        session: ServerSession,
+        client: int,
+        datagram: bytes,
+        tag: str,
+        evicted: set[int],
+    ) -> None:
+        """Feed one datagram to the session under the bound sender id."""
+        try:
+            session.receive(datagram, sender=client)
+        except AggregationError:
+            # Spoofed sender, duplicate delivery, out-of-phase frame,
+            # header mismatch: the connection is lying or broken either
+            # way — evict it and let dropout tolerance absorb the loss.
+            self._evict(client, tag, evicted, reason="protocol")
+
+    def _evict(
+        self, client: int, tag: str, evicted: set[int], reason: str
+    ) -> None:
+        if client in evicted:
+            return
+        evicted.add(client)
+        self._m_evictions.labels(reason=reason).inc()
+        self._m_dropped.labels(phase=tag).inc()
+        connection = self._connections.get(client)
+        if connection is not None:
+            connection.close()
+
+    async def _deliver(
+        self, deliveries: dict[int, bytes], tag: str, evicted: set[int]
+    ) -> None:
+        for recipient in sorted(deliveries):
+            if recipient in evicted:
+                continue
+            connection = self._connections.get(recipient)
+            if connection is None:
+                continue
+            try:
+                await write_datagram(
+                    connection.writer, deliveries[recipient]
+                )
+            except (AggregationError, ConnectionError, OSError):
+                self._evict(recipient, tag, evicted, reason="disconnect")
+
+    def _wire_delta(
+        self, session: ServerSession, before: WireStats, tag: str
+    ) -> None:
+        totals = session.stats.diff(before).phase_totals().get(tag)
+        if totals is None:
+            return
+        for direction in ("up", "down"):
+            messages = totals.get(f"{direction}_messages", 0)
+            if messages:
+                self._m_wire_messages.labels(
+                    phase=tag, direction=direction
+                ).inc(messages)
+            volume = totals.get(f"{direction}_bytes", 0)
+            if volume:
+                self._m_wire_bytes.labels(
+                    phase=tag, direction=direction
+                ).inc(volume)
+
+    def _close_round_connections(
+        self, round_connections: list[_Connection]
+    ) -> None:
+        for connection in round_connections:
+            connection.close()

@@ -457,12 +457,25 @@ class ServerSession:
 
         Args:
             data: One or more concatenated frames from a single client.
-            sender: The transport-authenticated sender identity; frames
-                claiming another sender are rejected (spoofing).
+            sender: The transport-authenticated sender identity.  It is
+                **required**: frames claim whatever origin they like, so
+                accepting a datagram without the transport's own binding
+                would let one connection impersonate another.  Frames
+                claiming a different sender are rejected (spoofing).
 
         Raises:
-            AggregationError: On spoofed/duplicate/out-of-phase frames.
+            AggregationError: When ``sender`` is omitted, and on
+                spoofed/duplicate/out-of-phase frames.
         """
+        if sender is None:
+            # Trusting the frame-claimed origin here would turn every
+            # transport into an impersonation vector — the binding must
+            # come from outside the bytes (connection handshake, mailbox
+            # slot, loop index).
+            raise AggregationError(
+                "receive() requires the transport-authenticated sender; "
+                "the frame-claimed origin cannot be trusted"
+            )
         if self._phase == ROUND_SHARE_KEYS:
             bulk = decode_sealed_datagram(data)
             if bulk is not None:
@@ -472,46 +485,40 @@ class ServerSession:
                         f"client {sender} sent a frame speaking {header} "
                         f"into a round negotiated at {self.header}"
                     )
-                if sender is None and envelopes:
-                    sender = envelopes[0].sender
                 for envelope in envelopes:
-                    if sender is not None and envelope.sender != sender:
+                    if envelope.sender != sender:
                         raise AggregationError(
                             f"frame claims sender {envelope.sender} but "
                             f"came from {sender}"
                         )
-                if sender is not None:
-                    self._require_expected(sender)
-                    self._envelopes.setdefault(sender, []).extend(envelopes)
-                    for envelope, raw in zip(envelopes, raws):
-                        self._envelope_raw[
-                            (envelope.sender, envelope.recipient)
-                        ] = raw
-                    self.stats.record_upload(
-                        self.phase_tag,
-                        sender,
-                        len(data),
-                        messages=len(envelopes),
-                    )
-                    if self._m_frames_in is not None and envelopes:
-                        self._m_frames_in.inc(len(envelopes))
+                self._require_expected(sender)
+                self._envelopes.setdefault(sender, []).extend(envelopes)
+                for envelope, raw in zip(envelopes, raws):
+                    self._envelope_raw[
+                        (envelope.sender, envelope.recipient)
+                    ] = raw
+                self.stats.record_upload(
+                    self.phase_tag,
+                    sender,
+                    len(data),
+                    messages=len(envelopes),
+                )
+                if self._m_frames_in is not None and envelopes:
+                    self._m_frames_in.inc(len(envelopes))
                 return
         frames = iter_frames(data)
         for header, message, raw in frames:
             claimed = self._sender_of(message)
-            if sender is not None and claimed != sender:
+            if claimed != sender:
                 raise AggregationError(
                     f"frame claims sender {claimed} but came from {sender}"
                 )
             self._dispatch(header, message, claimed, raw)
-        if frames and sender is None:
-            sender = self._sender_of(frames[0][1])
-        if sender is not None:
-            self.stats.record_upload(
-                self.phase_tag, sender, len(data), messages=len(frames)
-            )
-            if self._m_frames_in is not None and frames:
-                self._m_frames_in.inc(len(frames))
+        self.stats.record_upload(
+            self.phase_tag, sender, len(data), messages=len(frames)
+        )
+        if self._m_frames_in is not None and frames:
+            self._m_frames_in.inc(len(frames))
 
     @staticmethod
     def _sender_of(message: Message) -> int:

@@ -369,10 +369,20 @@ class ProcessBackend(ExecutionBackend):
         if self._vector_transport == "shm" and shared_memory_available():
             if self._shm_transport is None:
                 self._shm_transport = SharedMemoryTransport()
-            packed = self._shm_transport.pack(tasks)
-            return self._shm_transport.unpack(
-                list(pool.map(run_shard, packed))
-            )
+            transport = self._shm_transport
+            try:
+                packed = transport.pack(tasks)
+                return transport.unpack(
+                    list(pool.map(run_shard, packed))
+                )
+            except BaseException:
+                # A worker crash (or mid-round cancellation) unwinds
+                # through here with the block's contents suspect and
+                # nobody left to unpack them: unlink the named segment
+                # now instead of leaking it until interpreter exit.
+                self._shm_transport = None
+                transport.close()
+                raise
         return list(pool.map(run_shard, tasks))
 
     def warm(self) -> None:

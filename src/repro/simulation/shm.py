@@ -29,6 +29,7 @@ parent remains the sole owner.
 from __future__ import annotations
 
 import dataclasses
+import weakref
 
 import numpy as np
 
@@ -180,6 +181,16 @@ class SharedMemoryTransport:
         self._result_rows: dict[int, int] = {}
         self._dimension = 0
         self._total_rows = 0
+        self._finalizer: weakref.finalize | None = None
+
+    @staticmethod
+    def _release_segment(segment) -> None:
+        """Close and unlink one segment; tolerant of racing releases."""
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
 
     def _ensure_capacity(self, total_rows: int, dimension: int) -> None:
         needed = max(1, total_rows * dimension * 8)
@@ -189,6 +200,15 @@ class SharedMemoryTransport:
                 create=True, size=needed
             )
             self._capacity = self._segment.size
+            # Abnormal-teardown guard: if the transport is dropped
+            # without close() — a worker crash unwinding the backend, a
+            # mid-round cancellation, plain caller error — the named
+            # segment must not outlive the process.  The finalizer
+            # captures only the segment (never self), so it fires on
+            # garbage collection and at interpreter exit.
+            self._finalizer = weakref.finalize(
+                self, self._release_segment, self._segment
+            )
 
     def _table(self) -> np.ndarray:
         return np.ndarray(
@@ -269,12 +289,14 @@ class SharedMemoryTransport:
         return restored
 
     def close(self) -> None:
-        """Release and unlink the block; idempotent."""
-        if self._segment is not None:
-            self._segment.close()
-            try:
-                self._segment.unlink()
-            except FileNotFoundError:  # pragma: no cover
-                pass
-            self._segment = None
-            self._capacity = 0
+        """Release and unlink the block; idempotent.
+
+        Runs the registered finalizer (a ``weakref.finalize`` callback
+        is once-only, so an explicit close and a later gc never race to
+        unlink the same name twice).
+        """
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+        self._segment = None
+        self._capacity = 0

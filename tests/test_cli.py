@@ -261,6 +261,38 @@ class TestNewCommands:
         assert "RDP eps" in captured.out
         assert "200.0" in captured.out
 
+    def test_account_expected_failure_prints_reason(
+        self, capsys, monkeypatch
+    ):
+        """An expected accounting failure (no finite RDP order) keeps
+        the sweep going and says *why*, not a bare ``n/a``."""
+        import repro.accounting.rdp as rdp
+        from repro.errors import PrivacyAccountingError
+
+        def no_order(orders, rdp_of, delta):
+            raise PrivacyAccountingError(
+                "no RDP order yields a finite epsilon"
+            )
+
+        monkeypatch.setattr(rdp, "best_epsilon", no_order)
+        exit_code = main(["account", "--lambdas", "200", "--value", "1.5"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "n/a" in captured.out
+        assert "no RDP order yields a finite epsilon" in captured.out
+
+    def test_account_unexpected_error_propagates(self, monkeypatch):
+        """A genuine defect in the RDP path must crash the command,
+        not be swallowed into an ``n/a`` row."""
+        import repro.accounting.rdp as rdp
+
+        def broken(orders, rdp_of, delta):
+            raise RuntimeError("defect in the RDP path")
+
+        monkeypatch.setattr(rdp, "best_epsilon", broken)
+        with pytest.raises(RuntimeError, match="defect in the RDP path"):
+            main(["account", "--lambdas", "200", "--value", "1.5"])
+
     def test_attack_command(self, capsys):
         exit_code = main(
             [

@@ -28,6 +28,11 @@ FAST_EXAMPLES = [
     ("floating_point_attack.py", "0 wrong", 120),
     ("async_simulation.py", "bit-reproducible: True", 240),
     ("sharded_simulation.py", "backend-identical: True", 240),
+    (
+        "network_round.py",
+        "bit-identical to the in-memory run_bonawitz reference",
+        240,
+    ),
 ]
 
 

@@ -1,0 +1,180 @@
+"""Stream-framing edge cases: partial reads, hostile prefixes, EOF."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import AggregationError
+from repro.net.frames import (
+    MAX_DATAGRAM_BYTES,
+    PREFIX_SIZE,
+    encode_datagram,
+    read_datagram,
+    write_datagram,
+)
+
+
+async def socket_pair():
+    """A connected (client_writer, server_reader) pair over localhost."""
+    ready = asyncio.Queue()
+
+    async def on_connect(reader, writer):
+        await ready.put((reader, writer))
+
+    server = await asyncio.start_server(on_connect, host="127.0.0.1", port=0)
+    port = server.sockets[0].getsockname()[1]
+    client_reader, client_writer = await asyncio.open_connection(
+        "127.0.0.1", port
+    )
+    server_reader, server_writer = await ready.get()
+    return server, client_reader, client_writer, server_reader, server_writer
+
+
+class TestEncode:
+    def test_prefix_layout(self):
+        encoded = encode_datagram(b"abc")
+        assert encoded[:PREFIX_SIZE] == (3).to_bytes(PREFIX_SIZE, "little")
+        assert encoded[PREFIX_SIZE:] == b"abc"
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(AggregationError, match="empty datagram"):
+            encode_datagram(b"")
+
+
+class TestReadDatagram:
+    def test_round_trip_over_real_socket(self):
+        async def scenario():
+            server, _, cw, sr, sw = await socket_pair()
+            try:
+                await write_datagram(cw, b"hello-frames")
+                assert await read_datagram(sr) == b"hello-frames"
+            finally:
+                cw.close()
+                sw.close()
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_partial_reads_across_frame_boundaries(self):
+        """A datagram dribbled in 1-byte writes — and two datagrams whose
+        boundary lands mid-TCP-segment — reassemble exactly."""
+
+        async def scenario():
+            server, _, cw, sr, sw = await socket_pair()
+            try:
+                first = encode_datagram(b"A" * 700)
+                second = encode_datagram(b"B" * 300)
+                stream = first + second
+                # Split at awkward offsets: inside the first prefix,
+                # inside the first body, exactly at the boundary, and
+                # inside the second body.
+                cuts = [0, 2, 350, len(first), len(first) + 5, len(stream)]
+                for lo, hi in zip(cuts, cuts[1:]):
+                    cw.write(stream[lo:hi])
+                    await cw.drain()
+                    await asyncio.sleep(0)  # Let the kernel deliver.
+                assert await read_datagram(sr) == b"A" * 700
+                assert await read_datagram(sr) == b"B" * 300
+            finally:
+                cw.close()
+                sw.close()
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_zero_length_prefix_rejected(self):
+        async def scenario():
+            server, _, cw, sr, sw = await socket_pair()
+            try:
+                cw.write((0).to_bytes(PREFIX_SIZE, "little"))
+                await cw.drain()
+                with pytest.raises(AggregationError, match="zero-length"):
+                    await read_datagram(sr)
+            finally:
+                cw.close()
+                sw.close()
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_oversized_prefix_rejected_before_allocation(self):
+        async def scenario():
+            server, _, cw, sr, sw = await socket_pair()
+            try:
+                huge = MAX_DATAGRAM_BYTES + 1
+                cw.write(huge.to_bytes(PREFIX_SIZE, "little"))
+                await cw.drain()
+                with pytest.raises(AggregationError, match="exceeds"):
+                    await read_datagram(sr)
+            finally:
+                cw.close()
+                sw.close()
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_custom_limit(self):
+        async def scenario():
+            server, _, cw, sr, sw = await socket_pair()
+            try:
+                await write_datagram(cw, b"x" * 100)
+                with pytest.raises(AggregationError, match="64-byte limit"):
+                    await read_datagram(sr, max_bytes=64)
+            finally:
+                cw.close()
+                sw.close()
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_clean_eof_at_boundary_returns_none(self):
+        async def scenario():
+            server, _, cw, sr, sw = await socket_pair()
+            try:
+                await write_datagram(cw, b"last")
+                cw.close()
+                assert await read_datagram(sr) == b"last"
+                assert await read_datagram(sr) is None
+            finally:
+                sw.close()
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_close_mid_prefix_raises(self):
+        async def scenario():
+            server, _, cw, sr, sw = await socket_pair()
+            try:
+                cw.write(b"\x01\x02")  # 2 of the 4 prefix bytes.
+                await cw.drain()
+                cw.close()
+                with pytest.raises(AggregationError, match="mid-prefix"):
+                    await read_datagram(sr)
+            finally:
+                sw.close()
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_close_mid_datagram_raises(self):
+        async def scenario():
+            server, _, cw, sr, sw = await socket_pair()
+            try:
+                cw.write((10).to_bytes(PREFIX_SIZE, "little") + b"only4")
+                await cw.drain()
+                cw.close()
+                with pytest.raises(AggregationError, match="mid-datagram"):
+                    await read_datagram(sr)
+            finally:
+                sw.close()
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())

@@ -221,6 +221,48 @@ class TestStrictValidation:
         with pytest.raises(NegotiationError, match="speaking"):
             clients[1].handle(foreign)
 
+    def test_receive_requires_transport_authenticated_sender(self):
+        """Omitting ``sender`` must hard-fail, never fall back to the
+        frame-claimed origin.
+
+        The old fallback (adopt the first frame's claimed sender when
+        the caller passes none) let any connection impersonate any
+        client by writing the victim's id into its frames — the exact
+        attack sender binding exists to stop.
+        """
+        _, clients, server = make_sessions(n=3, threshold=2)
+        frames = b"".join(clients[1].start())
+        with pytest.raises(
+            AggregationError, match="transport-authenticated"
+        ):
+            server.receive(frames)
+        with pytest.raises(
+            AggregationError, match="transport-authenticated"
+        ):
+            server.receive(frames, sender=None)
+        # The failed calls must not have half-ingested anything: the
+        # honest, bound delivery still works.
+        server.receive(frames, sender=1)
+        assert server.received() == frozenset({1})
+
+    def test_spoofed_bulk_envelopes_rejected_without_fallback(self):
+        """The bulk (sealed-envelope) path must also refuse a frame
+        whose claimed sender differs from the bound one."""
+        _, clients, server = make_sessions(n=3, threshold=2)
+        for u in sorted(clients):
+            server.receive(b"".join(clients[u].start()), sender=u)
+        deliveries = server.advance()
+        mailbox = b"".join(clients[1].handle(deliveries[1]))
+        # Client 1's share-keys mailbox arrives over client 2's bound
+        # connection: impersonation, regardless of what the frames say.
+        with pytest.raises(AggregationError, match="claims sender"):
+            server.receive(mailbox, sender=2)
+        # And with no sender at all it is refused outright.
+        with pytest.raises(
+            AggregationError, match="transport-authenticated"
+        ):
+            server.receive(mailbox)
+
     def test_sum_unavailable_before_recovery(self):
         _, _, server = make_sessions(n=3, threshold=2)
         with pytest.raises(AggregationError, match="not been recovered"):
