@@ -232,6 +232,9 @@ def command_simulate(args) -> int:
             verify_aggregate=args.verify,
             shards=args.shards,
             backend=args.backend,
+            tree=args.tree,
+            compose=args.compose,
+            rebalance=args.rebalance,
             telemetry=not args.no_telemetry,
             trace_max_events=args.trace_max_events,
         )
@@ -241,11 +244,19 @@ def command_simulate(args) -> int:
     with warnings.catch_warnings():
         warnings.simplefilter("ignore")
         result = engine.run()
-    if args.shards > 1:
-        # The partition caps the effective count per round so every
+    topology = config.aggregation_topology()
+    if topology is not None:
+        # The partition caps the effective count per level so every
         # shard keeps at least two clients.
-        print(f"sharding: up to {args.shards} shards per round "
-              f"({args.backend} backend)", flush=True)
+        shape = (
+            f"tree {topology.describe()}"
+            if args.tree is not None
+            else f"up to {args.shards} shards per round"
+        )
+        extras = f"{args.backend} backend, {config.compose} compose"
+        if config.rebalance:
+            extras += ", rebalance on"
+        print(f"sharding: {shape} ({extras})", flush=True)
     for record in result.records:
         status = "aborted" if record.aborted else (
             f"included={len(record.included):3d} "
@@ -556,6 +567,25 @@ def main(argv: Sequence[str] | None = None) -> int:
                                       "shared-memory vector transport; "
                                       "process-pickle ships vectors in the "
                                       "task pickle)")
+    simulate_parser.add_argument("--tree", metavar="SHAPE", default=None,
+                                 help="aggregation-tree topology, root level "
+                                      "first (e.g. '8' or '4x4'); overrides "
+                                      "--shards with an N-level "
+                                      "region-to-global tree")
+    simulate_parser.add_argument("--compose", choices=["clear", "secagg"],
+                                 default="clear",
+                                 help="how interior tree nodes combine child "
+                                      "sums: 'clear' adds them modularly "
+                                      "(intermediate sums visible to the "
+                                      "server), 'secagg' runs an outer "
+                                      "Bonawitz round over them (intermediate "
+                                      "sums stay masked); the result is "
+                                      "bit-identical either way")
+    simulate_parser.add_argument("--rebalance", action="store_true",
+                                 help="re-home survivors of a below-threshold "
+                                      "shard onto sibling shards before the "
+                                      "masking phase commits, instead of "
+                                      "dropping them with the shard")
     simulate_parser.add_argument("--metrics-out", metavar="PATH",
                                  default=None,
                                  help="write end-of-run metrics in "

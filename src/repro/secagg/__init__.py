@@ -47,8 +47,22 @@ from repro.secagg.wire import (
     decode_message,
     encode_message,
 )
-from repro.secagg.compose import compose_shard_sums
+from repro.secagg.compose import (
+    COMPOSERS,
+    ClearComposer,
+    ComposeResult,
+    Composer,
+    SecAggComposer,
+    compose_shard_sums,
+    get_composer,
+)
 from repro.secagg.field import DEFAULT_FIELD, MERSENNE_61, PrimeField
+from repro.secagg.tree import (
+    TreeNode,
+    TreeTopology,
+    VirtualClient,
+    run_composition_round,
+)
 from repro.secagg.kernels import (
     DEFAULT_MASK_PRG,
     MASK_PRGS,
@@ -89,7 +103,11 @@ __all__ = [
     "AggregationOutcome",
     "BonawitzClient",
     "BonawitzServer",
+    "COMPOSERS",
+    "ClearComposer",
     "ClientSession",
+    "ComposeResult",
+    "Composer",
     "DEFAULT_FIELD",
     "DEFAULT_MASK_PRG",
     "DhGroup",
@@ -110,13 +128,17 @@ __all__ = [
     "Reject",
     "SUPPORTED_PROTOCOL_VERSIONS",
     "SealedShares",
+    "SecAggComposer",
     "SecureAggregator",
     "ServerSession",
     "Sha256CounterPrg",
     "Share",
     "TOY_GROUP",
+    "TreeNode",
+    "TreeTopology",
     "UnmaskRequest",
     "UnmaskResponse",
+    "VirtualClient",
     "WIRE_FORMAT_VERSION",
     "WireStats",
     "ZeroSumMaskProtocol",
@@ -127,12 +149,14 @@ __all__ = [
     "encode_message",
     "expand_mask",
     "generate_keypair",
+    "get_composer",
     "get_mask_prg",
     "pairwise_delta",
     "reconstruct_large_secret",
     "reconstruct_secret",
     "reconstruct_secrets",
     "run_bonawitz",
+    "run_composition_round",
     "secure_sum",
     "split_large_secret",
     "split_secret",

@@ -17,9 +17,13 @@ Layering (each module only depends on the ones above it):
   models, cohort sampling.
 * :mod:`~repro.simulation.rounds` — dropout-tolerant async SecAgg round
   driver over the ``secagg.bonawitz`` state machines.
-* :mod:`~repro.simulation.sharding` — hierarchical sharded rounds: k
-  Bonawitz sub-rounds (inline or on a process pool) composed by an
-  outer modular addition.
+* :mod:`~repro.simulation.sharding` — level-agnostic sharding
+  primitives: partition/threshold rules, picklable shard tasks, the
+  inline/process execution backends.
+* :mod:`~repro.simulation.hierarchy` — N-level aggregation-tree
+  orchestration: leaf Bonawitz sub-rounds composed bottom-up by a
+  pluggable clear / SecAgg composer, with optional cross-shard
+  straggler rebalancing.
 * :mod:`~repro.simulation.engine` — the training orchestrator wiring
   encoder/decoder, the Skellam mixture noise, the federated trainer and
   the accounting ledger into the round loop.
@@ -33,6 +37,10 @@ from repro.simulation.engine import (
     SimulationResult,
 )
 from repro.simulation.events import Mailbox, SimulationTrace, TraceEvent
+from repro.simulation.hierarchy import (
+    HierarchicalSecAggRound,
+    ShardedSecAggRound,
+)
 from repro.simulation.population import (
     AlwaysAvailable,
     AvailabilityModel,
@@ -48,12 +56,12 @@ from repro.simulation.sharding import (
     ExecutionBackend,
     InlineBackend,
     ProcessBackend,
-    ShardedSecAggRound,
     ShardReport,
     ShardTask,
     get_execution_backend,
     partition_cohort,
     shamir_threshold,
+    validate_threshold_fraction,
 )
 from repro.simulation.shm import (
     SharedMemoryTransport,
@@ -69,6 +77,7 @@ __all__ = [
     "ClientPlan",
     "EXECUTION_BACKENDS",
     "ExecutionBackend",
+    "HierarchicalSecAggRound",
     "InlineBackend",
     "Mailbox",
     "Population",
@@ -93,4 +102,5 @@ __all__ = [
     "partition_cohort",
     "shamir_threshold",
     "shared_memory_available",
+    "validate_threshold_fraction",
 ]

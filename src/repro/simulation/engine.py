@@ -72,12 +72,15 @@ from repro.simulation.population import (
     AvailabilityModel,
     Population,
 )
+from repro.secagg.compose import COMPOSERS
+from repro.secagg.tree import TreeTopology
+from repro.simulation.hierarchy import HierarchicalSecAggRound
 from repro.simulation.rounds import AsyncSecAggRound
 from repro.simulation.sharding import (
     EXECUTION_BACKENDS,
-    ShardedSecAggRound,
     get_execution_backend,
     shamir_threshold,
+    validate_threshold_fraction,
 )
 from repro.telemetry import (
     COHORT_SIZE_BUCKETS,
@@ -129,6 +132,21 @@ class SimulationConfig:
             each cohort into ``k`` hierarchical Bonawitz sub-rounds
             whose sums compose modularly (bit-identical to the flat sum
             over the same survivors, ``O(n^2/k)`` total protocol work).
+        tree: Aggregation-tree topology string (e.g. ``"8"`` or
+            ``"4x4"``, root level first); overrides ``shards`` with an
+            N-level region→…→global tree.  ``None`` (default) keeps the
+            flat/``shards`` behaviour.
+        compose: How interior tree nodes combine child sums —
+            ``"clear"`` (default, legacy outer modular addition; the
+            composing node sees every intermediate sum) or ``"secagg"``
+            (an outer Bonawitz round over virtual clients; every
+            intermediate sum stays masked).  Sums are bit-identical
+            either way.
+        rebalance: Enable cross-shard straggler rebalancing: a shard
+            driven below its Shamir threshold before the masking phase
+            commits re-homes its survivors onto sibling shards instead
+            of dropping them.  Off by default (re-homing changes which
+            members contribute, so pinned digests cover the default).
         backend: How shard sub-rounds execute — ``"inline"``
             (sequential, default), ``"process"`` (a reusable OS process
             pool with the shared-memory vector transport), or
@@ -167,6 +185,9 @@ class SimulationConfig:
     verify_aggregate: bool = False
     shards: int = 1
     backend: str = "inline"
+    tree: str | None = None
+    compose: str = "clear"
+    rebalance: bool = False
     telemetry: bool = True
     trace_max_events: int | None = None
 
@@ -174,6 +195,13 @@ class SimulationConfig:
         if self.shards < 1:
             raise ConfigurationError(
                 f"shards must be >= 1, got {self.shards}"
+            )
+        if self.tree is not None:
+            TreeTopology.parse(self.tree)  # Raises on a malformed shape.
+        if self.compose not in COMPOSERS:
+            raise ConfigurationError(
+                f"compose must be one of {sorted(COMPOSERS)}, "
+                f"got {self.compose!r}"
             )
         if self.trace_max_events is not None and self.trace_max_events < 1:
             raise ConfigurationError(
@@ -190,16 +218,24 @@ class SimulationConfig:
                 f"expected_cohort {self.expected_cohort} exceeds the "
                 f"population of {self.population_size}"
             )
-        if not 0 < self.threshold_fraction <= 1:
-            raise ConfigurationError(
-                "threshold_fraction must be in (0, 1], got "
-                f"{self.threshold_fraction}"
-            )
+        validate_threshold_fraction(self.threshold_fraction)
         if self.dataset not in _DATASETS:
             raise ConfigurationError(
                 f"dataset must be one of {sorted(_DATASETS)}, "
                 f"got {self.dataset!r}"
             )
+
+    def aggregation_topology(self) -> TreeTopology | None:
+        """The aggregation tree this run uses, or ``None`` for flat.
+
+        ``tree`` wins over ``shards``; ``shards == 1`` with no tree is
+        the flat single-instance protocol.
+        """
+        if self.tree is not None:
+            return TreeTopology.parse(self.tree)
+        if self.shards > 1:
+            return TreeTopology((self.shards,))
+        return None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -221,6 +257,9 @@ class RoundRecord:
         wire_messages: Protocol messages moved this round (both
             directions, all phases; 0 when no SecAgg traffic happened).
         wire_bytes: Serialized wire bytes moved this round.
+        composer: How intermediate sums were combined (``"clear"`` /
+            ``"secagg"``) for hierarchical rounds; ``None`` for flat
+            rounds, which have no intermediate sums.
     """
 
     index: int
@@ -234,6 +273,7 @@ class RoundRecord:
     completed_at: float = 0.0
     wire_messages: int = 0
     wire_bytes: int = 0
+    composer: str | None = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -422,11 +462,11 @@ class SimulationEngine:
             self._metrics = None
             self._m_sim_rounds = self._m_cohort = None
             self._m_epsilon = self._m_fallbacks = None
-        # Only sharded runs execute through a backend; flat runs drive
-        # AsyncSecAggRound on the engine clock directly.
+        # Only sharded/tree runs execute through a backend; flat runs
+        # drive AsyncSecAggRound on the engine clock directly.
         self._backend = (
             get_execution_backend(self.config.backend)
-            if self.config.shards > 1
+            if self.config.aggregation_topology() is not None
             else None
         )
         # trainer.run() calibrates the mechanism before its first round;
@@ -585,22 +625,25 @@ class SimulationEngine:
         }
         protocol_rng = self.population.round_rng(round_index, PURPOSE_PROTOCOL)
         plans = self.population.plans(round_index, cohort)
+        topology = self.config.aggregation_topology()
         try:
-            if self.config.shards > 1:
-                sharded_round = ShardedSecAggRound(
+            if topology is not None:
+                tree_round = HierarchicalSecAggRound(
                     vectors=vectors,
                     modulus=self.config.modulus,
                     clock=self._clock,
                     rng=protocol_rng,
-                    shards=self.config.shards,
+                    topology=topology,
                     threshold_fraction=self.config.threshold_fraction,
+                    composer=self.config.compose,
                     plans=plans,
                     phase_timeout=self.config.phase_timeout,
                     backend=self._backend,
                     trace=self.trace,
                     metrics=self._metrics,
+                    rebalance=self.config.rebalance,
                 )
-                outcome = sharded_round.execute()
+                outcome = tree_round.execute()
             else:
                 threshold = shamir_threshold(
                     self.config.threshold_fraction, len(cohort)
@@ -649,6 +692,7 @@ class SimulationEngine:
                     outcome.wire.total_messages if outcome.wire else 0
                 ),
                 wire_bytes=outcome.wire.total_bytes if outcome.wire else 0,
+                composer=outcome.composer,
             )
         )
         decoded = self.decoder.decode(outcome.modular_sum)

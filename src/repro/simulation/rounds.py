@@ -98,6 +98,10 @@ class RoundOutcome:
         completed_at: Simulated time the sum was recovered.
         wire: Per-phase, per-client message/byte accounting for the
             round (``None`` for outcomes built before any traffic).
+        composer: How intermediate sums were combined for hierarchical
+            rounds (``"clear"`` exposes shard sums to the composing
+            node, ``"secagg"`` keeps them masked); ``None`` for flat
+            rounds, which have no intermediate sums.
     """
 
     modular_sum: np.ndarray
@@ -106,6 +110,7 @@ class RoundOutcome:
     started_at: float
     completed_at: float
     wire: WireStats | None = None
+    composer: str | None = None
 
     @property
     def duration(self) -> float:
@@ -208,6 +213,13 @@ class AsyncSecAggRound:
         }
         self._inbox = Mailbox(clock)
         self._boxes = {u: Mailbox(clock) for u in self._cohort}
+        # Abort introspection for hierarchical orchestration: on an
+        # AggregationError these record which phase failed and which
+        # cohort members had delivered it — before the masking phase
+        # commits, those survivors can be re-homed to a sibling shard
+        # instead of being dropped with their shard.
+        self.abort_phase: int | None = None
+        self.survivors_at_abort: frozenset[int] = frozenset()
         # Live client sessions, registered as their tasks spawn so the
         # server can batch-warm the pairwise DH agreements.
         self._live_clients: dict[int, ClientSession] = {}
@@ -366,7 +378,12 @@ class AsyncSecAggRound:
                 datagrams = await self._collect(tag, expected=expected)
                 for sender, payload in datagrams.items():
                     session.receive(payload, sender=sender)
-                deliveries = session.advance()
+                try:
+                    deliveries = session.advance()
+                except AggregationError:
+                    self.abort_phase = phase
+                    self.survivors_at_abort = frozenset(session.received())
+                    raise
                 if phase == ROUND_ADVERTISE:
                     # Pre-derive the accepted roster's pairwise DH keys
                     # in one vectorised sweep (pure memoisation warm-up;

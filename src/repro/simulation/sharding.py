@@ -42,25 +42,32 @@ shard index, in deterministic (time, shard) order.
 
 Failure semantics are hierarchical: a shard whose survivor count falls
 below its Shamir threshold aborts *alone* — its members count as
-dropped for the round and the remaining shards' sums still compose.
-Only if every shard aborts does the round raise
-:class:`~repro.errors.AggregationError`, mirroring the flat driver.
+dropped for the round and the remaining shards' sums still compose
+(or, with rebalancing enabled on the orchestrator, pre-masking
+survivors are re-homed to sibling shards first).  Only if every shard
+aborts does the round raise :class:`~repro.errors.AggregationError`,
+mirroring the flat driver.
+
+This module holds the level-agnostic primitives — partition rule,
+threshold rule, picklable shard tasks/reports, and the execution
+backends.  Orchestration lives in :mod:`repro.simulation.hierarchy`
+(:class:`~repro.simulation.hierarchy.HierarchicalSecAggRound` and its
+legacy flat-tree alias ``ShardedSecAggRound``, re-exported here for
+backward compatibility).
 """
 
 from __future__ import annotations
 
 import abc
-import contextlib
 import dataclasses
 import math
 import os
-from collections.abc import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
 from repro.errors import AggregationError, ConfigurationError
-from repro.secagg.compose import compose_shard_sums
-from repro.secagg.wire import WireStats
+from repro.secagg.tree import MIN_SHARD_SIZE, partition_members
 from repro.simulation.clock import SimulatedClock
 from repro.simulation.events import SimulationTrace, TraceEvent
 from repro.simulation.population import ClientPlan
@@ -72,14 +79,44 @@ from repro.simulation.shm import (
     shared_memory_available,
 )
 from repro.telemetry.registry import MetricsRegistry, MetricsSnapshot
-from repro.telemetry.spans import time_phase
 
-#: A Bonawitz instance needs at least two parties (threshold >= 2), so a
-#: shard below this size is never formed — the partition caps ``k``.
-MIN_SHARD_SIZE = 2
+__all__ = [
+    "MIN_SHARD_SIZE",
+    "DEFAULT_BACKEND",
+    "EXECUTION_BACKENDS",
+    "ExecutionBackend",
+    "InlineBackend",
+    "ProcessBackend",
+    "ShardReport",
+    "ShardTask",
+    "ShardedSecAggRound",
+    "get_execution_backend",
+    "partition_cohort",
+    "run_shard",
+    "shamir_threshold",
+    "validate_threshold_fraction",
+]
 
 #: Hard cap on pool width; shards beyond it queue on existing workers.
 _MAX_POOL_WORKERS = 16
+
+
+def validate_threshold_fraction(threshold_fraction: float) -> float:
+    """Validate a Shamir threshold fraction; returns it unchanged.
+
+    The single ``(0, 1]`` range check (and single error message) shared
+    by :func:`shamir_threshold`, the hierarchical round orchestrators,
+    and the simulation config — every layer rejects a bad fraction the
+    same way.
+
+    Raises:
+        ConfigurationError: If the fraction is outside ``(0, 1]``.
+    """
+    if not 0 < threshold_fraction <= 1:
+        raise ConfigurationError(
+            f"threshold_fraction must be in (0, 1], got {threshold_fraction}"
+        )
+    return threshold_fraction
 
 
 def shamir_threshold(threshold_fraction: float, cohort_size: int) -> int:
@@ -90,10 +127,7 @@ def shamir_threshold(threshold_fraction: float, cohort_size: int) -> int:
     and the throughput benchmarks, so flat-vs-sharded comparisons always
     run under the same dropout-tolerance rule.
     """
-    if not 0 < threshold_fraction <= 1:
-        raise ConfigurationError(
-            f"threshold_fraction must be in (0, 1], got {threshold_fraction}"
-        )
+    validate_threshold_fraction(threshold_fraction)
     return max(2, math.ceil(threshold_fraction * cohort_size))
 
 
@@ -119,15 +153,7 @@ def partition_cohort(
     Raises:
         ConfigurationError: If ``shards < 1`` or the cohort is empty.
     """
-    if shards < 1:
-        raise ConfigurationError(f"shards must be >= 1, got {shards}")
-    members = sorted(cohort)
-    if not members:
-        raise ConfigurationError("cannot partition an empty cohort")
-    if len(set(members)) != len(members):
-        raise ConfigurationError("cohort contains duplicate client indices")
-    effective = max(1, min(shards, len(members) // MIN_SHARD_SIZE))
-    return [tuple(members[i::effective]) for i in range(effective)]
+    return partition_members(cohort, shards)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -155,6 +181,12 @@ class ShardTask:
             a private registry and ships the (picklable) snapshot back
             on the report for the parent to absorb under a ``shard``
             label.
+        attempt: Execution attempt for this shard within the round
+            (0 = initial dispatch).  Straggler rebalancing re-runs a
+            shard with re-homed members as attempt 1; the attempt
+            extends the RNG spawn key so the retry draws a fresh —
+            but still deterministic — protocol stream, while attempt 0
+            keeps the legacy ``(shard_index,)`` key bit-identically.
     """
 
     shard_index: int
@@ -168,6 +200,7 @@ class ShardTask:
     mask_prg: str | None = None
     shm: "ShmVectorBlock | None" = None
     collect_metrics: bool = False
+    attempt: int = 0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -190,6 +223,15 @@ class ShardReport:
             the task asked for one (``collect_metrics``), else ``None``.
             Frozen tuples all the way down, so it pickles across the
             process boundary unchanged.
+        abort_phase: On abort, the protocol phase whose threshold check
+            failed (``None`` on success).  Aborts at a phase before
+            ``ROUND_MASKED_INPUT`` happened before any masked input was
+            committed, so the survivors are still eligible for
+            rebalancing to a sibling shard.
+        survivors: On abort, the members that had delivered the failing
+            phase — the rebalancing candidates.
+        attempt: Which execution attempt produced this report (mirrors
+            :attr:`ShardTask.attempt`).
     """
 
     shard_index: int
@@ -200,6 +242,9 @@ class ShardReport:
     events: tuple[TraceEvent, ...]
     pending_timers: int
     metrics: MetricsSnapshot | None = None
+    abort_phase: int | None = None
+    survivors: tuple[int, ...] = ()
+    attempt: int = 0
 
 
 def run_shard(task: ShardTask) -> ShardReport:
@@ -222,8 +267,15 @@ def run_shard(task: ShardTask) -> ShardReport:
     clock = SimulatedClock(start=task.start_time)
     trace = SimulationTrace(clock)
     registry = MetricsRegistry() if task.collect_metrics else None
+    # Attempt 0 keeps the legacy single-element spawn key so existing
+    # rounds stay bit-identical; a rebalancing retry extends it.
+    spawn_key = (
+        (task.shard_index,)
+        if task.attempt == 0
+        else (task.shard_index, task.attempt)
+    )
     rng = np.random.default_rng(
-        np.random.SeedSequence(task.entropy, spawn_key=(task.shard_index,))
+        np.random.SeedSequence(task.entropy, spawn_key=spawn_key)
     )
     sub_round = AsyncSecAggRound(
         vectors=vectors,
@@ -259,6 +311,11 @@ def run_shard(task: ShardTask) -> ShardReport:
         events=tuple(trace.events),
         pending_timers=clock.pending_timers,
         metrics=registry.snapshot() if registry is not None else None,
+        abort_phase=sub_round.abort_phase if error is not None else None,
+        survivors=tuple(sorted(sub_round.survivors_at_abort))
+        if error is not None
+        else (),
+        attempt=task.attempt,
     )
 
 
@@ -441,267 +498,14 @@ def get_execution_backend(
     return factory()
 
 
-class ShardedSecAggRound:
-    """One cohort round as ``k`` parallel Bonawitz sub-rounds.
+def __getattr__(name: str):
+    # ``ShardedSecAggRound`` moved to :mod:`repro.simulation.hierarchy`
+    # when orchestration became tree-shaped; resolve it lazily so the
+    # historical ``from repro.simulation.sharding import
+    # ShardedSecAggRound`` keeps working without a circular import at
+    # module load.
+    if name == "ShardedSecAggRound":
+        from repro.simulation.hierarchy import ShardedSecAggRound
 
-    Drop-in sibling of :class:`~repro.simulation.rounds.AsyncSecAggRound`
-    producing the same :class:`~repro.simulation.rounds.RoundOutcome`,
-    but synchronous from the caller's view: each shard runs to
-    completion on its own private clock (possibly in another process),
-    then the parent clock is advanced by the slowest shard's duration.
-
-    Args:
-        vectors: Private input per cohort member (1-based index ->
-            length-``d`` integer vector over ``Z_m``).
-        modulus: Aggregation modulus ``m``.
-        clock: The parent simulated clock; advanced (never run) by
-            :meth:`execute`.
-        rng: Round-scoped randomness; a single 63-bit entropy draw
-            seeds every shard's spawn-keyed stream.
-        shards: Requested shard count (capped by the partition so each
-            shard keeps >= :data:`MIN_SHARD_SIZE` members).
-        threshold_fraction: Per-shard Shamir threshold as a fraction of
-            the shard's size (``max(2, ceil(fraction * len(shard)))``).
-        plans: Behaviour plan per cohort member.
-        phase_timeout: Per-phase server deadline (simulated seconds).
-        backend: ``"inline"``, ``"process"``, or an
-            :class:`ExecutionBackend` instance.  A *name* builds a
-            backend owned (and closed) by this round; an *instance*
-            stays caller-owned for reuse across rounds and is never
-            closed here.
-        trace: Optional parent event log; shard traces are merged into
-            it, each event annotated with its shard index.
-        mask_prg: Mask PRG backend name shared by every shard.
-        metrics: Optional :class:`~repro.telemetry.MetricsRegistry`.
-            Each shard sub-round meters into a private registry (in the
-            worker process, for the process backends) whose snapshot is
-            absorbed back here under a ``shard="<index>"`` label; the
-            parent additionally times backend dispatch and merge, and
-            counts the vector bytes that crossed the worker boundary by
-            transport (``shm`` vs ``pickle``).
-    """
-
-    def __init__(
-        self,
-        vectors: Mapping[int, np.ndarray],
-        modulus: int,
-        clock: SimulatedClock,
-        rng: np.random.Generator,
-        shards: int,
-        threshold_fraction: float = 0.6,
-        plans: Mapping[int, ClientPlan] | None = None,
-        phase_timeout: float = 60.0,
-        backend: ExecutionBackend | str | None = None,
-        trace: SimulationTrace | None = None,
-        mask_prg: str | None = None,
-        metrics: MetricsRegistry | None = None,
-    ) -> None:
-        if not vectors:
-            raise ConfigurationError("cohort must not be empty")
-        if not 0 < threshold_fraction <= 1:
-            raise ConfigurationError(
-                "threshold_fraction must be in (0, 1], got "
-                f"{threshold_fraction}"
-            )
-        if len(vectors) < MIN_SHARD_SIZE:
-            raise ConfigurationError(
-                f"sharded aggregation needs a cohort of >= {MIN_SHARD_SIZE}, "
-                f"got {len(vectors)}"
-            )
-        self._vectors = {
-            u: np.asarray(vectors[u], dtype=np.int64) for u in sorted(vectors)
-        }
-        self._modulus = modulus
-        self._clock = clock
-        self._threshold_fraction = threshold_fraction
-        self._plans = dict(plans or {})
-        self._phase_timeout = phase_timeout
-        # A backend built here from a name is owned here and closed
-        # after each execute(); a passed-in instance stays caller-owned
-        # (the engine reuses one pool across every round of a run).
-        self._owns_backend = not isinstance(backend, ExecutionBackend)
-        self._backend = get_execution_backend(backend)
-        self._trace = trace
-        self._mask_prg = mask_prg
-        self._partition = partition_cohort(self._vectors, shards)
-        # One entropy draw *before* dispatch keeps the per-shard streams
-        # identical under every backend (and costs the round RNG exactly
-        # one draw regardless of k).
-        self._entropy = int(rng.integers(0, 2**63))
-        self.last_reports: tuple[ShardReport, ...] = ()
-        self._metrics = metrics
-        if metrics is not None:
-            self._m_dispatch = metrics.histogram(
-                "secagg_shard_dispatch_seconds",
-                "Wall seconds the backend spent running a round's "
-                "shards, by backend.",
-            )
-            self._m_merge = metrics.histogram(
-                "secagg_shard_merge_seconds",
-                "Wall seconds spent absorbing shard reports (metrics "
-                "and traces) back into the parent round.",
-            )
-            self._m_transfer = metrics.counter(
-                "secagg_shard_transfer_bytes_total",
-                "Vector payload bytes that crossed the worker "
-                "boundary, by transport.",
-            )
-        else:
-            self._m_dispatch = self._m_merge = self._m_transfer = None
-
-    @property
-    def num_shards(self) -> int:
-        """Effective shard count after the partition's size cap."""
-        return len(self._partition)
-
-    def _shard_threshold(self, members: tuple[int, ...]) -> int:
-        return shamir_threshold(self._threshold_fraction, len(members))
-
-    def _build_tasks(self, started_at: float) -> list[ShardTask]:
-        return [
-            ShardTask(
-                shard_index=index,
-                vectors={u: self._vectors[u] for u in members},
-                modulus=self._modulus,
-                threshold=self._shard_threshold(members),
-                start_time=started_at,
-                entropy=self._entropy,
-                plans={
-                    u: self._plans[u] for u in members if u in self._plans
-                },
-                phase_timeout=self._phase_timeout,
-                mask_prg=self._mask_prg,
-                collect_metrics=self._metrics is not None,
-            )
-            for index, members in enumerate(self._partition)
-        ]
-
-    def _transport_label(self) -> str | None:
-        """How shard vectors cross the worker boundary, or ``None``
-        when they never leave this process (inline backend)."""
-        if isinstance(self._backend, ProcessBackend):
-            return self._backend.effective_transport
-        return None
-
-    def _wall_span(self, name: str, instrument, **labels):
-        """A wall-clock-only span, or a no-op without metrics."""
-        if instrument is None:
-            return contextlib.nullcontext()
-        if labels:
-            instrument = instrument.labels(**labels)
-        return time_phase(name, wall_histogram=instrument)
-
-    def _merge_traces(self, reports: Sequence[ShardReport]) -> None:
-        if self._trace is None:
-            return
-        annotated = [
-            dataclasses.replace(
-                event, details={**event.details, "shard": report.shard_index}
-            )
-            for report in reports
-            for event in report.events
-        ]
-        # Stable sort: global time order, shard order breaking ties —
-        # deterministic under both backends.
-        annotated.sort(key=lambda event: event.time)
-        self._trace.merge(annotated)
-
-    def execute(self) -> RoundOutcome:
-        """Run every shard sub-round and compose the outcome.
-
-        Returns:
-            A :class:`~repro.simulation.rounds.RoundOutcome` whose
-            ``modular_sum`` is the outer modular composition of the
-            surviving shards' sums, ``included`` the union of their
-            survivor sets, and ``completed_at`` the slowest shard's
-            finish time (to which the parent clock is advanced).
-
-        Raises:
-            AggregationError: Only if *every* shard aborted below its
-                threshold.
-        """
-        started_at = self._clock.now
-        tasks = self._build_tasks(started_at)
-        try:
-            with self._wall_span(
-                "shard-dispatch", self._m_dispatch,
-                backend=self._backend.name,
-            ):
-                reports = self._backend.run_shards(tasks)
-        finally:
-            if self._owns_backend:
-                self._backend.close()
-        self.last_reports = tuple(reports)
-        if self._metrics is not None:
-            transport = self._transport_label()
-            if transport is not None:
-                moved = sum(
-                    vector.nbytes
-                    for task in tasks
-                    for vector in task.vectors.values()
-                )
-                moved += sum(
-                    report.outcome.modular_sum.nbytes
-                    for report in reports
-                    if report.outcome is not None
-                )
-                self._m_transfer.labels(transport=transport).inc(moved)
-        with self._wall_span("shard-merge", self._m_merge):
-            if self._metrics is not None:
-                for report in reports:
-                    if report.metrics is not None:
-                        self._metrics.absorb(
-                            report.metrics.with_labels(
-                                shard=str(report.shard_index)
-                            )
-                        )
-            self._merge_traces(reports)
-        completed_at = max(report.ended_at for report in reports)
-        self._clock.advance_to(completed_at)
-        succeeded = [report for report in reports if report.outcome is not None]
-        if self._trace is not None:
-            for report in reports:
-                if report.outcome is None:
-                    self._trace.record(
-                        "shard-aborted",
-                        shard=report.shard_index,
-                        members=len(report.members),
-                        error=report.error,
-                    )
-        if not succeeded:
-            reasons = "; ".join(
-                f"shard {report.shard_index}: {report.error}"
-                for report in reports
-            )
-            raise AggregationError(
-                f"all {len(reports)} shards aborted — {reasons}"
-            )
-        modular_sum = compose_shard_sums(
-            [report.outcome.modular_sum for report in succeeded],
-            self._modulus,
-        )
-        included = frozenset().union(
-            *(report.outcome.included for report in succeeded)
-        )
-        wire = WireStats().merge(
-            report.outcome.wire
-            for report in succeeded
-            if report.outcome.wire is not None
-        )
-        if self._trace is not None:
-            self._trace.record(
-                "sharded-round-complete",
-                shards=len(reports),
-                aborted_shards=len(reports) - len(succeeded),
-                backend=self._backend.name,
-                included=len(included),
-                dropped=len(self._vectors) - len(included),
-            )
-        return RoundOutcome(
-            modular_sum=modular_sum,
-            included=included,
-            dropped=frozenset(self._vectors) - included,
-            started_at=started_at,
-            completed_at=completed_at,
-            wire=wire,
-        )
+        return ShardedSecAggRound
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -168,7 +168,33 @@ class TestNewCommands:
         captured = capsys.readouterr()
         assert exit_code == 0
         assert (
-            "sharding: up to 2 shards per round (inline backend)"
+            "sharding: up to 2 shards per round (inline backend, "
+            "clear compose)"
+            in captured.out
+        )
+        assert "exact=True" in captured.out
+
+    def test_simulate_tree(self, capsys):
+        exit_code = main(
+            [
+                "simulate",
+                "--clients", "16",
+                "--cohort", "10",
+                "--rounds", "1",
+                "--hidden", "2",
+                "--test-records", "32",
+                "--dropout-rate", "0.1",
+                "--tree", "2x2",
+                "--compose", "secagg",
+                "--rebalance",
+                "--verify",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert (
+            "sharding: tree 2x2 (inline backend, secagg compose, "
+            "rebalance on)"
             in captured.out
         )
         assert "exact=True" in captured.out

@@ -29,6 +29,11 @@ FAST_EXAMPLES = [
     ("async_simulation.py", "bit-reproducible: True", 240),
     ("sharded_simulation.py", "backend-identical: True", 240),
     (
+        "hierarchical_aggregation.py",
+        "digest-identical across composers: True",
+        240,
+    ),
+    (
         "network_round.py",
         "bit-identical to the in-memory run_bonawitz reference",
         240,
