@@ -237,6 +237,7 @@ def command_simulate(args) -> int:
             rebalance=args.rebalance,
             telemetry=not args.no_telemetry,
             trace_max_events=args.trace_max_events,
+            chaos=args.chaos,
         )
         engine = SimulationEngine(config, availability=availability)
     except ConfigurationError as error:
@@ -266,6 +267,8 @@ def command_simulate(args) -> int:
             "" if record.aggregate_matches is None
             else f"  exact={record.aggregate_matches}"
         )
+        if record.recovered:
+            check += "  recovered"
         print(f"round {record.index:3d}: cohort={len(record.cohort):3d} "
               f"{status}  eps={record.epsilon:6.3f}  "
               f"t={record.completed_at:8.1f}s{check}", flush=True)
@@ -376,6 +379,7 @@ def command_attack(args) -> int:
 def command_serve(args) -> int:
     """Serve SecAgg rounds to real TCP clients (the repro.net server)."""
     import asyncio
+    import signal
 
     from repro.net import SecAggServer, ServerConfig
     from repro.telemetry import to_prometheus
@@ -396,10 +400,27 @@ def command_serve(args) -> int:
         phase_timeout=args.phase_timeout,
         join_timeout=args.join_timeout,
         mask_prg=args.mask_prg,
+        resume_grace=args.resume_grace,
+        journal_path=args.journal,
+        round_epsilon=args.round_epsilon,
     )
     server = SecAggServer(config)
 
     async def run():
+        loop = asyncio.get_running_loop()
+
+        def graceful(signame: str) -> None:
+            print(f"{signame}: draining the in-flight round, then exiting",
+                  flush=True)
+            server.request_stop()
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    signum, graceful, signal.Signals(signum).name
+                )
+            except (NotImplementedError, RuntimeError):
+                pass  # Platforms without loop signal handlers.
         async with server:
             banner = (
                 f"secagg server listening on {config.host}:{server.port}"
@@ -452,13 +473,20 @@ def command_swarm(args) -> int:
         chaos_cancel=args.chaos_cancel,
         mask_prg=args.mask_prg,
         client_timeout=args.timeout,
+        connect_timeout=args.connect_timeout,
+        max_retries=args.max_retries,
+        transient_disconnects=args.transient_disconnects,
+        transient_phase=args.transient_phase,
     )
     result = asyncio.run(run_swarm(args.host, args.port, config))
     for status in ("completed", "dropped", "rejected", "disconnected",
-                   "cancelled", "error"):
+                   "resume-rejected", "cancelled", "error"):
         count = result.count(status)
         if count:
-            print(f"{status:>12s}: {count}")
+            print(f"{status:>15s}: {count}")
+    if result.retries or result.resumes:
+        print(f"        retries: {result.retries}")
+        print(f"        resumes: {result.resumes}")
     for report in result.reports:
         if report.status == "error":
             print(f"  client {report.index} error: {report.detail}")
@@ -469,6 +497,33 @@ def command_swarm(args) -> int:
         else:
             print(f"expected digest: {expected_digest(config)}")
     return 0 if result.completed else 1
+
+
+def command_chaos(args) -> int:
+    """Kill -9 a live server mid-round, restart it, check recovery."""
+    from repro.resilience.smoke import run_chaos_smoke
+
+    result = run_chaos_smoke(
+        clients=args.clients,
+        threshold=args.threshold,
+        dropouts=args.dropouts,
+        transient_disconnects=args.transient_disconnects,
+        dimension=args.dimension,
+        bits=args.bits,
+        seed=args.seed,
+        delay=args.delay,
+        timeout=args.timeout,
+        work_dir=args.keep_dir,
+        log=lambda line: print(line, flush=True),
+    )
+    for line in result.checks:
+        print(f"   ok: {line}")
+    for line in result.failures:
+        print(f" FAIL: {line}")
+    if not result.ok:
+        print(f"artifacts kept in {result.work_dir}")
+    print("chaos smoke: " + ("PASS" if result.ok else "FAIL"))
+    return 0 if result.ok else 1
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -600,6 +655,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     simulate_parser.add_argument("--trace-max-events", type=int, default=None,
                                  help="ring-buffer cap on retained trace "
                                       "events (default: keep all)")
+    simulate_parser.add_argument("--chaos", metavar="SCHEDULE", default=None,
+                                 help="fault schedule, ';'-separated: "
+                                      "kill@<phase>[:rN] (server crash, "
+                                      "retried once), abort@<phase>[:rN] "
+                                      "(crash, no restart), "
+                                      "blackout:<K>@<phase>[:rN], "
+                                      "partition:<K>@<phase>/<secs>[:rN]; "
+                                      "phases by wire tag, e.g. "
+                                      "'kill@masked-input:r2'")
     simulate_parser.set_defaults(handler=command_simulate)
 
     account_parser = subparsers.add_parser(
@@ -654,6 +718,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     serve_parser.add_argument("--metrics-out", metavar="PATH", default=None,
                               help="write final metrics in Prometheus text "
                                    "exposition format")
+    serve_parser.add_argument("--journal", metavar="PATH", default=None,
+                              help="durable round journal (JSON lines); a "
+                                   "restarted server resumes the last "
+                                   "committed phase from it")
+    serve_parser.add_argument("--resume-grace", type=float, default=0.0,
+                              help="seconds a dropped connection is parked "
+                                   "awaiting a Resume before eviction "
+                                   "(0 = evict immediately, the historical "
+                                   "behaviour)")
+    serve_parser.add_argument("--round-epsilon", type=float, default=0.0,
+                              help="privacy-ledger charge per completed "
+                                   "round (journalled idempotently by "
+                                   "round id)")
     serve_parser.set_defaults(handler=command_serve)
 
     swarm_parser = subparsers.add_parser(
@@ -686,10 +763,51 @@ def main(argv: Sequence[str] | None = None) -> int:
     swarm_parser.add_argument("--mask-prg", default=None)
     swarm_parser.add_argument("--timeout", type=float, default=60.0,
                               help="per-delivery client timeout (s)")
+    swarm_parser.add_argument("--connect-timeout", type=float, default=10.0,
+                              help="seconds before a dial attempt is "
+                                   "abandoned (fixes the historical hang "
+                                   "against a dead address)")
+    swarm_parser.add_argument("--max-retries", type=int, default=0,
+                              help="reconnect/resume attempts per client "
+                                   "with capped exponential backoff "
+                                   "(0 = fail fast, the historical "
+                                   "behaviour)")
+    swarm_parser.add_argument("--transient-disconnects", type=int, default=0,
+                              help="clients that deliberately drop their "
+                                   "TCP connection at --transient-phase and "
+                                   "resume (requires --max-retries > 0)")
+    swarm_parser.add_argument("--transient-phase", type=int, default=2,
+                              choices=[1, 2, 3],
+                              help="phase at which transient clients "
+                                   "disconnect")
     swarm_parser.add_argument("--show-expected-digest", action="store_true",
                               help="also print the in-memory reference "
                                    "digest for this schedule")
     swarm_parser.set_defaults(handler=command_swarm)
+
+    chaos_parser = subparsers.add_parser(
+        "chaos",
+        help="kill -9 a live server mid-round, restart it, and assert "
+             "the recovered round's digest and ledger charge",
+    )
+    chaos_parser.add_argument("--clients", type=int, default=16)
+    chaos_parser.add_argument("--threshold", type=int, default=None,
+                              help="Shamir threshold (default: clients // 2)")
+    chaos_parser.add_argument("--dropouts", type=int, default=3)
+    chaos_parser.add_argument("--transient-disconnects", type=int, default=2)
+    chaos_parser.add_argument("--dimension", type=int, default=32)
+    chaos_parser.add_argument("--bits", type=int, default=16)
+    chaos_parser.add_argument("--seed", type=int, default=7)
+    chaos_parser.add_argument("--delay", type=float, default=0.25,
+                              help="per-phase client delay; widens the "
+                                   "mid-round window the kill lands in")
+    chaos_parser.add_argument("--timeout", type=float, default=180.0,
+                              help="overall smoke deadline (s)")
+    chaos_parser.add_argument("--keep-dir", metavar="PATH", default=None,
+                              help="run in PATH and keep the journal and "
+                                   "server logs (default: temp dir, "
+                                   "deleted on success)")
+    chaos_parser.set_defaults(handler=command_chaos)
 
     args = parser.parse_args(argv)
     return args.handler(args)

@@ -59,6 +59,30 @@ class NegotiationError(AggregationError):
     """
 
 
+class ConflictError(AggregationError):
+    """A resumed participant re-submitted *different* bytes for a phase.
+
+    The at-most-once guard: a client that reconnects mid-round may
+    re-request delivery and re-send the exact upload it already sent
+    (idempotent redelivery, byte-compared), but submitting a different
+    masked input — or any other phase upload — for the same round is a
+    protocol violation that must evict the client, never silently
+    replace its contribution.  A subclass of :class:`AggregationError`
+    so round-level handlers treat it as the round failure it is, but
+    typed so transports can emit a distinct rejection reason.
+    """
+
+
+class ChaosKillError(AggregationError):
+    """An injected chaos fault killed the server mid-round.
+
+    Raised by the simulated round driver when a
+    :class:`~repro.resilience.chaos.ServerKill` fault fires.  Typed so
+    the engine can tell an *injected* crash (which may be retried as a
+    restart) from a genuine protocol failure, which must abort.
+    """
+
+
 class SimulationError(ReproError):
     """The event-driven simulation cannot make progress.
 

@@ -28,9 +28,11 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.net.client import ClientPlan, ClientReport, run_client
+from repro.resilience.retry import RetryPolicy
 from repro.secagg.bonawitz import (
     ROUND_ADVERTISE,
     ROUND_MASKED_INPUT,
+    ROUND_SHARE_KEYS,
     ROUND_UNMASK,
     AggregationOutcome,
     run_bonawitz,
@@ -38,6 +40,7 @@ from repro.secagg.bonawitz import (
 from repro.secagg.field import DEFAULT_FIELD, PrimeField
 from repro.secagg.keys import TOY_GROUP, DhGroup
 from repro.secagg.wire import PROTOCOL_V1
+from repro.telemetry import MetricsRegistry
 
 
 @dataclasses.dataclass(frozen=True)
@@ -67,6 +70,21 @@ class SwarmConfig:
             digests are not comparable in chaos mode.
         mask_prg: Mask PRG backend name (must match the server's).
         client_timeout: Per-delivery wall timeout for every client.
+        connect_timeout: Per-dial wall timeout for every client — no
+            client hangs forever against a dead address.
+        max_retries: Reconnect budget per client; 0 (the default)
+            disables retries *and* session resumption, the historical
+            behaviour.
+        transient_disconnects: How many clients (the first eligible
+            indices after the chaos victims) abruptly drop their
+            connection at ``transient_phase`` and resume via the Resume
+            handshake.  They remain full round participants, so the
+            reference digest is unchanged; requires ``max_retries > 0``
+            and a server-side ``resume_grace > 0``.
+        transient_phase: Phase (1-3) at which transient disconnects
+            fire.
+        transient_after_upload: Inject the disconnect after the phase's
+            upload instead of before its delivery.
     """
 
     clients: int = 16
@@ -82,6 +100,11 @@ class SwarmConfig:
     chaos_cancel: int = 0
     mask_prg: str | None = None
     client_timeout: float = 60.0
+    connect_timeout: float = 10.0
+    max_retries: int = 0
+    transient_disconnects: int = 0
+    transient_phase: int = ROUND_MASKED_INPUT
+    transient_after_upload: bool = False
 
     def __post_init__(self) -> None:
         if self.clients < 2:
@@ -102,6 +125,32 @@ class SwarmConfig:
                 f"threshold {self.resolved_threshold} exceeds the "
                 f"{survivors} clients that reach the end of the round"
             )
+        if not ROUND_SHARE_KEYS <= self.transient_phase <= ROUND_UNMASK:
+            raise ConfigurationError(
+                f"transient_phase must be in [1, 3], got "
+                f"{self.transient_phase}"
+            )
+        if self.transient_disconnects:
+            if self.max_retries <= 0:
+                raise ConfigurationError(
+                    "transient_disconnects requires max_retries > 0 — a "
+                    "client cannot resume without a reconnect budget"
+                )
+            eligible = (
+                self.clients
+                - self.dropouts
+                - self.bad_version
+                - self.chaos_cancel
+            )
+            if self.transient_disconnects > eligible:
+                raise ConfigurationError(
+                    f"transient_disconnects {self.transient_disconnects} "
+                    f"exceeds the {eligible} eligible clients"
+                )
+        if self.connect_timeout <= 0:
+            raise ConfigurationError("connect_timeout must be > 0")
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
 
     @property
     def resolved_threshold(self) -> int:
@@ -109,6 +158,17 @@ class SwarmConfig:
         if self.threshold is not None:
             return self.threshold
         return max(2, self.clients // 2)
+
+    @property
+    def retry_policy(self) -> RetryPolicy | None:
+        """The clients' reconnect policy; ``None`` when retries are off."""
+        if self.max_retries <= 0:
+            return None
+        # Short base delay: swarm rounds run on sub-second phase
+        # budgets, so a resume must land well inside the grace window.
+        return RetryPolicy(
+            max_retries=self.max_retries, base_delay=0.05, max_delay=1.0
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -124,6 +184,16 @@ class SwarmResult:
     @property
     def completed(self) -> int:
         return self.count("completed")
+
+    @property
+    def retries(self) -> int:
+        """Total reconnect attempts across the swarm."""
+        return sum(report.retries for report in self.reports)
+
+    @property
+    def resumes(self) -> int:
+        """Total accepted Resume handshakes across the swarm."""
+        return sum(report.resumes for report in self.reports)
 
 
 def derive_population(config: SwarmConfig) -> tuple[np.ndarray, list[int]]:
@@ -159,11 +229,30 @@ def bad_version_indices(config: SwarmConfig) -> frozenset[int]:
     return frozenset(range(1, config.bad_version + 1))
 
 
+def transient_indices(config: SwarmConfig) -> frozenset[int]:
+    """Which clients inject a transient disconnect+resume: the first
+    eligible indices after the chaos victims (so no client is both
+    cancelled and resumed)."""
+    if not config.transient_disconnects:
+        return frozenset()
+    immune = set(dropout_schedule(config)) | bad_version_indices(config)
+    eligible = [
+        index
+        for index in range(1, config.clients + 1)
+        if index not in immune
+    ]
+    start = config.chaos_cancel
+    return frozenset(
+        eligible[start:start + config.transient_disconnects]
+    )
+
+
 def client_plans(config: SwarmConfig) -> list[ClientPlan]:
     """The full per-client schedule for one round."""
     _, seeds = derive_population(config)
     dropouts = dropout_schedule(config)
     rejects = bad_version_indices(config)
+    transients = transient_indices(config)
     side = np.random.default_rng((config.seed, 0xD3))
     plans = []
     for index in range(1, config.clients + 1):
@@ -177,6 +266,10 @@ def client_plans(config: SwarmConfig) -> list[ClientPlan]:
                 version=PROTOCOL_V1 + 1
                 if index in rejects
                 else PROTOCOL_V1,
+                disconnect_at_phase=config.transient_phase
+                if index in transients
+                else None,
+                disconnect_after_upload=config.transient_after_upload,
             )
         )
     return plans
@@ -230,6 +323,7 @@ async def run_swarm(
     config: SwarmConfig,
     group: DhGroup = TOY_GROUP,
     field: PrimeField = DEFAULT_FIELD,
+    metrics: MetricsRegistry | None = None,
 ) -> SwarmResult:
     """Run one full swarm round against a listening server.
 
@@ -237,10 +331,13 @@ async def run_swarm(
     cancels ``config.chaos_cancel`` of the would-complete clients at
     staggered deterministic delays — the server must treat the
     vanishing connections as evictions and still finish the round
-    (provided the threshold holds).
+    (provided the threshold holds).  Transient-disconnect clients drop
+    and resume mid-round but remain full participants, so the reference
+    digest still applies.
     """
     inputs, _ = derive_population(config)
     plans = client_plans(config)
+    retry = config.retry_policy
     tasks = [
         asyncio.ensure_future(
             run_client(
@@ -254,6 +351,9 @@ async def run_swarm(
                 field=field,
                 mask_prg=config.mask_prg,
                 timeout=config.client_timeout,
+                connect_timeout=config.connect_timeout,
+                retry=retry,
+                metrics=metrics,
             )
         )
         for plan in plans

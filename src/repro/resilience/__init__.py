@@ -1,0 +1,48 @@
+"""``repro.resilience`` — crash-safe rounds for the real-socket service.
+
+Three pillars, all stdlib-only:
+
+* :mod:`~repro.resilience.retry` — a shared :class:`RetryPolicy` with
+  capped exponential backoff and deterministic jitter, used by the net
+  client for reconnects and by the swarm for dial retries.
+* :mod:`~repro.resilience.journal` — an append-only JSONL round journal
+  with fsync'd phase commits, plus a :class:`DurableLedger` whose
+  epsilon charges are idempotent by round id, and a recovery parser
+  that reconstructs an interrupted round from its committed uploads.
+* :mod:`~repro.resilience.chaos` — declarative fault schedules
+  (server kill/restart at phase X, client partitions, shard-wide
+  blackouts) runnable against both the simulated engine
+  (``SimulationConfig.chaos``) and the real-socket service, with
+  invariant checkers for digest-equality, clean aborts, and monotone
+  single-charge accounting.
+"""
+
+from repro.resilience.chaos import (
+    Blackout,
+    ChaosSchedule,
+    Partition,
+    ServerKill,
+    check_invariants,
+    parse_chaos,
+)
+from repro.resilience.journal import (
+    DurableLedger,
+    JournalRecovery,
+    RoundJournal,
+    recover_journal,
+)
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "Blackout",
+    "ChaosSchedule",
+    "DurableLedger",
+    "JournalRecovery",
+    "Partition",
+    "RetryPolicy",
+    "RoundJournal",
+    "ServerKill",
+    "check_invariants",
+    "parse_chaos",
+    "recover_journal",
+]

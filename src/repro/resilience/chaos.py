@@ -1,0 +1,276 @@
+"""Declarative fault schedules and the invariants they must preserve.
+
+A chaos schedule is a ``;``-separated string of faults, each scoped to
+a protocol phase and optionally to one round (default: every round):
+
+``kill@<phase>[:r<N>]``
+    Kill the server before the phase commits, then restart it and let
+    the round recover from the journal / replay state.
+``abort@<phase>[:r<N>]``
+    Kill the server before the phase commits with no restart — the
+    round must abort cleanly (no partial aggregate, no charge beyond
+    the configured abort policy).
+``blackout:<K>@<phase>[:r<N>]``
+    The last ``K`` cohort members go permanently dark at the phase —
+    the shard-wide blackout fault.
+``partition:<K>@<phase>/<T>[:r<N>]``
+    The last ``K`` cohort members are partitioned for ``T`` seconds at
+    the phase; they rejoin (and must still be counted exactly once) if
+    the partition heals before the phase deadline.
+
+Phases are named by their wire tags (``advertise``, ``share-keys``,
+``masked-input``, ``unmask``).  Example::
+
+    kill@masked-input:r2;partition:3@share-keys/1.5;blackout:2@unmask
+
+The invariant checkers (:func:`check_invariants`) encode the
+acceptance bar for every fault: a surviving round's aggregate is
+exactly the survivors' sum (digest-equal to the fault-free reference
+when participation matches), an aborted round releases no partial
+aggregate, and cumulative epsilon is monotone with at most one charge
+per round id.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.secagg.statemachine import PHASE_TAGS
+
+__all__ = [
+    "Blackout",
+    "ChaosSchedule",
+    "Partition",
+    "ServerKill",
+    "check_invariants",
+    "parse_chaos",
+]
+
+_TAG_TO_PHASE = {tag: phase for phase, tag in PHASE_TAGS.items()}
+
+
+def _parse_phase(tag: str) -> int:
+    try:
+        return _TAG_TO_PHASE[tag]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown phase {tag!r}; expected one of "
+            f"{sorted(_TAG_TO_PHASE)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class ServerKill:
+    """Kill the server before committing ``phase``; restart if asked."""
+
+    phase: int
+    round_index: int | None = None
+    restart: bool = True
+
+
+@dataclass(frozen=True)
+class Blackout:
+    """The last ``clients`` cohort members go dark at ``phase``."""
+
+    phase: int
+    clients: int
+    round_index: int | None = None
+
+
+@dataclass(frozen=True)
+class Partition:
+    """The last ``clients`` cohort members stall ``duration`` seconds."""
+
+    phase: int
+    clients: int
+    duration: float
+    round_index: int | None = None
+
+
+Fault = ServerKill | Blackout | Partition
+
+_ROUND_SUFFIX = re.compile(r"^(?P<body>.*?)(?::r(?P<round>\d+))?$")
+
+
+def _parse_fault(spec: str) -> Fault:
+    match = _ROUND_SUFFIX.match(spec.strip())
+    assert match is not None
+    body = match.group("body").strip()
+    round_index = (
+        int(match.group("round")) if match.group("round") is not None else None
+    )
+
+    if body.startswith(("kill@", "abort@")):
+        kind, _, tag = body.partition("@")
+        return ServerKill(
+            phase=_parse_phase(tag),
+            round_index=round_index,
+            restart=kind == "kill",
+        )
+    if body.startswith("blackout:"):
+        rest = body[len("blackout:"):]
+        count, sep, tag = rest.partition("@")
+        if not sep or not count.isdigit():
+            raise ConfigurationError(f"malformed blackout fault: {spec!r}")
+        return Blackout(
+            phase=_parse_phase(tag),
+            clients=int(count),
+            round_index=round_index,
+        )
+    if body.startswith("partition:"):
+        rest = body[len("partition:"):]
+        count, sep, tail = rest.partition("@")
+        tag, slash, duration = tail.partition("/")
+        if not sep or not slash or not count.isdigit():
+            raise ConfigurationError(f"malformed partition fault: {spec!r}")
+        try:
+            seconds = float(duration)
+        except ValueError:
+            raise ConfigurationError(
+                f"malformed partition duration in {spec!r}"
+            ) from None
+        if seconds < 0:
+            raise ConfigurationError("partition duration must be >= 0")
+        return Partition(
+            phase=_parse_phase(tag),
+            clients=int(count),
+            duration=seconds,
+            round_index=round_index,
+        )
+    raise ConfigurationError(
+        f"unknown fault {spec!r}; expected kill@/abort@/blackout:/partition:"
+    )
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """A parsed fault schedule, queryable per round."""
+
+    faults: tuple[Fault, ...]
+    source: str
+
+    def for_round(self, round_index: int) -> tuple[Fault, ...]:
+        """Faults that apply to 1-based round ``round_index``."""
+        return tuple(
+            fault
+            for fault in self.faults
+            if fault.round_index is None or fault.round_index == round_index
+        )
+
+    def kill(self, round_index: int) -> ServerKill | None:
+        for fault in self.for_round(round_index):
+            if isinstance(fault, ServerKill):
+                return fault
+        return None
+
+    def blackouts(self, round_index: int) -> tuple[Blackout, ...]:
+        return tuple(
+            fault
+            for fault in self.for_round(round_index)
+            if isinstance(fault, Blackout)
+        )
+
+    def partitions(self, round_index: int) -> tuple[Partition, ...]:
+        return tuple(
+            fault
+            for fault in self.for_round(round_index)
+            if isinstance(fault, Partition)
+        )
+
+
+def parse_chaos(schedule: str) -> ChaosSchedule:
+    """Parse a ``;``-separated fault schedule string."""
+    specs = [part for part in schedule.split(";") if part.strip()]
+    if not specs:
+        raise ConfigurationError("empty chaos schedule")
+    faults = tuple(_parse_fault(spec) for spec in specs)
+    kills_per_round: dict[int | None, int] = {}
+    for fault in faults:
+        if isinstance(fault, ServerKill):
+            key = fault.round_index
+            kills_per_round[key] = kills_per_round.get(key, 0) + 1
+    if any(count > 1 for count in kills_per_round.values()) or (
+        None in kills_per_round and len(kills_per_round) > 1
+    ):
+        raise ConfigurationError(
+            "at most one kill/abort fault may apply to any round"
+        )
+    return ChaosSchedule(faults=faults, source=schedule)
+
+
+def check_invariants(
+    records: Sequence,
+    reference: Sequence | None = None,
+) -> list[str]:
+    """Check chaos invariants over per-round records.
+
+    Works on any records exposing ``index``, ``included``, ``aborted``
+    and cumulative ``epsilon`` (the shape of
+    :class:`~repro.simulation.engine.RoundRecord`), so both the
+    simulated engine and net-side summaries can be audited.  Returns a
+    list of human-readable violations (empty == all invariants hold):
+
+    * an aborted round must release no partial aggregate
+      (``included`` empty);
+    * cumulative epsilon is monotone non-decreasing (no un-charging,
+      no double-charging rollbacks);
+    * if ``config.verify_aggregate`` ran, every surviving round's
+      aggregate matched the survivors' true sum exactly;
+    * against a fault-free ``reference`` run: any surviving round with
+      identical participation must have included exactly the same
+      clients — the digest-equality precondition.
+    """
+    violations: list[str] = []
+    last_epsilon: float | None = None
+    for record in records:
+        if record.aborted and record.included:
+            violations.append(
+                f"round {record.index}: aborted but released a partial "
+                f"aggregate over {sorted(record.included)}"
+            )
+        matches = getattr(record, "aggregate_matches", None)
+        if not record.aborted and matches is False:
+            violations.append(
+                f"round {record.index}: aggregate does not equal the "
+                "survivors' true sum"
+            )
+        epsilon = float(record.epsilon)
+        if last_epsilon is not None and epsilon == epsilon:  # skip nan
+            if last_epsilon == last_epsilon and epsilon < last_epsilon:
+                violations.append(
+                    f"round {record.index}: cumulative epsilon decreased "
+                    f"({last_epsilon} -> {epsilon})"
+                )
+        last_epsilon = epsilon
+
+    if reference is not None:
+        by_index = {record.index: record for record in reference}
+        for record in records:
+            ref = by_index.get(record.index)
+            if ref is None or record.aborted or ref.aborted:
+                continue
+            if set(record.cohort) == set(ref.cohort) and set(
+                record.dropped
+            ) == set(ref.dropped):
+                if set(record.included) != set(ref.included):
+                    violations.append(
+                        f"round {record.index}: same cohort and dropouts "
+                        "as the fault-free reference but different "
+                        "included set"
+                    )
+    return violations
+
+
+def survivors_after(
+    cohort: Sequence[int], faults: Iterable[Fault]
+) -> frozenset[int]:
+    """Cohort members a blackout schedule leaves alive (partitions heal)."""
+    dark: set[int] = set()
+    ordered = list(cohort)
+    for fault in faults:
+        if isinstance(fault, Blackout) and fault.clients > 0:
+            dark.update(ordered[-fault.clients:])
+    return frozenset(ordered) - dark

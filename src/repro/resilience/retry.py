@@ -1,0 +1,61 @@
+"""Capped exponential backoff with deterministic jitter.
+
+One :class:`RetryPolicy` drives every reconnect decision in the net
+layer: the initial dial (so swarm clients no longer hang forever on a
+dead server), mid-round reconnects before a ``Resume`` handshake, and
+the chaos smoke's wait-for-restarted-server loop.  Jitter is drawn from
+a caller-supplied ``random.Random`` so swarm runs stay reproducible —
+the policy itself holds no hidden randomness.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule for transport retries.
+
+    ``delay(attempt)`` for attempt ``k`` (0-based) is
+    ``min(max_delay, base_delay * multiplier**k)`` plus uniform jitter in
+    ``[0, jitter * that)``.  ``max_retries`` bounds how many *re*-tries
+    follow the first attempt; ``max_retries=0`` means fail fast after a
+    single attempt.
+    """
+
+    max_retries: int = 4
+    base_delay: float = 0.2
+    max_delay: float = 5.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigurationError("backoff delays must be >= 0")
+        if self.max_delay < self.base_delay:
+            raise ConfigurationError("max_delay must be >= base_delay")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError("jitter must be in [0, 1]")
+
+    def delay(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Backoff before retry ``attempt`` (0-based), jittered via ``rng``."""
+        if attempt < 0:
+            raise ConfigurationError("attempt must be >= 0")
+        base = min(self.max_delay, self.base_delay * self.multiplier**attempt)
+        if rng is not None and self.jitter > 0.0:
+            base += rng.uniform(0.0, self.jitter * base)
+        return base
+
+    def delays(self, rng: random.Random | None = None) -> list[float]:
+        """The full backoff schedule, one entry per permitted retry."""
+        return [self.delay(k, rng) for k in range(self.max_retries)]

@@ -1,0 +1,283 @@
+"""Chaos smoke: ``kill -9`` a live ``repro serve`` mid-round, restart
+it on the same port and journal, and assert the recovered round is
+indistinguishable from a fault-free one.
+
+The scenario (the CI "chaos smoke" step, also runnable as
+``repro chaos``):
+
+1. start a journalled server subprocess on a free port;
+2. drive a swarm of clients with deterministic dropouts *and*
+   deliberate transient disconnects (retry/resume enabled);
+3. poll the journal for the first committed ``share-keys`` phase, then
+   ``SIGKILL`` the server — the masking phase is in flight;
+4. restart the server on the same port with the same journal; it
+   replays the committed phases, parks the cohort for the resume grace
+   window, and finishes the round with the resumed clients;
+5. assert the digest equals the in-memory reference for the same
+   schedule, the journal charged *exactly one* epsilon increment, and
+   the restarted server exited 0.
+
+Kept out of :mod:`repro.resilience`'s public ``__init__`` on purpose:
+it imports :mod:`repro.net`, which itself depends on the resilience
+primitives — importing this module lazily (the CLI does) avoids any
+cycle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import shutil
+import socket
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+__all__ = ["ChaosSmokeResult", "run_chaos_smoke"]
+
+_BANNER = "secagg server listening"
+_PHASE_COMMIT = '"phase": "share-keys"'
+
+
+@dataclass
+class ChaosSmokeResult:
+    """Outcome of one kill/restart chaos run."""
+
+    ok: bool
+    digest: str | None
+    expected_digest: str | None
+    charge_records: int
+    completed_clients: int
+    resumes: int
+    work_dir: str
+    checks: list[str] = field(default_factory=list)
+    failures: list[str] = field(default_factory=list)
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _subprocess_env() -> dict[str, str]:
+    """Child env whose ``PYTHONPATH`` can import this repro package."""
+    import repro
+
+    package_root = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        package_root if not existing
+        else package_root + os.pathsep + existing
+    )
+    return env
+
+
+async def _wait_for_line(
+    path: Path,
+    needle: str,
+    deadline: float,
+    *,
+    proc: subprocess.Popen | None = None,
+    what: str = "",
+) -> None:
+    loop = asyncio.get_running_loop()
+    while True:
+        if path.exists() and needle in path.read_text(encoding="utf-8"):
+            return
+        if proc is not None and proc.poll() is not None:
+            raise RuntimeError(
+                f"server exited (rc={proc.returncode}) before {what}"
+            )
+        if loop.time() > deadline:
+            raise RuntimeError(f"timed out waiting for {what}")
+        await asyncio.sleep(0.05)
+
+
+def run_chaos_smoke(
+    *,
+    clients: int = 16,
+    threshold: int | None = None,
+    dropouts: int = 3,
+    transient_disconnects: int = 2,
+    dimension: int = 32,
+    bits: int = 16,
+    seed: int = 7,
+    delay: float = 0.25,
+    timeout: float = 180.0,
+    work_dir: str | None = None,
+    log: Callable[[str], None] | None = None,
+) -> ChaosSmokeResult:
+    """Run the kill/restart scenario; see the module docstring.
+
+    ``work_dir=None`` uses a temp directory, deleted when every check
+    passes; pass a path to keep the journal and server logs around.
+    """
+    # Imported lazily: repro.net pulls the asyncio service stack in,
+    # and the CLI should not pay for it on unrelated subcommands.
+    from repro.net import SwarmConfig, expected_digest, run_swarm
+
+    resolved_threshold = (
+        threshold if threshold is not None else max(2, clients // 2)
+    )
+    emit = log if log is not None else (lambda line: None)
+    keep = work_dir is not None
+    root = Path(work_dir) if keep else Path(tempfile.mkdtemp(prefix="chaos-"))
+    root.mkdir(parents=True, exist_ok=True)
+    journal = root / "rounds.journal"
+    digest_out = root / "digest.txt"
+    port = _free_port()
+    env = _subprocess_env()
+
+    def serve_cmd(log_name: str) -> tuple[list[str], Path]:
+        log_path = root / log_name
+        cmd = [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--host", "127.0.0.1",
+            "--port", str(port),
+            "--metrics-port", "-1",
+            "--cohort", str(clients),
+            "--threshold", str(resolved_threshold),
+            "--dimension", str(dimension),
+            "--bits", str(bits),
+            "--rounds", "1",
+            "--phase-timeout", "60",
+            "--join-timeout", "60",
+            "--journal", str(journal),
+            "--resume-grace", "30",
+            "--round-epsilon", "1.0",
+            "--digest-out", str(digest_out),
+        ]
+        return cmd, log_path
+
+    def spawn(log_name: str) -> tuple[subprocess.Popen, Path]:
+        cmd, log_path = serve_cmd(log_name)
+        handle = open(log_path, "w", encoding="utf-8")
+        proc = subprocess.Popen(
+            cmd, stdout=handle, stderr=subprocess.STDOUT, env=env
+        )
+        handle.close()  # The child holds its own descriptor.
+        return proc, log_path
+
+    config = SwarmConfig(
+        clients=clients,
+        dimension=dimension,
+        modulus=1 << bits,
+        threshold=resolved_threshold,
+        seed=seed,
+        dropouts=dropouts,
+        delay=delay,
+        client_timeout=60.0,
+        connect_timeout=10.0,
+        max_retries=10,
+        transient_disconnects=transient_disconnects,
+    )
+    reference = expected_digest(config)
+
+    async def orchestrate() -> tuple[object, int, int]:
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        first, first_log = spawn("server-1.log")
+        emit(f"server 1: pid {first.pid} on port {port}")
+        try:
+            await _wait_for_line(
+                first_log, _BANNER, deadline,
+                proc=first, what="the server banner",
+            )
+            swarm = asyncio.create_task(
+                run_swarm("127.0.0.1", port, config)
+            )
+            try:
+                await _wait_for_line(
+                    journal, _PHASE_COMMIT, deadline,
+                    proc=first, what="the share-keys phase commit",
+                )
+            except RuntimeError:
+                swarm.cancel()
+                raise
+            first.kill()  # SIGKILL: no cleanup, the journal is the truth
+            first.wait()
+            emit("killed server 1 after the share-keys commit "
+                 "(masking phase in flight)")
+        except BaseException:
+            if first.poll() is None:
+                first.kill()
+                first.wait()
+            raise
+
+        second, second_log = spawn("server-2.log")
+        emit(f"server 2: pid {second.pid}, recovering from {journal.name}")
+        try:
+            result = await asyncio.wait_for(
+                swarm, max(1.0, deadline - loop.time())
+            )
+            rc = await asyncio.wait_for(
+                asyncio.to_thread(second.wait),
+                max(1.0, deadline - loop.time()),
+            )
+        except BaseException:
+            if second.poll() is None:
+                second.kill()
+                second.wait()
+            raise
+        return result, rc, second_log.stat().st_size
+
+    result = ChaosSmokeResult(
+        ok=False,
+        digest=None,
+        expected_digest=reference,
+        charge_records=0,
+        completed_clients=0,
+        resumes=0,
+        work_dir=str(root),
+    )
+
+    def check(passed: bool, label: str) -> None:
+        (result.checks if passed else result.failures).append(label)
+
+    try:
+        swarm_result, server_rc, _ = asyncio.run(orchestrate())
+    except (RuntimeError, asyncio.TimeoutError) as error:
+        result.failures.append(str(error))
+        return result
+
+    lines = journal.read_text(encoding="utf-8").splitlines()
+    result.charge_records = sum(
+        1 for line in lines if '"kind": "charge"' in line
+    )
+    if digest_out.exists():
+        digests = digest_out.read_text(encoding="utf-8").split()
+        result.digest = digests[-1] if digests else None
+    result.completed_clients = swarm_result.count("completed")
+    result.resumes = swarm_result.resumes
+
+    expected_completed = clients - dropouts
+    check(server_rc == 0, f"restarted server exited 0 (rc={server_rc})")
+    check(
+        result.completed_clients == expected_completed,
+        f"{result.completed_clients}/{expected_completed} clients "
+        "completed through the kill",
+    )
+    check(
+        result.resumes >= transient_disconnects,
+        f"{result.resumes} session resumptions (>= "
+        f"{transient_disconnects} injected disconnects)",
+    )
+    check(
+        result.digest == reference,
+        f"digest matches the in-memory reference ({result.digest} vs "
+        f"{reference})",
+    )
+    check(
+        result.charge_records == 1,
+        f"journal holds exactly one epsilon charge "
+        f"({result.charge_records} found)",
+    )
+    result.ok = not result.failures
+    if result.ok and not keep:
+        shutil.rmtree(root, ignore_errors=True)
+    return result

@@ -50,7 +50,12 @@ from collections.abc import Callable
 
 import numpy as np
 
-from repro.errors import AggregationError, ConfigurationError, NegotiationError
+from repro.errors import (
+    AggregationError,
+    ConfigurationError,
+    ConflictError,
+    NegotiationError,
+)
 from repro.secagg.bonawitz import (
     ROUND_ADVERTISE,
     ROUND_MASKED_INPUT,
@@ -330,6 +335,17 @@ class ServerSession:
             round-3 announcement before it is encoded for broadcast.
         metrics: Optional registry for negotiation-outcome and frame
             counters; the default collects nothing.
+        resumable: Enable resumption support for lossy transports.
+            The session then (a) retains every emitted per-recipient
+            datagram so :meth:`replay_for` can re-deliver to a
+            reconnecting client, and (b) enforces the at-most-once
+            upload guard — a byte-identical re-send of an already
+            ingested datagram is ignored (idempotent redelivery), but
+            *different* bytes for an already committed phase raise
+            :class:`~repro.errors.ConflictError` instead of silently
+            replacing the contribution.  Off by default: the in-memory
+            transports are loss-free, and there a duplicate is a
+            protocol violation worth raising on.
     """
 
     def __init__(
@@ -344,6 +360,7 @@ class ServerSession:
         tamper_unmask_request: Callable[[UnmaskRequest], UnmaskRequest]
         | None = None,
         metrics: MetricsRegistry | None = None,
+        resumable: bool = False,
     ) -> None:
         if not accept_versions:
             raise ConfigurationError(
@@ -375,6 +392,15 @@ class ServerSession:
         self._expected: frozenset[int] = frozenset()
         self._request: UnmaskRequest | None = None
         self._modular_sum: np.ndarray | None = None
+        self.resumable = resumable
+        # Replay buffer: per recipient, every datagram this session has
+        # emitted, in delivery order.  The n-th entry closes phase n
+        # from that client's point of view, so a resume quoting
+        # "deliveries processed = k" replays log[k:].
+        self._delivery_log: dict[int, list[bytes]] = {}
+        # At-most-once memo: per sender, the raw datagram ingested for
+        # each phase.  Byte-compared on redelivery.
+        self._upload_memo: dict[int, dict[int, bytes]] = {}
         self._m_frames_in = self._m_frames_out = None
         self._m_negotiations = self._m_rejects = None
         if metrics is not None:
@@ -476,6 +502,8 @@ class ServerSession:
                 "receive() requires the transport-authenticated sender; "
                 "the frame-claimed origin cannot be trusted"
             )
+        if self.resumable and self._guard_redelivery(sender, data):
+            return
         if self._phase == ROUND_SHARE_KEYS:
             bulk = decode_sealed_datagram(data)
             if bulk is not None:
@@ -505,6 +533,10 @@ class ServerSession:
                 )
                 if self._m_frames_in is not None and envelopes:
                     self._m_frames_in.inc(len(envelopes))
+                if self.resumable:
+                    self._upload_memo.setdefault(sender, {})[
+                        self._phase
+                    ] = bytes(data)
                 return
         frames = iter_frames(data)
         for header, message, raw in frames:
@@ -519,6 +551,60 @@ class ServerSession:
         )
         if self._m_frames_in is not None and frames:
             self._m_frames_in.inc(len(frames))
+        if self.resumable:
+            self._upload_memo.setdefault(sender, {})[self._phase] = bytes(data)
+
+    def _guard_redelivery(self, sender: int, data: bytes) -> bool:
+        """At-most-once guard; True when the datagram is a known re-send.
+
+        A resumed client re-sending exactly what it already sent is
+        redelivery, not a violation — ignore it.  Different bytes for a
+        phase this sender already committed can never be honoured: the
+        original contribution is locked in, so the conflicting upload
+        is a typed :class:`~repro.errors.ConflictError`.
+        """
+        memo = self._upload_memo.get(sender)
+        if not memo:
+            return False
+        payload = bytes(data)
+        if any(previous == payload for previous in memo.values()):
+            return True
+        committed = memo.get(self._phase)
+        if committed is not None:
+            raise ConflictError(
+                f"client {sender} re-submitted different bytes for the "
+                f"{self.phase_tag} phase; the original upload is locked in"
+            )
+        return False
+
+    def already_ingested(self, sender: int, data: bytes) -> bool:
+        """True when ``data`` is byte-identical to an upload this
+        session already committed from ``sender`` (resumable mode only).
+
+        Transports use this to drop idempotent re-sends *before*
+        letting them occupy a phase's collection slot — a resumed
+        client re-sending its previous upload must not shadow the
+        upload the current phase is actually waiting for.
+        """
+        memo = self._upload_memo.get(sender)
+        return bool(memo) and bytes(data) in memo.values()
+
+    def replay_for(self, client: int, deliveries_seen: int) -> list[bytes]:
+        """Datagrams a resumed ``client`` has not processed yet.
+
+        Args:
+            client: The resuming client's index.
+            deliveries_seen: How many deliveries the client reports
+                having processed; everything after that is replayed in
+                order.
+        """
+        if not self.resumable:
+            raise ConfigurationError(
+                "replay_for() requires a session built with resumable=True"
+            )
+        if deliveries_seen < 0:
+            raise AggregationError("deliveries_seen must be >= 0")
+        return list(self._delivery_log.get(client, [])[deliveries_seen:])
 
     @staticmethod
     def _sender_of(message: Message) -> int:
@@ -684,9 +770,13 @@ class ServerSession:
             if self._m_frames_out is not None:
                 self._m_frames_out.inc(messages)
         self._phase += 1
-        return {
+        deliveries = {
             recipient: payload for recipient, (payload, _) in out.items()
         }
+        if self.resumable:
+            for recipient, payload in deliveries.items():
+                self._delivery_log.setdefault(recipient, []).append(payload)
+        return deliveries
 
     def _close_advertise(self) -> dict[int, tuple[bytes, int]]:
         try:

@@ -74,6 +74,8 @@ MSG_MASKED_INPUT = 4
 MSG_UNMASK_REQUEST = 5
 MSG_UNMASK_RESPONSE = 6
 MSG_REJECT = 7
+MSG_WELCOME = 8
+MSG_RESUME = 9
 
 _HEADER = struct.Struct("<2sBBIHB")  # magic, fmt, type, length, version, prg len
 _SEALED_BODY = struct.Struct("<III")  # sender, recipient, ciphertext length
@@ -236,6 +238,39 @@ class Reject:
     reason: str
 
 
+@dataclasses.dataclass(frozen=True)
+class Welcome:
+    """Transport-level round admission: ``client`` is in round ``round_id``.
+
+    Sent by the socket server once the cohort is gathered (and again as
+    the positive acknowledgement of an accepted :class:`Resume`).  The
+    round id is the durable identity the journal charges epsilon
+    against, so clients quote it back when resuming.  Never fed to the
+    protocol state machine — it is connection plumbing, not protocol
+    state.
+    """
+
+    client: int
+    round_id: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Resume:
+    """A reconnecting client's request to rejoin an in-flight round.
+
+    Attributes:
+        sender: The client index (same identity the Hello bound).
+        round_id: The round the client believes it is resuming — a
+            stale id is rejected, never silently remapped.
+        deliveries: How many phase deliveries the client has already
+            processed; the server replays everything from that point.
+    """
+
+    sender: int
+    round_id: int
+    deliveries: int
+
+
 Message = (
     Hello
     | Advertise
@@ -244,6 +279,8 @@ Message = (
     | UnmaskRequest
     | UnmaskResponse
     | Reject
+    | Welcome
+    | Resume
 )
 
 _TYPE_OF_MESSAGE = {
@@ -254,6 +291,8 @@ _TYPE_OF_MESSAGE = {
     UnmaskRequest: MSG_UNMASK_REQUEST,
     UnmaskResponse: MSG_UNMASK_RESPONSE,
     Reject: MSG_REJECT,
+    Welcome: MSG_WELCOME,
+    Resume: MSG_RESUME,
 }
 
 
@@ -421,6 +460,21 @@ def _encode_body(message: Message) -> bytes:
             + len(reason).to_bytes(2, "little")
             + reason
         )
+    if isinstance(message, Welcome):
+        return message.client.to_bytes(4, "little") + message.round_id.to_bytes(
+            8, "little"
+        )
+    if isinstance(message, Resume):
+        if not 0 <= message.deliveries < 256:
+            raise AggregationError(
+                f"resume delivery count must fit uint8, got "
+                f"{message.deliveries}"
+            )
+        return (
+            message.sender.to_bytes(4, "little")
+            + message.round_id.to_bytes(8, "little")
+            + message.deliveries.to_bytes(1, "little")
+        )
     raise AggregationError(f"cannot encode {type(message).__name__} frames")
 
 
@@ -438,6 +492,17 @@ def _decode_body(msg_type: int, reader: _Reader) -> Message:
         length = reader.u16()
         message = Reject(
             client=client, reason=bytes(reader.take(length)).decode("utf-8")
+        )
+    elif msg_type == MSG_WELCOME:
+        message = Welcome(
+            client=reader.u32(),
+            round_id=int.from_bytes(reader.take(8), "little"),
+        )
+    elif msg_type == MSG_RESUME:
+        message = Resume(
+            sender=reader.u32(),
+            round_id=int.from_bytes(reader.take(8), "little"),
+            deliveries=reader.u8(),
         )
     else:
         raise AggregationError(f"unknown wire message type {msg_type}")

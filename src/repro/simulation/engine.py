@@ -56,6 +56,7 @@ from repro.core.client import GradientEncoder, skellam_encoder
 from repro.core.server import GradientDecoder
 from repro.errors import (
     AggregationError,
+    ChaosKillError,
     ConfigurationError,
     PrivacyAccountingError,
 )
@@ -66,10 +67,19 @@ from repro.linalg.hadamard import RandomRotation
 from repro.mechanisms.smm import SkellamMixtureMechanism
 from repro.simulation.clock import SimulatedClock
 from repro.simulation.events import SimulationTrace
+from repro.resilience.chaos import (
+    Blackout,
+    ChaosSchedule,
+    Fault,
+    Partition,
+    ServerKill,
+    parse_chaos,
+)
 from repro.simulation.population import (
     PURPOSE_ENCODING,
     PURPOSE_PROTOCOL,
     AvailabilityModel,
+    ClientPlan,
     Population,
 )
 from repro.secagg.compose import COMPOSERS
@@ -163,6 +173,17 @@ class SimulationConfig:
             :class:`~repro.simulation.events.SimulationTrace` (oldest
             events beyond the cap are dropped and counted); ``None``
             (default) retains every event.
+        chaos: Declarative fault schedule
+            (:func:`~repro.resilience.chaos.parse_chaos` syntax, e.g.
+            ``"kill@masked-input:r2;blackout:3@share-keys"``) injected
+            into the simulated rounds: blackouts become permanent
+            drop-outs for the last ``K`` cohort members, partitions
+            become per-phase latency bumps, and a kill crashes the
+            simulated server at the phase — restarted (``kill@``) the
+            round is retried once and recorded ``recovered``; without
+            restart (``abort@``) the round aborts cleanly.  Kills
+            require the flat topology (no ``shards``/``tree``).
+            ``None`` (default) injects nothing.
     """
 
     population_size: int = 32
@@ -190,6 +211,7 @@ class SimulationConfig:
     rebalance: bool = False
     telemetry: bool = True
     trace_max_events: int | None = None
+    chaos: str | None = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -219,6 +241,23 @@ class SimulationConfig:
                 f"population of {self.population_size}"
             )
         validate_threshold_fraction(self.threshold_fraction)
+        if self.chaos is not None:
+            schedule = parse_chaos(self.chaos)  # Raises on malformed.
+            if self.epsilon is None:
+                raise ConfigurationError(
+                    "chaos faults target the SecAgg round and are "
+                    "silently inert on the non-private baseline; drop "
+                    "--no-privacy or drop --chaos"
+                )
+            has_kill = any(
+                isinstance(fault, ServerKill) for fault in schedule.faults
+            )
+            if has_kill and self.aggregation_topology() is not None:
+                raise ConfigurationError(
+                    "kill/abort chaos faults require the flat topology "
+                    "(no shards/tree): hierarchical rounds have no "
+                    "single server to crash"
+                )
         if self.dataset not in _DATASETS:
             raise ConfigurationError(
                 f"dataset must be one of {sorted(_DATASETS)}, "
@@ -260,6 +299,9 @@ class RoundRecord:
         composer: How intermediate sums were combined (``"clear"`` /
             ``"secagg"``) for hierarchical rounds; ``None`` for flat
             rounds, which have no intermediate sums.
+        recovered: True when a chaos server-kill fired this round and
+            the restarted server recovered it (the recorded outcome is
+            the retry's).
     """
 
     index: int
@@ -274,6 +316,7 @@ class RoundRecord:
     wire_messages: int = 0
     wire_bytes: int = 0
     composer: str | None = None
+    recovered: bool = False
 
 
 @dataclasses.dataclass(frozen=True)
@@ -307,6 +350,46 @@ class SimulationResult:
     def final_accuracy(self) -> float:
         """Test accuracy of the final model."""
         return self.history.final_accuracy
+
+
+def _apply_chaos_plans(
+    plans: dict[int, ClientPlan],
+    cohort: tuple[int, ...],
+    faults: tuple[Fault, ...],
+) -> dict[int, ClientPlan]:
+    """Fold a round's chaos faults into its availability plans.
+
+    Blackouts turn the last ``K`` cohort members permanently dark at the
+    fault's phase (never *reviving* a client that would have dropped
+    earlier anyway); partitions add the partition duration to those
+    members' latency at the phase — a healed partition shows up as a
+    straggle, and one longer than the phase deadline as an eviction.
+    Server kills are not plan-level faults and are handled by the round
+    driver.
+    """
+    ordered = list(cohort)
+    patched = dict(plans)
+    for fault in faults:
+        if isinstance(fault, Blackout) and fault.clients > 0:
+            for client in ordered[-fault.clients:]:
+                plan = patched.get(client, ClientPlan())
+                drop = (
+                    fault.phase
+                    if plan.drop_phase is None
+                    else min(plan.drop_phase, fault.phase)
+                )
+                patched[client] = dataclasses.replace(
+                    plan, drop_phase=drop
+                )
+        elif isinstance(fault, Partition) and fault.clients > 0:
+            for client in ordered[-fault.clients:]:
+                plan = patched.get(client, ClientPlan())
+                latencies = list(plan.latencies)
+                latencies[fault.phase] += fault.duration
+                patched[client] = dataclasses.replace(
+                    plan, latencies=tuple(latencies)
+                )
+    return patched
 
 
 class _AsyncRoundTrainer(FederatedTrainer):
@@ -419,9 +502,13 @@ class SimulationEngine:
         self._curves: dict[int, object] = {}  # survivor count -> RDP curve
         self._records: list[RoundRecord] = []
         self._backend = None  # ExecutionBackend, built per run()
+        self._chaos: ChaosSchedule | None = (
+            parse_chaos(config.chaos) if config.chaos is not None else None
+        )
         self._metrics: MetricsRegistry | None = None
         self._m_sim_rounds = self._m_cohort = None
         self._m_epsilon = self._m_fallbacks = None
+        self._m_recovery = None
 
     @property
     def sampling_rate(self) -> float:
@@ -458,10 +545,15 @@ class SimulationEngine:
                 "Rounds charged at the calibrated expectation because "
                 "the realized survivor count was infeasible.",
             )
+            self._m_recovery = self._metrics.counter(
+                "round_recovery_total",
+                "Chaos server-kill rounds, by recovery outcome.",
+            )
         else:
             self._metrics = None
             self._m_sim_rounds = self._m_cohort = None
             self._m_epsilon = self._m_fallbacks = None
+            self._m_recovery = None
         # Only sharded/tree runs execute through a backend; flat runs
         # drive AsyncSecAggRound on the engine clock directly.
         self._backend = (
@@ -625,6 +717,13 @@ class SimulationEngine:
         }
         protocol_rng = self.population.round_rng(round_index, PURPOSE_PROTOCOL)
         plans = self.population.plans(round_index, cohort)
+        faults = (
+            self._chaos.for_round(round_index) if self._chaos else ()
+        )
+        kill = self._chaos.kill(round_index) if self._chaos else None
+        if faults:
+            plans = _apply_chaos_plans(plans, cohort, faults)
+        recovered = False
         topology = self.config.aggregation_topology()
         try:
             if topology is not None:
@@ -648,18 +747,43 @@ class SimulationEngine:
                 threshold = shamir_threshold(
                     self.config.threshold_fraction, len(cohort)
                 )
-                secagg_round = AsyncSecAggRound(
-                    vectors=vectors,
-                    modulus=self.config.modulus,
-                    threshold=threshold,
-                    clock=self._clock,
-                    rng=protocol_rng,
-                    plans=plans,
-                    phase_timeout=self.config.phase_timeout,
-                    trace=self.trace,
-                    metrics=self._metrics,
-                )
-                outcome = self._clock.run(secagg_round.run())
+
+                def flat_round(fail_at: int | None) -> AsyncSecAggRound:
+                    return AsyncSecAggRound(
+                        vectors=vectors,
+                        modulus=self.config.modulus,
+                        threshold=threshold,
+                        clock=self._clock,
+                        rng=protocol_rng,
+                        plans=plans,
+                        phase_timeout=self.config.phase_timeout,
+                        trace=self.trace,
+                        metrics=self._metrics,
+                        fail_at_phase=fail_at,
+                    )
+
+                try:
+                    outcome = self._clock.run(
+                        flat_round(kill.phase if kill else None).run()
+                    )
+                except ChaosKillError:
+                    if kill is None or not kill.restart:
+                        if self._m_recovery is not None:
+                            self._m_recovery.labels(outcome="aborted").inc()
+                        raise
+                    # Restart: re-drive the round with a fresh server.
+                    # The aggregate depends only on the included set and
+                    # the clients' vectors — masks cancel — so the retry
+                    # (whose protocol generators continue from the same
+                    # round-scoped stream) releases the same sum the
+                    # fault-free round would have.
+                    self.trace.record(
+                        "chaos-server-restart", round=round_index
+                    )
+                    if self._m_recovery is not None:
+                        self._m_recovery.labels(outcome="resumed").inc()
+                    recovered = True
+                    outcome = self._clock.run(flat_round(None).run())
         except AggregationError:
             return self._abort_round(round_index, cohort, started_at)
         matches: bool | None = None
@@ -693,6 +817,7 @@ class SimulationEngine:
                 ),
                 wire_bytes=outcome.wire.total_bytes if outcome.wire else 0,
                 composer=outcome.composer,
+                recovered=recovered,
             )
         )
         decoded = self.decoder.decode(outcome.modular_sum)

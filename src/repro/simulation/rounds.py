@@ -55,7 +55,7 @@ import asyncio
 
 import numpy as np
 
-from repro.errors import AggregationError, ConfigurationError
+from repro.errors import AggregationError, ChaosKillError, ConfigurationError
 from repro.secagg.bonawitz import (
     ROUND_ADVERTISE,
     ROUND_MASKED_INPUT,
@@ -152,6 +152,10 @@ class AsyncSecAggRound:
             wire byte+message counters fed from the session's
             :class:`~repro.secagg.wire.WireStats`.  ``None`` (default)
             keeps the round entirely instrumentation-free.
+        fail_at_phase: Chaos seam — the server "crashes" (raises
+            :class:`~repro.errors.ChaosKillError`) when it reaches this
+            phase, before collecting or committing anything for it.
+            ``None`` (default) never fails.
     """
 
     def __init__(
@@ -171,6 +175,7 @@ class AsyncSecAggRound:
         mask_prg: MaskPrg | str | None = None,
         client_versions: Mapping[int, int] | None = None,
         metrics: MetricsRegistry | None = None,
+        fail_at_phase: int | None = None,
     ) -> None:
         if not vectors:
             raise ConfigurationError("cohort must not be empty")
@@ -204,6 +209,14 @@ class AsyncSecAggRound:
         self._tamper = tamper_unmask_request
         self._mask_prg = get_mask_prg(mask_prg)
         self._client_versions = dict(client_versions or {})
+        if fail_at_phase is not None and not (
+            ROUND_ADVERTISE <= fail_at_phase <= ROUND_UNMASK
+        ):
+            raise ConfigurationError(
+                f"fail_at_phase must lie in [{ROUND_ADVERTISE}, "
+                f"{ROUND_UNMASK}] or be None, got {fail_at_phase}"
+            )
+        self._fail_at_phase = fail_at_phase
         # Spawn per-client generators in sorted order, like run_bonawitz.
         # The upper endpoint is exclusive, so 2**63 makes the full
         # 63-bit seed range reachable.
@@ -373,6 +386,13 @@ class AsyncSecAggRound:
             ROUND_UNMASK,
         ):
             tag = _TAGS[phase]
+            if self._fail_at_phase == phase:
+                self.abort_phase = phase
+                self.survivors_at_abort = frozenset(session.received())
+                self._record("chaos-server-kill", phase=tag)
+                raise ChaosKillError(
+                    f"chaos: server killed before the {tag} phase committed"
+                )
             wire_before = session.stats.snapshot() if observing else None
             with self._phase_span(tag):
                 datagrams = await self._collect(tag, expected=expected)

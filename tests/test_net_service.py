@@ -204,6 +204,9 @@ class TestTransportBoundaries:
                 try:
                     hello, advertise = session.start()
                     await write_datagram(writer, hello + advertise)
+                    welcome = await asyncio.wait_for(
+                        read_datagram(reader), 10
+                    )
                     roster = await asyncio.wait_for(
                         read_datagram(reader), 10
                     )

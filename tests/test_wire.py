@@ -25,9 +25,11 @@ from repro.secagg.wire import (
     MaskedInput,
     NegotiatedHeader,
     Reject,
+    Resume,
     SealedShares,
     UnmaskRequest,
     UnmaskResponse,
+    Welcome,
     WireStats,
     decode_frames,
     decode_message,
@@ -91,6 +93,16 @@ GOLDEN = {
         "534701073900000001000a7368613235362d637472"
         "080000001e00756e737570706f727465642070726f746f636f6c2076"
         "657273696f6e2039",
+    ),
+    "welcome": (
+        Welcome(client=5, round_id=0x0102030405060708),
+        "534701082100000001000a7368613235362d637472"
+        "050000000807060504030201",
+    ),
+    "resume": (
+        Resume(sender=9, round_id=3, deliveries=2),
+        "534701092200000001000a7368613235362d637472"
+        "09000000030000000000000002",
     ),
 }
 
@@ -298,6 +310,27 @@ class TestHypothesisRoundTrips:
     @settings(max_examples=50, deadline=None)
     def test_reject_round_trip(self, client, reason):
         message = Reject(client=client, reason=reason)
+        assert decode_message(encode_message(message, HEADER))[1] == message
+
+    @given(
+        client=st.integers(min_value=0, max_value=2**32 - 1),
+        round_id=st.integers(min_value=0, max_value=2**64 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_welcome_round_trip(self, client, round_id):
+        message = Welcome(client=client, round_id=round_id)
+        assert decode_message(encode_message(message, HEADER))[1] == message
+
+    @given(
+        sender=st.integers(min_value=1, max_value=2**32 - 1),
+        round_id=st.integers(min_value=0, max_value=2**64 - 1),
+        deliveries=st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_resume_round_trip(self, sender, round_id, deliveries):
+        message = Resume(
+            sender=sender, round_id=round_id, deliveries=deliveries
+        )
         assert decode_message(encode_message(message, HEADER))[1] == message
 
 
