@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import os
 import pathlib
+import platform
 
 import numpy as np
 import pytest
@@ -32,6 +33,37 @@ FULL_SCALE = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 RESULTS_MAX_LINES = int(os.environ.get("REPRO_BENCH_MAX_LINES", "60"))
 
 
+def _cpu_model() -> str:
+    try:
+        for line in pathlib.Path("/proc/cpuinfo").read_text().splitlines():
+            if line.lower().startswith("model name"):
+                return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or "unknown"
+
+
+#: One-line environment stamp prefixed to each session's emission block
+#: per results file — committed trajectories are only comparable when
+#: the hardware behind them is visible.
+ENV_HEADER = (
+    f'# env cpus={os.cpu_count()} cpu="{_cpu_model()}" '
+    f"python={platform.python_version()}"
+)
+
+#: Results files already stamped with :data:`ENV_HEADER` this session.
+_env_stamped: set[str] = set()
+
+
+def _persist(line: str, filename: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / filename
+    lines = path.read_text().splitlines() if path.exists() else []
+    lines = [prior for prior in lines if prior != line]
+    lines.append(line)
+    path.write_text("\n".join(lines[-RESULTS_MAX_LINES:]) + "\n")
+
+
 @pytest.fixture
 def emit(capsys):
     """Print a line through pytest's capture (and persist it to a file).
@@ -42,23 +74,41 @@ def emit(capsys):
     benchmark, a doubled CI artifact merge, results re-committed on top
     of themselves) *moves* the existing line to the tail instead of
     double-appending it, so repeated runs can never grow the file with
-    duplicates.
+    duplicates.  The session's first persisted line per file is preceded
+    by the :data:`ENV_HEADER` stamp, so each run's block records the
+    hardware it was measured on.
     """
 
     def _emit(line: str, filename: str | None = None) -> None:
         with capsys.disabled():
             print(line)
         if filename is not None:
-            RESULTS_DIR.mkdir(exist_ok=True)
-            path = RESULTS_DIR / filename
-            lines = (
-                path.read_text().splitlines() if path.exists() else []
-            )
-            lines = [prior for prior in lines if prior != line]
-            lines.append(line)
-            path.write_text("\n".join(lines[-RESULTS_MAX_LINES:]) + "\n")
+            if filename not in _env_stamped:
+                _env_stamped.add(filename)
+                _persist(ENV_HEADER, filename)
+            _persist(line, filename)
 
     return _emit
+
+
+@pytest.fixture(scope="session")
+def best_of():
+    """Best-of-N sampler for noise-sensitive measurements.
+
+    Calls ``func`` ``repeats`` times and returns the result whose
+    ``key`` is highest (default: the result itself — suited to
+    throughput figures, where the best run is the least-perturbed one).
+    """
+
+    def _best(repeats: int, func, key=lambda result: result):
+        best = None
+        for _ in range(repeats):
+            result = func()
+            if best is None or key(result) > key(best):
+                best = result
+        return best
+
+    return _best
 
 
 @pytest.fixture(scope="session")

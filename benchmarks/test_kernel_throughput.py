@@ -20,6 +20,14 @@ import numpy as np
 
 from repro.secagg.field import DEFAULT_FIELD
 from repro.secagg.kernels import PhiloxPrg, Sha256CounterPrg
+from repro.secagg.shamir import LimbShares
+from repro.secagg.wire import (
+    PROTOCOL_V1,
+    WIRE_CODECS,
+    UnmaskColumns,
+    intern_header,
+    route_sealed_stack,
+)
 from repro.secagg.prg import expand_mask_reference
 from repro.secagg.shamir import (
     Share,
@@ -57,17 +65,17 @@ def test_mask_prg_throughput(emit):
             expand_mask_reference(seed, MASK_DIMENSION, MODULUS)
 
     philox_prg = PhiloxPrg()
-    scalar_time = _best_of(3, scalar)
+    scalar_time = _best_of(5, scalar)
     # Fresh instance per repetition: measures the hash loop itself, not
     # the per-instance expansion memo.
     sha_time = _best_of(
-        3,
+        5,
         lambda: Sha256CounterPrg().expand_batch(
             seeds, MASK_DIMENSION, MODULUS
         ),
     )
     philox_time = _best_of(
-        3, lambda: philox_prg.expand_batch(seeds, MASK_DIMENSION, MODULUS)
+        5, lambda: philox_prg.expand_batch(seeds, MASK_DIMENSION, MODULUS)
     )
     for name, elapsed in [
         ("scalar-reference", scalar_time),
@@ -87,7 +95,7 @@ def test_mask_prg_throughput(emit):
     sha_prg = Sha256CounterPrg()
     sha_prg.expand_batch(seeds, MASK_DIMENSION, MODULUS)  # warm the memo
     cached_time = _best_of(
-        3, lambda: sha_prg.expand_batch(seeds, MASK_DIMENSION, MODULUS)
+        5, lambda: sha_prg.expand_batch(seeds, MASK_DIMENSION, MODULUS)
     )
     emit(
         f"kernel_masks backend={'sha256-ctr-cached':17s} "
@@ -116,8 +124,8 @@ def test_shamir_throughput(emit, bench_rng):
             secrets, SHAMIR_THRESHOLD, SHAMIR_SHARES, bench_rng, field
         )
 
-    scalar_split_time = _best_of(3, scalar_split)
-    batched_split_time = _best_of(3, batched_split_call)
+    scalar_split_time = _best_of(5, scalar_split)
+    batched_split_time = _best_of(5, batched_split_call)
     total_shares = SHAMIR_BATCH * SHAMIR_SHARES
     emit(
         f"kernel_shamir op=split     path=scalar    t={SHAMIR_THRESHOLD} "
@@ -149,9 +157,9 @@ def test_shamir_throughput(emit, bench_rng):
         for shares in share_objects:
             reconstruct_secret_scalar(shares, field)
 
-    scalar_rec_time = _best_of(3, scalar_reconstruct)
+    scalar_rec_time = _best_of(5, scalar_reconstruct)
     batched_rec_time = _best_of(
-        3, lambda: reconstruct_secrets(xs, rows, field)
+        5, lambda: reconstruct_secrets(xs, rows, field)
     )
     recovered = reconstruct_secrets(xs, rows, field)
     assert recovered == secrets  # exactness, not just speed
@@ -169,3 +177,65 @@ def test_shamir_throughput(emit, bench_rng):
         RESULTS_FILE,
     )
     assert batched_rec_time <= scalar_rec_time * 1.5
+
+
+WIRE_ROSTER = 96
+WIRE_CIPHERTEXT = 33
+
+
+def test_wire_codec_throughput(emit, bench_rng):
+    """Frames/sec: scalar vs batched codec on the three bulk legs."""
+    header = intern_header(PROTOCOL_V1, "sha256-ctr")
+    scalar, batched = WIRE_CODECS["scalar"], WIRE_CODECS["batched"]
+    recipients = list(range(1, WIRE_ROSTER + 1))
+    ciphertexts = bench_rng.integers(
+        0, 256, size=(WIRE_ROSTER, WIRE_CIPHERTEXT), dtype=np.uint8
+    )
+    vector = bench_rng.integers(0, MODULUS, size=512, dtype=np.int64)
+    columns = UnmaskColumns(
+        responder=1,
+        peers=np.arange(2, WIRE_ROSTER + 2, dtype="<u4"),
+        xs=np.full(WIRE_ROSTER, 1, dtype="<u4"),
+        ys=bench_rng.integers(
+            0, 2**61 - 1, size=WIRE_ROSTER, dtype=np.uint64
+        ),
+        key_shares={0: LimbShares(x=1, ys=(5, 6))},
+    )
+    times = {}
+    for codec in (scalar, batched):
+        times[codec.name] = _best_of(
+            5,
+            lambda c=codec: (
+                c.encode_sealed_matrix(1, recipients, ciphertexts, header),
+                c.encode_masked_input(1, vector, header),
+                c.encode_unmask_columns(columns, header),
+            ),
+        )
+        frames = WIRE_ROSTER + 2
+        emit(
+            f"kernel_wire codec={codec.name:8s} roster={WIRE_ROSTER} "
+            f"frames_per_sec={frames / times[codec.name]:10.1f}",
+            RESULTS_FILE,
+        )
+    # The batched codec exists to be faster on the quadratic leg; 1.5x
+    # slack tolerates timer noise, not a rerouted hot path.
+    assert times["batched"] <= times["scalar"] * 1.5
+
+    datagram = batched.encode_sealed_matrix(
+        1, recipients, ciphertexts, header
+    )
+    frame_len = len(datagram) // WIRE_ROSTER
+    stack = np.stack(
+        [
+            np.frombuffer(datagram, dtype=np.uint8).reshape(
+                WIRE_ROSTER, frame_len
+            )
+        ]
+        * WIRE_ROSTER
+    )
+    route_time = _best_of(5, lambda: route_sealed_stack(stack))
+    emit(
+        f"kernel_wire codec=route    roster={WIRE_ROSTER} "
+        f"frames_per_sec={WIRE_ROSTER * WIRE_ROSTER / route_time:10.1f}",
+        RESULTS_FILE,
+    )

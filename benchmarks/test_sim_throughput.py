@@ -281,50 +281,73 @@ def test_phase_latency_quantiles(emit, bench_rng):
         )
 
 
-def test_telemetry_not_slower(emit, bench_rng):
-    """Metering must not slow rounds beyond run-to-run noise (tier-1)."""
-    plain, _, _, _ = _run_rounds(128, 48, num_rounds=2, bench_rng=bench_rng)
-    metered, _, _, report = _run_rounds(
-        128, 48, num_rounds=2, bench_rng=bench_rng, telemetry=True
+def test_telemetry_not_slower(emit, bench_rng, best_of):
+    """Metering overhead must stay under a hard 10% bound (tier-1).
+
+    Best-of-3 on each side squeezes scheduler noise out of the
+    comparison, so the bound is tight enough to actually fail when the
+    instrumentation hot path regresses (the 1.5x-slack ancestor of this
+    guard waved through a measured +46% overhead).
+    """
+    plain = best_of(
+        3,
+        lambda: _run_rounds(128, 48, num_rounds=2, bench_rng=bench_rng)[0],
     )
+    report_box = []
+
+    def metered_run():
+        rps, _, _, report = _run_rounds(
+            128, 48, num_rounds=2, bench_rng=bench_rng, telemetry=True
+        )
+        report_box.append(report)
+        return rps
+
+    metered = best_of(3, metered_run)
     emit(
         f"sim_telemetry_overhead population= 128 cohort<= 48 "
         f"plain_rps={plain:8.3f} metered_rps={metered:8.3f} "
         f"overhead={100 * (plain / metered - 1):+.1f}%",
         RESULTS_FILE,
     )
-    assert report is not None
-    assert report.counter_sum("secagg_rounds_total") > 0
-    # Same 1.5x slack as the kernel-throughput smoke: generous against
-    # wall-clock noise, still catches an instrumentation hot path.
-    assert metered * 1.5 >= plain
+    assert report_box[-1] is not None
+    assert report_box[-1].counter_sum("secagg_rounds_total") > 0
+    assert metered * 1.10 >= plain
 
 
 @pytest.mark.slow
-def test_telemetry_overhead_full_cohort_sharded(emit, bench_rng):
-    """Metering overhead in the pop-512 sharded regime (target <= 5%).
+def test_telemetry_overhead_full_cohort_sharded(emit, bench_rng, best_of):
+    """Metering overhead in the pop-512 sharded regime (hard <= 10%).
 
     The heaviest configuration is where per-phase spans, wire counters
     and shard-snapshot absorption would show up if they cost anything;
-    the emitted overhead percentage tracks the measured figure while
-    the assertion only demands not-slower within benchmark noise.
+    best-of-2 per side keeps the comparison honest at ~1.3s/round.
     """
     population_size, shards = 512, 8
-    plain, _, _, _ = _run_rounds(
-        population_size,
-        population_size,
-        num_rounds=3,
-        bench_rng=bench_rng,
-        shards=shards,
+    plain = best_of(
+        2,
+        lambda: _run_rounds(
+            population_size,
+            population_size,
+            num_rounds=3,
+            bench_rng=bench_rng,
+            shards=shards,
+        )[0],
     )
-    metered, _, _, report = _run_rounds(
-        population_size,
-        population_size,
-        num_rounds=3,
-        bench_rng=bench_rng,
-        shards=shards,
-        telemetry=True,
-    )
+    report_box = []
+
+    def metered_run():
+        rps, _, _, report = _run_rounds(
+            population_size,
+            population_size,
+            num_rounds=3,
+            bench_rng=bench_rng,
+            shards=shards,
+            telemetry=True,
+        )
+        report_box.append(report)
+        return rps
+
+    metered = best_of(2, metered_run)
     emit(
         f"sim_telemetry_overhead population={population_size:4d} "
         f"full-cohort shards={shards} plain_rps={plain:8.3f} "
@@ -332,7 +355,7 @@ def test_telemetry_overhead_full_cohort_sharded(emit, bench_rng):
         f"overhead={100 * (plain / metered - 1):+.1f}%",
         RESULTS_FILE,
     )
-    assert report is not None
+    assert report_box[-1] is not None
     # Every shard's sub-round reported in, relabeled per shard.
-    assert report.counter_sum("secagg_rounds_total") >= 3 * shards - 3
-    assert metered * 1.5 >= plain
+    assert report_box[-1].counter_sum("secagg_rounds_total") >= 3 * shards - 3
+    assert metered * 1.10 >= plain

@@ -55,7 +55,7 @@ from repro.secagg.bonawitz import (
     ROUND_UNMASK,
 )
 from repro.secagg.field import DEFAULT_FIELD, PrimeField
-from repro.secagg.keys import TOY_GROUP, DhGroup
+from repro.secagg.keys import TOY_GROUP, KeyAgreementGroup
 from repro.secagg.statemachine import PHASE_TAGS, ClientSession
 from repro.secagg.wire import (
     PROTOCOL_V1,
@@ -384,7 +384,7 @@ async def run_client(
     vector: np.ndarray,
     modulus: int,
     threshold: int,
-    group: DhGroup = TOY_GROUP,
+    group: KeyAgreementGroup = TOY_GROUP,
     field: PrimeField = DEFAULT_FIELD,
     mask_prg: str | None = None,
     timeout: float = 60.0,

@@ -74,7 +74,7 @@ from repro.resilience.journal import (
     recover_journal,
 )
 from repro.secagg.field import DEFAULT_FIELD, PrimeField
-from repro.secagg.keys import TOY_GROUP, DhGroup
+from repro.secagg.keys import TOY_GROUP, KeyAgreementGroup
 from repro.secagg.statemachine import PHASE_TAGS, ServerSession
 from repro.secagg.bonawitz import (
     ROUND_ADVERTISE,
@@ -147,7 +147,7 @@ class ServerConfig:
     phase_timeout: float = 30.0
     join_timeout: float = 30.0
     mask_prg: str | None = None
-    group: DhGroup = TOY_GROUP
+    group: KeyAgreementGroup = TOY_GROUP
     field: PrimeField = DEFAULT_FIELD
     max_datagram_bytes: int = MAX_DATAGRAM_BYTES
     resume_grace: float = 0.0

@@ -38,7 +38,7 @@ from repro.secagg.bonawitz import (
     run_bonawitz,
 )
 from repro.secagg.field import DEFAULT_FIELD, PrimeField
-from repro.secagg.keys import TOY_GROUP, DhGroup
+from repro.secagg.keys import TOY_GROUP, KeyAgreementGroup
 from repro.secagg.wire import PROTOCOL_V1
 from repro.telemetry import MetricsRegistry
 
@@ -277,7 +277,7 @@ def client_plans(config: SwarmConfig) -> list[ClientPlan]:
 
 def expected_aggregate(
     config: SwarmConfig,
-    group: DhGroup = TOY_GROUP,
+    group: KeyAgreementGroup = TOY_GROUP,
     field: PrimeField = DEFAULT_FIELD,
 ) -> AggregationOutcome:
     """The reference outcome, computed entirely in memory.
@@ -321,7 +321,7 @@ async def run_swarm(
     host: str,
     port: int,
     config: SwarmConfig,
-    group: DhGroup = TOY_GROUP,
+    group: KeyAgreementGroup = TOY_GROUP,
     field: PrimeField = DEFAULT_FIELD,
     metrics: MetricsRegistry | None = None,
 ) -> SwarmResult:

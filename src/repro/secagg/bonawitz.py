@@ -55,6 +55,7 @@ simulated-clock mailbox transport is
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Iterable
 
 import numpy as np
 
@@ -68,10 +69,12 @@ from repro.secagg.kernels import (
 )
 from repro.secagg.keys import (
     DhGroup,
+    KeyAgreementGroup,
     KeyPair,
     agree,
     agree_batch,
     generate_keypair,
+    key_bits,
     warm_agreement_cache,
 )
 from repro.secagg.prg import expand_mask
@@ -89,6 +92,7 @@ from repro.secagg.shamir import (
 from repro.secagg.wire import (
     Advertise,
     SealedShares,
+    UnmaskColumns,
     UnmaskRequest,
     UnmaskResponse,
     WireStats,
@@ -269,7 +273,7 @@ class BonawitzClient:
         modulus: int,
         threshold: int,
         rng: np.random.Generator,
-        group: DhGroup,
+        group: KeyAgreementGroup,
         field: PrimeField = DEFAULT_FIELD,
         mask_prg: MaskPrg | str | None = None,
     ) -> None:
@@ -382,7 +386,7 @@ class BonawitzClient:
         # then share one byte length, so share deliveries are uniform
         # frame streams the wire layer bulk-decodes in one numpy pass.
         # (Zero limbs share and reconstruct like any other value.)
-        group_limbs = -(-self._group.prime.bit_length() // DEFAULT_LIMB_BITS)
+        group_limbs = -(-key_bits(self._group) // DEFAULT_LIMB_BITS)
         limbs += [0] * (group_limbs - len(limbs))
         share_matrix = split_secrets(
             [self._self_seed] + limbs,
@@ -565,6 +569,19 @@ class BonawitzClient:
             np.mod(self._vector, self._modulus) + total_mask, self._modulus
         )
 
+    def _check_unmask_request(self, request: UnmaskRequest) -> None:
+        overlap = request.survivors & request.dropouts
+        if overlap:
+            raise AggregationError(
+                "refusing unmask request: clients "
+                f"{sorted(overlap)} named as both survivor and dropout"
+            )
+        unknown = (request.survivors | request.dropouts) - set(self._received)
+        if unknown:
+            raise AggregationError(
+                f"no shares held for clients {sorted(unknown)}"
+            )
+
     def unmask(self, request: UnmaskRequest) -> UnmaskResponse:
         """Round 3: reveal the requested shares.
 
@@ -578,17 +595,7 @@ class BonawitzClient:
                 request naming peers this client never received shares
                 from.
         """
-        overlap = request.survivors & request.dropouts
-        if overlap:
-            raise AggregationError(
-                "refusing unmask request: clients "
-                f"{sorted(overlap)} named as both survivor and dropout"
-            )
-        unknown = (request.survivors | request.dropouts) - set(self._received)
-        if unknown:
-            raise AggregationError(
-                f"no shares held for clients {sorted(unknown)}"
-            )
+        self._check_unmask_request(request)
         return UnmaskResponse(
             responder=self.index,
             seed_shares={
@@ -596,6 +603,36 @@ class BonawitzClient:
             },
             key_shares={
                 v: self._received[v][1] for v in sorted(request.dropouts)
+            },
+        )
+
+    def unmask_columns(self, request: UnmaskRequest) -> UnmaskColumns:
+        """Columnar :meth:`unmask`: same checks, arrays instead of dicts.
+
+        Encodes (and the server recovers) without per-survivor ``Share``
+        objects; :meth:`UnmaskColumns.to_response` of the result equals
+        :meth:`unmask` of the same request exactly.
+        """
+        self._check_unmask_request(request)
+        survivors = sorted(request.survivors)
+        received = self._received
+        count = len(survivors)
+        ys_dtype: type | np.dtype = (
+            np.uint64 if self._field.prime <= (1 << 64) else object
+        )
+        return UnmaskColumns(
+            responder=self.index,
+            peers=np.asarray(survivors, dtype="<u4"),
+            xs=np.fromiter(
+                (received[v][0].x for v in survivors),
+                dtype="<u4",
+                count=count,
+            ),
+            ys=np.asarray(
+                [received[v][0].y for v in survivors], dtype=ys_dtype
+            ),
+            key_shares={
+                v: received[v][1] for v in sorted(request.dropouts)
             },
         )
 
@@ -662,7 +699,7 @@ class BonawitzServer:
         dimension: int,
         threshold: int,
         field: PrimeField = DEFAULT_FIELD,
-        group: DhGroup = DhGroup(),
+        group: KeyAgreementGroup = DhGroup(),
         mask_prg: MaskPrg | str | None = None,
     ) -> None:
         if threshold < 2:
@@ -734,6 +771,27 @@ class BonawitzServer:
         }
         return dict(self._mailbox)
 
+    def register_share_keys(self, senders: "Iterable[int]") -> frozenset[int]:
+        """Columnar :meth:`route_shares` prologue: record ``U1`` only.
+
+        The wire layer's columnar router forwards raw frame spans
+        itself, so no envelope objects reach the crypto server; this
+        still owns the threshold check and the ``U1`` set the later
+        phases validate against.
+
+        Raises:
+            AggregationError: If fewer than ``threshold`` clients shared
+                keys.
+        """
+        senders = frozenset(senders)
+        if len(senders) < self._threshold:
+            raise AggregationError(
+                f"only {len(senders)} clients shared keys; "
+                f"threshold is {self._threshold}"
+            )
+        self._share_senders = senders
+        return senders
+
     @property
     def share_participants(self) -> frozenset[int]:
         """``U1`` — clients that completed the key-sharing round."""
@@ -772,16 +830,20 @@ class BonawitzServer:
         dropouts = self._share_senders - survivors
         return UnmaskRequest(survivors=survivors, dropouts=frozenset(dropouts))
 
-    def recover_sum(self, responses: list[UnmaskResponse]) -> np.ndarray:
+    def recover_sum(
+        self, responses: "list[UnmaskResponse | UnmaskColumns]"
+    ) -> np.ndarray:
         """Round 3: reconstruct missing masks and output the modular sum.
 
         All survivor seeds are reconstructed in one shared-weight batch
         (the responder set — hence the Lagrange weights — is the same
         for every survivor), and all lingering masks are removed with
-        one batched signed-mask expansion.
-
-        Args:
-            responses: Round-3 replies from at least ``threshold`` clients.
+        one batched signed-mask expansion.  Responses may arrive as
+        per-peer :class:`~repro.secagg.wire.UnmaskResponse` objects or
+        columnar :class:`~repro.secagg.wire.UnmaskColumns`; when the
+        whole quorum is columnar over the same survivor roster, the seed
+        matrix assembles as one transpose instead of
+        O(survivors × threshold) dict lookups.
 
         Returns:
             ``Σ_{u ∈ U2} x_u mod m`` as a length-``d`` int64 array.
@@ -805,13 +867,44 @@ class BonawitzServer:
         # share points are the quorum's Shamir indices for all of them.
         mask_seeds: list[bytes] = []
         if survivors:
-            seed_rows = [
-                [response.seed_shares[survivor].y for response in quorum]
-                for survivor in survivors
-            ]
-            seed_xs = [
-                response.seed_shares[survivors[0]].x for response in quorum
-            ]
+            uniform = all(
+                isinstance(response, UnmaskColumns)
+                and response.ys.dtype != object
+                for response in quorum
+            )
+            if uniform:
+                expected = np.asarray(survivors, dtype=np.uint32)
+                uniform = all(
+                    response.peers.shape == expected.shape
+                    and np.array_equal(response.peers, expected)
+                    for response in quorum
+                )
+            if uniform:
+                # Columnar fast path: each response's seed column is
+                # already in sorted-survivor order, so the per-survivor
+                # share rows are one stack-and-transpose away.
+                seed_rows = np.stack(
+                    [response.ys for response in quorum]
+                ).T.tolist()
+                seed_xs = [int(response.xs[0]) for response in quorum]
+            else:
+                materialized = [
+                    response.to_response()
+                    if isinstance(response, UnmaskColumns)
+                    else response
+                    for response in quorum
+                ]
+                seed_rows = [
+                    [
+                        response.seed_shares[survivor].y
+                        for response in materialized
+                    ]
+                    for survivor in survivors
+                ]
+                seed_xs = [
+                    response.seed_shares[survivors[0]].x
+                    for response in materialized
+                ]
             seeds = reconstruct_secrets(seed_xs, seed_rows, self._field)
             mask_seeds = [
                 seed.to_bytes(_SEED_WIDTH, "little") for seed in seeds
@@ -873,10 +966,11 @@ def run_bonawitz(
     modulus: int,
     threshold: int,
     rng: np.random.Generator,
-    group: DhGroup | None = None,
+    group: KeyAgreementGroup | None = None,
     dropouts: dict[int, int] | None = None,
     field: PrimeField = DEFAULT_FIELD,
     mask_prg: MaskPrg | str | None = None,
+    wire_codec: str | None = None,
 ) -> AggregationOutcome:
     """Execute the full four-round protocol over simulated clients.
 
@@ -887,13 +981,19 @@ def run_bonawitz(
         modulus: Aggregation modulus ``m``.
         threshold: Shamir threshold ``t`` (``2 <= t <= n``).
         rng: Randomness for keys, seeds and share polynomials.
-        group: DH group; defaults to the fast 61-bit toy group — pass
-            :class:`repro.secagg.keys.DhGroup()` for the 1024-bit Oakley
-            group.
+        group: Key-agreement backend; defaults to the fast 61-bit toy
+            group — pass :class:`repro.secagg.keys.DhGroup()` for the
+            1024-bit Oakley group or
+            :data:`repro.secagg.keys.X25519_GROUP` for native Curve25519
+            (gracefully degrades to the toy group when the optional
+            ``cryptography`` package is absent).
         dropouts: Optional map from client index (1-based) to the first
             round (0-3) at which that client stops responding.
         field: Shamir sharing field.
         mask_prg: Mask PRG backend shared by all participants.
+        wire_codec: Wire codec backend name (``"scalar"``/``"batched"``);
+            ``None`` uses the process default.  Output bytes and digests
+            are identical either way.
 
     Returns:
         The aggregation outcome.
@@ -935,11 +1035,13 @@ def run_bonawitz(
             group=group,
             field=field,
             mask_prg=mask_prg,
+            wire_codec=wire_codec,
         )
         for i in range(num_clients)
     }
     server = ServerSession(
-        modulus, dimension, threshold, field, group, mask_prg
+        modulus, dimension, threshold, field, group, mask_prg,
+        wire_codec=wire_codec,
     )
 
     # Phase 0 — every live client opens with Hello + Advertise.

@@ -63,6 +63,133 @@ class DhGroup:
 TOY_GROUP = DhGroup(prime=(1 << 61) - 1, generator=3)
 
 
+#: Lazily imported ``cryptography`` x25519 module; ``False`` once the
+#: import has failed (tests monkeypatch this to force the fallback path).
+_x25519_module: object = None
+
+
+def _x25519():
+    global _x25519_module
+    if _x25519_module is None:
+        try:
+            from cryptography.hazmat.primitives.asymmetric import x25519
+
+            _x25519_module = x25519
+        except ImportError:
+            _x25519_module = False
+    return _x25519_module or None
+
+
+def x25519_available() -> bool:
+    """Whether the optional ``cryptography`` X25519 backend can be used."""
+    return _x25519() is not None
+
+
+def _require_x25519():
+    module = _x25519()
+    if module is None:
+        raise ConfigurationError(
+            "x25519 key agreement requires the optional 'cryptography' "
+            "package; install it or use a DhGroup"
+        )
+    return module
+
+
+@dataclasses.dataclass(frozen=True)
+class X25519Group:
+    """Curve25519 key agreement via the optional ``cryptography`` package.
+
+    Drop-in second key-agreement backend beside :class:`DhGroup`: key
+    material still travels as Python ints on the existing wire format
+    (32 raw curve bytes, little-endian), and :func:`agree` still derives
+    ``SHA-256(shared)``.  Constructing the group never imports
+    ``cryptography`` — availability is checked at use time, so callers
+    can fall back gracefully via :func:`resolve_group`.
+
+    Attributes:
+        name: The negotiated backend token (always ``"x25519"``).
+    """
+
+    name: str = "x25519"
+
+    def __post_init__(self) -> None:
+        if self.name != "x25519":
+            raise ConfigurationError(
+                f"unknown key-agreement backend {self.name!r}"
+            )
+
+
+#: The singleton X25519 backend instance.
+X25519_GROUP = X25519Group()
+
+#: Either key-agreement backend, where both are accepted.
+KeyAgreementGroup = DhGroup | X25519Group
+
+
+def key_bits(group: KeyAgreementGroup) -> int:
+    """Bit width of the secret scalar for Shamir limb padding."""
+    if isinstance(group, X25519Group):
+        return 256
+    return group.prime.bit_length()
+
+
+def kex_name(group: KeyAgreementGroup) -> str:
+    """The negotiated key-agreement token for a group."""
+    if isinstance(group, X25519Group):
+        return "x25519"
+    return "mod-dh"
+
+
+def resolve_group(
+    group: KeyAgreementGroup, fallback: DhGroup = TOY_GROUP
+) -> KeyAgreementGroup:
+    """Degrade an X25519 request to ``fallback`` when the lib is absent.
+
+    The graceful-fallback seam: sessions resolve their configured group
+    through this before advertising a suite at Hello, so a participant
+    without ``cryptography`` cleanly negotiates modular DH instead of
+    crashing mid-round.
+    """
+    if isinstance(group, X25519Group) and not x25519_available():
+        return fallback
+    return group
+
+
+def _check_public(peer_public: int, group: KeyAgreementGroup) -> None:
+    if isinstance(group, X25519Group):
+        if not 0 < peer_public < (1 << 256):
+            raise ConfigurationError(
+                "peer public key must be a nonzero 32-byte x25519 point, "
+                f"got {peer_public}"
+            )
+    elif not 1 < peer_public < group.prime:
+        raise ConfigurationError(
+            f"peer public key must lie in (1, p), got {peer_public}"
+        )
+
+
+def _x25519_private(private: int):
+    module = _require_x25519()
+    return module.X25519PrivateKey.from_private_bytes(
+        private.to_bytes(32, "little")
+    )
+
+
+def _x25519_derive(private_key, peer_public: int) -> bytes:
+    module = _require_x25519()
+    try:
+        shared = private_key.exchange(
+            module.X25519PublicKey.from_public_bytes(
+                peer_public.to_bytes(32, "little")
+            )
+        )
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"x25519 exchange with {peer_public} is degenerate: {exc}"
+        ) from exc
+    return hashlib.sha256(shared).digest()
+
+
 @dataclasses.dataclass(frozen=True)
 class KeyPair:
     """A DH key pair.
@@ -75,9 +202,19 @@ class KeyPair:
 
     private: int
     public: int
-    group: DhGroup
+    group: KeyAgreementGroup
 
     def __post_init__(self) -> None:
+        if isinstance(self.group, X25519Group):
+            derived = _x25519_private(self.private)
+            public = int.from_bytes(
+                derived.public_key().public_bytes_raw(), "little"
+            )
+            if public != self.public:
+                raise ConfigurationError(
+                    "public key does not match private key"
+                )
+            return
         if pow(self.group.generator, self.private, self.group.prime) != (
             self.public
         ):
@@ -85,7 +222,7 @@ class KeyPair:
 
 
 def generate_keypair(
-    rng: np.random.Generator, group: DhGroup = DhGroup()
+    rng: np.random.Generator, group: KeyAgreementGroup = DhGroup()
 ) -> KeyPair:
     """Sample a fresh DH key pair.
 
@@ -96,6 +233,19 @@ def generate_keypair(
     Returns:
         A consistent (private, public) pair.
     """
+    if isinstance(group, X25519Group):
+        # Both ints are the little-endian view of the 32 raw curve
+        # bytes; from_private_bytes round-trips them unchanged (clamping
+        # happens inside the exchange), so the int form is stable.
+        raw = rng.integers(0, 256, size=32, dtype=np.uint8).tobytes()
+        private_key = _require_x25519().X25519PrivateKey.from_private_bytes(
+            raw
+        )
+        private = int.from_bytes(private_key.private_bytes_raw(), "little")
+        public = int.from_bytes(
+            private_key.public_key().public_bytes_raw(), "little"
+        )
+        return KeyPair(private=private, public=public, group=group)
     # Private exponents in [2, p - 2]; sampled in 63-bit limbs so the
     # range covers the full group even for 1024-bit primes.
     limbs = (group.prime.bit_length() + 62) // 63
@@ -119,17 +269,19 @@ def generate_keypair(
 #: fresh every round, so old entries are dead weight, and one-at-a-time
 #: FIFO eviction on a large dict degrades quadratically on tombstones.
 _PAIR_CACHE_MAX = 300_000
-_pair_caches: dict[tuple[int, int], dict[tuple[int, int], bytes]] = {}
+_pair_caches: dict[tuple[object, object], dict[tuple[int, int], bytes]] = {}
 
 
-def _group_cache(group: DhGroup) -> dict[tuple[int, int], bytes]:
+def _group_cache(group: KeyAgreementGroup) -> dict[tuple[int, int], bytes]:
+    if isinstance(group, X25519Group):
+        return _pair_caches.setdefault(("x25519", 0), {})
     return _pair_caches.setdefault((group.prime, group.generator), {})
 
 
 def agree(
     private: int,
     peer_public: int,
-    group: DhGroup,
+    group: KeyAgreementGroup,
     own_public: int | None = None,
 ) -> bytes:
     """Derive the shared 32-byte seed from one side of a DH exchange.
@@ -153,10 +305,7 @@ def agree(
         ConfigurationError: If ``peer_public`` is outside ``(1, p)``
             (small-subgroup/identity elements are rejected).
     """
-    if not 1 < peer_public < group.prime:
-        raise ConfigurationError(
-            f"peer public key must lie in (1, p), got {peer_public}"
-        )
+    _check_public(peer_public, group)
     cache = cache_key = None
     if own_public is not None:
         cache = _group_cache(group)
@@ -167,9 +316,12 @@ def agree(
         cached = cache.get(cache_key)
         if cached is not None:
             return cached
-    shared = pow(peer_public, private, group.prime)
-    width = (group.prime.bit_length() + 7) // 8
-    derived = hashlib.sha256(shared.to_bytes(width, "big")).digest()
+    if isinstance(group, X25519Group):
+        derived = _x25519_derive(_x25519_private(private), peer_public)
+    else:
+        shared = pow(peer_public, private, group.prime)
+        width = (group.prime.bit_length() + 7) // 8
+        derived = hashlib.sha256(shared.to_bytes(width, "big")).digest()
     if cache is not None:
         if len(cache) >= _PAIR_CACHE_MAX:
             cache.clear()
@@ -178,7 +330,9 @@ def agree(
 
 
 def warm_agreement_cache(
-    privates: dict[int, int], publics: dict[int, int], group: DhGroup
+    privates: dict[int, int],
+    publics: dict[int, int],
+    group: KeyAgreementGroup,
 ) -> int:
     """Batch-derive every unordered pairwise key into the agree cache.
 
@@ -206,7 +360,38 @@ def warm_agreement_cache(
     )
 
     indices = sorted(privates)
-    if len(indices) < 2 or group.prime > LIMB_SPLIT_MAX_MODULUS:
+    if len(indices) < 2:
+        return 0
+    if isinstance(group, X25519Group):
+        # No batched kernel for the curve — but each unordered pair is
+        # still derived once (native scalar mults) instead of once per
+        # endpoint, and recovery agreements become dictionary hits.
+        module = _require_x25519()
+        private_keys = [_x25519_private(privates[i]) for i in indices]
+        peer_keys = [
+            module.X25519PublicKey.from_public_bytes(
+                publics[i].to_bytes(32, "little")
+            )
+            for i in indices
+        ]
+        sha256 = hashlib.sha256
+        cache = _group_cache(group)
+        count = 0
+        for lo in range(len(indices)):
+            pub_lo = publics[indices[lo]]
+            for hi in range(lo + 1, len(indices)):
+                derived = sha256(
+                    private_keys[lo].exchange(peer_keys[hi])
+                ).digest()
+                a, b = pub_lo, publics[indices[hi]]
+                if a > b:
+                    a, b = b, a
+                if len(cache) >= _PAIR_CACHE_MAX:
+                    cache.clear()
+                cache[(a, b)] = derived
+                count += 1
+        return count
+    if group.prime > LIMB_SPLIT_MAX_MODULUS:
         return 0
     private_array = np.asarray(
         [privates[i] for i in indices], dtype=np.uint64
@@ -235,7 +420,7 @@ def warm_agreement_cache(
 def agree_batch(
     private: int,
     peer_publics: list[int],
-    group: DhGroup,
+    group: KeyAgreementGroup,
     own_public: int | None = None,
 ) -> list[bytes]:
     """Derive shared seeds with many peers in one vectorised sweep.
@@ -264,13 +449,9 @@ def agree_batch(
 
     results: list[bytes | None] = [None] * len(peer_publics)
     missing: list[int] = []
-    prime = group.prime
     if own_public is None:
         for position, peer_public in enumerate(peer_publics):
-            if not 1 < peer_public < prime:
-                raise ConfigurationError(
-                    f"peer public key must lie in (1, p), got {peer_public}"
-                )
+            _check_public(peer_public, group)
             missing.append(position)
     else:
         # Cached pairs were already range-checked when first derived, so
@@ -287,29 +468,36 @@ def agree_batch(
             if cached is not None:
                 results[position] = cached
             else:
-                if not 1 < peer_public < prime:
-                    raise ConfigurationError(
-                        "peer public key must lie in (1, p), got "
-                        f"{peer_public}"
-                    )
+                _check_public(peer_public, group)
                 missing.append(position)
     if missing:
-        width = (prime.bit_length() + 7) // 8
-        if prime <= LIMB_SPLIT_MAX_MODULUS and len(missing) > 8:
-            bases = np.asarray(
-                [peer_publics[position] for position in missing],
-                dtype=np.uint64,
-            )
-            shared_values = pow_mod(bases, private, prime).tolist()
-        else:
-            shared_values = [
-                pow(peer_publics[position], private, prime)
+        if isinstance(group, X25519Group):
+            private_key = _x25519_private(private)
+            derived_values = [
+                _x25519_derive(private_key, peer_publics[position])
                 for position in missing
             ]
-        sha256 = hashlib.sha256
+        else:
+            prime = group.prime
+            width = (prime.bit_length() + 7) // 8
+            if prime <= LIMB_SPLIT_MAX_MODULUS and len(missing) > 8:
+                bases = np.asarray(
+                    [peer_publics[position] for position in missing],
+                    dtype=np.uint64,
+                )
+                shared_values = pow_mod(bases, private, prime).tolist()
+            else:
+                shared_values = [
+                    pow(peer_publics[position], private, prime)
+                    for position in missing
+                ]
+            sha256 = hashlib.sha256
+            derived_values = [
+                sha256(int(shared).to_bytes(width, "big")).digest()
+                for shared in shared_values
+            ]
         cache = _group_cache(group) if own_public is not None else None
-        for position, shared in zip(missing, shared_values):
-            derived = sha256(int(shared).to_bytes(width, "big")).digest()
+        for position, derived in zip(missing, derived_values):
             results[position] = derived
             if cache is not None:
                 peer_public = peer_publics[position]

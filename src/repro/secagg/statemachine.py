@@ -66,7 +66,12 @@ from repro.secagg.bonawitz import (
 )
 from repro.secagg.field import DEFAULT_FIELD, PrimeField
 from repro.secagg.kernels import MaskPrg
-from repro.secagg.keys import DhGroup
+from repro.secagg.keys import (
+    DhGroup,
+    KeyAgreementGroup,
+    kex_name,
+    resolve_group,
+)
 from repro.secagg.wire import (
     PROTOCOL_V1,
     SUPPORTED_PROTOCOL_VERSIONS,
@@ -76,7 +81,9 @@ from repro.secagg.wire import (
     Message,
     NegotiatedHeader,
     Reject,
+    ScalarWireCodec,
     SealedShares,
+    UnmaskColumns,
     UnmaskRequest,
     UnmaskResponse,
     WireStats,
@@ -84,9 +91,11 @@ from repro.secagg.wire import (
     decode_sealed_columns,
     decode_sealed_datagram,
     encode_message,
-    encode_sealed_matrix,
+    get_wire_codec,
     intern_header,
     iter_frames,
+    route_sealed_stack,
+    split_suite,
 )
 from repro.telemetry.registry import MetricsRegistry
 
@@ -101,6 +110,17 @@ PHASE_TAGS = {
 
 #: Phase reached once the aggregate sum is recovered.
 PHASE_DONE = ROUND_UNMASK + 1
+
+
+def _suite_name(mask_prg: str, group: KeyAgreementGroup) -> str:
+    """The negotiated backend string for a (PRG, key agreement) pair.
+
+    Classic modular DH keeps the bare PRG name — byte-for-byte what
+    every pre-x25519 round negotiated — so old transcripts and golden
+    vectors stay valid; other key agreements append ``+<kex>``.
+    """
+    kex = kex_name(group)
+    return mask_prg if kex == "mod-dh" else f"{mask_prg}+{kex}"
 
 
 class ClientSession:
@@ -124,6 +144,10 @@ class ClientSession:
         version: Protocol version to propose at Hello.
         metrics: Optional registry for frame/rejection counters; the
             default collects nothing.
+        wire_codec: Wire codec backend — a name from
+            :data:`~repro.secagg.wire.WIRE_CODECS`, an instance, or
+            ``None`` for the process default (normally ``"batched"``).
+            Both codecs emit identical bytes.
     """
 
     def __init__(
@@ -133,12 +157,18 @@ class ClientSession:
         modulus: int,
         threshold: int,
         rng: np.random.Generator,
-        group: DhGroup,
+        group: KeyAgreementGroup,
         field: PrimeField = DEFAULT_FIELD,
         mask_prg: MaskPrg | str | None = None,
         version: int = PROTOCOL_V1,
         metrics: MetricsRegistry | None = None,
+        wire_codec: "str | ScalarWireCodec | None" = None,
     ) -> None:
+        # A client configured for x25519 without the optional
+        # `cryptography` package degrades to the toy DH group *before*
+        # proposing a suite, so negotiation stays clean either way.
+        group = resolve_group(group)
+        self._codec = get_wire_codec(wire_codec)
         self._crypto = BonawitzClient(
             index=index,
             vector=vector,
@@ -153,7 +183,9 @@ class ClientSession:
         # Interned: decoded frames carrying the negotiated header
         # resolve to this very object, so hot-path comparisons are
         # identity checks.
-        self.header = intern_header(version, self._crypto._mask_prg.name)
+        self.header = intern_header(
+            version, _suite_name(self._crypto._mask_prg.name, group)
+        )
         #: Terminal negotiation failure, set on receiving a Reject.
         self.rejected: NegotiationError | None = None
         self._m_frames_in = self._m_frames_out = self._m_rejected = None
@@ -241,7 +273,9 @@ class ClientSession:
             masked = self._crypto.masked_input(participants)
             self._count_frames(len(senders), 1)
             return [
-                self._encode(MaskedInput(sender=self.index, vector=masked))
+                self._codec.encode_masked_input(
+                    self.index, masked, self.header
+                )
             ]
         frames = decode_frames(data)
         if not frames:
@@ -272,7 +306,7 @@ class ClientSession:
             recipients, sealed = self._crypto.share_keys_matrix(roster)
             self._count_frames(len(frames), len(recipients))
             return [
-                encode_sealed_matrix(
+                self._codec.encode_sealed_matrix(
                     self.index, recipients, sealed, self.header
                 )
             ]
@@ -291,9 +325,9 @@ class ClientSession:
                 raise AggregationError(
                     "an unmask request must arrive alone"
                 )
-            response = self._crypto.unmask(first)
+            columns = self._crypto.unmask_columns(first)
             self._count_frames(1, 1)
-            return [self._encode(response)]
+            return [self._codec.encode_unmask_columns(columns, self.header)]
         raise AggregationError(
             f"client {self.index} cannot handle inbound "
             f"{type(first).__name__}"
@@ -307,7 +341,9 @@ class ClientSession:
         # one envelope per round-1 completer (self included).
         participants = frozenset(envelope.sender for envelope in envelopes)
         masked = self._crypto.masked_input(participants)
-        return [self._encode(MaskedInput(sender=self.index, vector=masked))]
+        return [
+            self._codec.encode_masked_input(self.index, masked, self.header)
+        ]
 
 
 class ServerSession:
@@ -346,6 +382,12 @@ class ServerSession:
             replacing the contribution.  Off by default: the in-memory
             transports are loss-free, and there a duplicate is a
             protocol violation worth raising on.
+        wire_codec: Wire codec backend — a name from
+            :data:`~repro.secagg.wire.WIRE_CODECS`, an instance, or
+            ``None`` for the process default (normally ``"batched"``).
+            A columnar codec keeps bulk uploads as raw frame spans and
+            routes them array-at-a-time; bytes on the wire are
+            identical either way.
     """
 
     def __init__(
@@ -354,24 +396,28 @@ class ServerSession:
         dimension: int,
         threshold: int,
         field: PrimeField = DEFAULT_FIELD,
-        group: DhGroup = DhGroup(),
+        group: KeyAgreementGroup = DhGroup(),
         mask_prg: MaskPrg | str | None = None,
         accept_versions: frozenset[int] = SUPPORTED_PROTOCOL_VERSIONS,
         tamper_unmask_request: Callable[[UnmaskRequest], UnmaskRequest]
         | None = None,
         metrics: MetricsRegistry | None = None,
         resumable: bool = False,
+        wire_codec: "str | ScalarWireCodec | None" = None,
     ) -> None:
         if not accept_versions:
             raise ConfigurationError(
                 "the server must accept at least one protocol version"
             )
+        group = resolve_group(group)
+        self._codec = get_wire_codec(wire_codec)
         self._crypto = BonawitzServer(
             modulus, dimension, threshold, field, group, mask_prg
         )
         self._threshold = threshold
         self.header = intern_header(
-            max(accept_versions), self._crypto._mask_prg.name
+            max(accept_versions),
+            _suite_name(self._crypto._mask_prg.name, group),
         )
         self._tamper = tamper_unmask_request
         self.stats = WireStats()
@@ -387,8 +433,12 @@ class ServerSession:
         # forwarded verbatim, so the original bytes are reused instead
         # of re-encoding quadratically many frames.
         self._envelope_raw: dict[tuple[int, int], "memoryview | bytes"] = {}
+        # Columnar upload store (columnar codecs only): per sender, the
+        # recipient roster, the raw datagram, and the per-frame length.
+        # Frames stay bytes until routing transposes them wholesale.
+        self._sealed_columns: dict[int, tuple[tuple[int, ...], bytes, int]] = {}
         self._masked: dict[int, np.ndarray] = {}
-        self._responses: dict[int, UnmaskResponse] = {}
+        self._responses: dict[int, "UnmaskResponse | UnmaskColumns"] = {}
         self._expected: frozenset[int] = frozenset()
         self._request: UnmaskRequest | None = None
         self._modular_sum: np.ndarray | None = None
@@ -447,14 +497,17 @@ class ServerSession:
 
     def received(self) -> frozenset[int]:
         """Senders that already delivered in the current phase."""
+        if self._phase == PHASE_DONE:
+            return frozenset()
+        if self._phase == ROUND_SHARE_KEYS:
+            return frozenset(self._envelopes) | frozenset(
+                self._sealed_columns
+            )
         tables = {
             ROUND_ADVERTISE: self._advertisements,
-            ROUND_SHARE_KEYS: self._envelopes,
             ROUND_MASKED_INPUT: self._masked,
             ROUND_UNMASK: self._responses,
         }
-        if self._phase == PHASE_DONE:
-            return frozenset()
         return frozenset(tables[self._phase])
 
     def phase_ready(self) -> bool:
@@ -505,6 +558,51 @@ class ServerSession:
         if self.resumable and self._guard_redelivery(sender, data):
             return
         if self._phase == ROUND_SHARE_KEYS:
+            # Columnar codecs keep the quadratic upload as one raw
+            # datagram: validate the sender column, stash the bytes, and
+            # let routing transpose the stack without ever building a
+            # SealedShares object.  A sender that already delivered
+            # through the object path (or piecemeal) falls through so
+            # append semantics stay intact.
+            if (
+                self._codec.columnar
+                and sender not in self._envelopes
+                and sender not in self._sealed_columns
+            ):
+                columns = decode_sealed_columns(data)
+                if columns is not None:
+                    header, senders, recipients, _, frame_len = columns
+                    if header is not self.header and header != self.header:
+                        raise NegotiationError(
+                            f"client {sender} sent a frame speaking "
+                            f"{header} into a round negotiated at "
+                            f"{self.header}"
+                        )
+                    for claimed in senders:
+                        if claimed != sender:
+                            raise AggregationError(
+                                f"frame claims sender {claimed} but "
+                                f"came from {sender}"
+                            )
+                    self._require_expected(sender)
+                    self._sealed_columns[sender] = (
+                        tuple(recipients),
+                        bytes(data),
+                        frame_len,
+                    )
+                    self.stats.record_upload(
+                        self.phase_tag,
+                        sender,
+                        len(data),
+                        messages=len(recipients),
+                    )
+                    if self._m_frames_in is not None and recipients:
+                        self._m_frames_in.inc(len(recipients))
+                    if self.resumable:
+                        self._upload_memo.setdefault(sender, {})[
+                            self._phase
+                        ] = bytes(data)
+                    return
             bulk = decode_sealed_datagram(data)
             if bulk is not None:
                 header, envelopes, raws = bulk
@@ -533,6 +631,39 @@ class ServerSession:
                 )
                 if self._m_frames_in is not None and envelopes:
                     self._m_frames_in.inc(len(envelopes))
+                if self.resumable:
+                    self._upload_memo.setdefault(sender, {})[
+                        self._phase
+                    ] = bytes(data)
+                return
+        if self._phase == ROUND_UNMASK:
+            # Columnar codecs parse the seed section straight into
+            # arrays; recover_sum consumes the columns without ever
+            # materializing per-survivor Share objects.
+            decoded = self._codec.decode_unmask(data)
+            if decoded is not None:
+                header, response_columns = decoded
+                if header is not self.header and header != self.header:
+                    raise NegotiationError(
+                        f"client {sender} sent a frame speaking {header} "
+                        f"into a round negotiated at {self.header}"
+                    )
+                if response_columns.responder != sender:
+                    raise AggregationError(
+                        f"frame claims sender {response_columns.responder} "
+                        f"but came from {sender}"
+                    )
+                self._require_expected(sender)
+                if sender in self._responses:
+                    raise AggregationError(
+                        f"duplicate unmask response from client {sender}"
+                    )
+                self._responses[sender] = response_columns
+                self.stats.record_upload(
+                    self.phase_tag, sender, len(data), messages=1
+                )
+                if self._m_frames_in is not None:
+                    self._m_frames_in.inc(1)
                 if self.resumable:
                     self._upload_memo.setdefault(sender, {})[
                         self._phase
@@ -648,11 +779,23 @@ class ServerSession:
                 )
                 self._count_negotiation("rejected", "version")
             elif header.mask_prg != self.header.mask_prg:
-                self.rejections[sender] = (
-                    f"mask PRG backend {header.mask_prg!r} does not match "
-                    f"the round's {self.header.mask_prg!r}"
-                )
-                self._count_negotiation("rejected", "mask-prg")
+                # The suite string carries both backends; reject on the
+                # first component that differs so the reason names the
+                # actual mismatch.
+                client_prg, client_kex = split_suite(header.mask_prg)
+                round_prg, round_kex = split_suite(self.header.mask_prg)
+                if client_prg != round_prg:
+                    self.rejections[sender] = (
+                        f"mask PRG backend {client_prg!r} does not match "
+                        f"the round's {round_prg!r}"
+                    )
+                    self._count_negotiation("rejected", "mask-prg")
+                else:
+                    self.rejections[sender] = (
+                        f"key-agreement backend {client_kex!r} does not "
+                        f"match the round's {round_kex!r}"
+                    )
+                    self._count_negotiation("rejected", "key-agreement")
             else:
                 self._hellos[sender] = header
                 self._count_negotiation("accepted")
@@ -809,6 +952,11 @@ class ServerSession:
         return out
 
     def _close_share_keys(self) -> dict[int, tuple[bytes, int]]:
+        if self._sealed_columns and not self._envelopes:
+            routed = self._route_columns()
+            if routed is not None:
+                return routed
+        self._materialize_columns()
         mailbox = self._crypto.route_shares(self._envelopes)
 
         def frame_of(envelope: SealedShares) -> bytes:
@@ -831,6 +979,65 @@ class ServerSession:
         self._envelope_raw.clear()
         self._expected = frozenset(mailbox)
         return out
+
+    def _route_columns(self) -> dict[int, tuple[bytes, int]] | None:
+        """Route the share-keys phase straight from raw frame spans.
+
+        Every columnar upload targets the same recipient roster with
+        the same frame length (the roster broadcast is shared and the
+        mask-key limb count is fixed per group), so the whole phase is
+        one ``(senders, recipients, frame)`` uint8 stack; a recipient's
+        mailbox is a plane of its transpose.  Returns ``None`` when the
+        uploads are not uniform — the caller then materializes them and
+        takes the object route (identical bytes, just slower).
+        """
+        senders = sorted(self._sealed_columns)
+        roster, _, frame_len = self._sealed_columns[senders[0]]
+        if any(
+            stored[0] != roster or stored[2] != frame_len
+            for stored in self._sealed_columns.values()
+        ):
+            return None
+        survivors = self._crypto.register_share_keys(senders)
+        stack = np.empty(
+            (len(senders), len(roster), frame_len), dtype=np.uint8
+        )
+        for row, sender in enumerate(senders):
+            stack[row] = np.frombuffer(
+                self._sealed_columns[sender][1], dtype=np.uint8
+            ).reshape(len(roster), frame_len)
+        routed = route_sealed_stack(stack)
+        # Senders are pre-sorted, so each plane is already the
+        # sorted-by-sender join the object path would have produced.
+        out = {
+            recipient: (routed[column].tobytes(), len(senders))
+            for column, recipient in enumerate(roster)
+            if recipient in survivors
+        }
+        self._sealed_columns.clear()
+        self._expected = frozenset(out)
+        return out
+
+    def _materialize_columns(self) -> None:
+        """Fold columnar uploads back into the object-path stores.
+
+        Taken when the phase mixed columnar and object deliveries (or
+        non-uniform rosters): correctness over speed.
+        """
+        for sender, (_, payload, _) in sorted(self._sealed_columns.items()):
+            decoded = decode_sealed_datagram(payload)
+            if decoded is None:  # pragma: no cover - stored post-validation
+                raise AggregationError(
+                    f"stored columnar upload from client {sender} no "
+                    "longer parses"
+                )
+            _, envelopes, raws = decoded
+            self._envelopes.setdefault(sender, []).extend(envelopes)
+            for envelope, raw in zip(envelopes, raws):
+                self._envelope_raw[
+                    (envelope.sender, envelope.recipient)
+                ] = raw
+        self._sealed_columns.clear()
 
     def _close_masked_input(self) -> dict[int, tuple[bytes, int]]:
         request = self._crypto.collect_masked_inputs(self._masked)

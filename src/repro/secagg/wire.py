@@ -46,10 +46,16 @@ transports attach to their round outcomes.
 from __future__ import annotations
 
 import dataclasses
+import os
 import struct
 from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
+
+try:  # Optional JIT for the bulk routing kernels; numpy otherwise.
+    import numba
+except ImportError:  # pragma: no cover - exercised where numba is absent
+    numba = None
 
 from repro.errors import AggregationError
 from repro.secagg.shamir import LimbShares, Share
@@ -88,9 +94,12 @@ class NegotiatedHeader:
 
     Attributes:
         version: Protocol semantics version (``PROTOCOL_V1``).
-        mask_prg: Registry name of the mask PRG backend
-            (:data:`repro.secagg.kernels.MASK_PRGS`) every participant
-            of the round must share.
+        mask_prg: The negotiated backend string every participant of the
+            round must share.  A plain mask-PRG registry name
+            (:data:`repro.secagg.kernels.MASK_PRGS`) implies classic
+            modular DH; ``"<prg>+<kex>"`` additionally selects a
+            key-agreement backend (see :func:`split_suite`), keeping
+            pre-existing byte streams unchanged.
     """
 
     version: int
@@ -147,6 +156,17 @@ def intern_header(version: int, mask_prg: str | bytes) -> NegotiatedHeader:
             _header_cache.clear()
         _header_cache[key] = header
     return header
+
+
+def split_suite(name: str) -> tuple[str, str]:
+    """Split a negotiated backend string into (mask PRG, key agreement).
+
+    A bare PRG name means classic modular DH (``"mod-dh"``) — exactly
+    what every pre-x25519 frame carried, so old byte streams and golden
+    vectors parse unchanged; ``"<prg>+<kex>"`` names both backends.
+    """
+    prg, sep, kex = name.partition("+")
+    return prg, (kex if sep else "mod-dh")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -382,6 +402,19 @@ def _decode_index_set(reader: _Reader) -> frozenset[int]:
     return frozenset(reader.u32() for _ in range(count))
 
 
+def _append_key_section(
+    parts: list[bytes], key_shares: Mapping[int, LimbShares]
+) -> None:
+    """Append the per-dropout key-share section of an unmask response."""
+    parts.append(len(key_shares).to_bytes(4, "little"))
+    for peer in sorted(key_shares):
+        limb_shares = key_shares[peer]
+        parts.append(peer.to_bytes(4, "little"))
+        parts.append(limb_shares.x.to_bytes(4, "little"))
+        parts.append(len(limb_shares.ys).to_bytes(2, "little"))
+        parts.extend(_encode_biguint(y) for y in limb_shares.ys)
+
+
 def _encode_body(message: Message) -> bytes:
     if isinstance(message, Hello):
         return message.sender.to_bytes(4, "little")
@@ -445,13 +478,7 @@ def _encode_body(message: Message) -> bytes:
                 )
         else:
             parts.append((1).to_bytes(1, "little"))
-        parts.append(len(message.key_shares).to_bytes(4, "little"))
-        for peer in sorted(message.key_shares):
-            limb_shares = message.key_shares[peer]
-            parts.append(peer.to_bytes(4, "little"))
-            parts.append(limb_shares.x.to_bytes(4, "little"))
-            parts.append(len(limb_shares.ys).to_bytes(2, "little"))
-            parts.extend(_encode_biguint(y) for y in limb_shares.ys)
+        _append_key_section(parts, message.key_shares)
         return b"".join(parts)
     if isinstance(message, Reject):
         reason = message.reason.encode("utf-8")
@@ -510,20 +537,9 @@ def _decode_body(msg_type: int, reader: _Reader) -> Message:
     return message
 
 
-def encode_message(message: Message, header: NegotiatedHeader) -> bytes:
-    """Serialise one message into a self-delimiting frame.
-
-    Deterministic: equal ``(message, header)`` pairs always produce
-    identical bytes (sets are sorted, integers minimally encoded).
-    """
-    try:
-        msg_type = _TYPE_OF_MESSAGE[type(message)]
-    except KeyError:
-        raise AggregationError(
-            f"cannot encode {type(message).__name__} frames"
-        ) from None
+def _frame(msg_type: int, body: bytes, header: NegotiatedHeader) -> bytes:
+    """Wrap an encoded body into a self-delimiting frame."""
     prg = header.mask_prg.encode("ascii")
-    body = _encode_body(message)
     length = _HEADER.size + len(prg) + len(body)
     return (
         _HEADER.pack(
@@ -537,6 +553,21 @@ def encode_message(message: Message, header: NegotiatedHeader) -> bytes:
         + prg
         + body
     )
+
+
+def encode_message(message: Message, header: NegotiatedHeader) -> bytes:
+    """Serialise one message into a self-delimiting frame.
+
+    Deterministic: equal ``(message, header)`` pairs always produce
+    identical bytes (sets are sorted, integers minimally encoded).
+    """
+    try:
+        msg_type = _TYPE_OF_MESSAGE[type(message)]
+    except KeyError:
+        raise AggregationError(
+            f"cannot encode {type(message).__name__} frames"
+        ) from None
+    return _frame(msg_type, _encode_body(message), header)
 
 
 def _decode_fast(
@@ -845,6 +876,365 @@ def decode_sealed_datagram(
     return header, envelopes, raws
 
 
+@dataclasses.dataclass(frozen=True, eq=False)
+class UnmaskColumns:
+    """Columnar twin of :class:`UnmaskResponse` for the bulk unmask leg.
+
+    Parallel arrays instead of per-peer dicts: ``peers`` holds the
+    sorted survivor ids, ``xs``/``ys`` the matching seed-share columns
+    (``ys`` is uint64, or dtype=object for fields beyond 64 bits); the
+    per-dropout ``key_shares`` stay a small dict.  Encoding the columns
+    (:func:`encode_unmask_columns`) is byte-identical to encoding
+    :meth:`to_response`, and the server consumes the columns directly —
+    one transpose at recovery instead of O(survivors × threshold) dict
+    lookups.
+    """
+
+    responder: int
+    peers: np.ndarray
+    xs: np.ndarray
+    ys: np.ndarray
+    key_shares: dict[int, LimbShares]
+
+    def to_response(self) -> UnmaskResponse:
+        """Materialise the equivalent per-peer :class:`UnmaskResponse`."""
+        return UnmaskResponse(
+            responder=self.responder,
+            seed_shares={
+                int(peer): Share(x=int(x), y=int(y))
+                for peer, x, y in zip(self.peers, self.xs, self.ys)
+            },
+            key_shares=dict(self.key_shares),
+        )
+
+
+def encode_unmask_columns(
+    columns: UnmaskColumns, header: NegotiatedHeader
+) -> bytes:
+    """Encode an :class:`UnmaskColumns` frame straight from its arrays.
+
+    Byte-identical to ``encode_message(columns.to_response(), header)``
+    (the golden and property suites pin this), without materialising
+    per-peer ``Share`` objects on the O(survivors) leg.
+    """
+    count = int(columns.peers.shape[0])
+    parts = [
+        columns.responder.to_bytes(4, "little"),
+        count.to_bytes(4, "little"),
+    ]
+    if count:
+        ys = columns.ys
+        width = _column_width(int(ys.max()))
+        parts.append(width.to_bytes(1, "little"))
+        parts.append(
+            np.ascontiguousarray(columns.peers, dtype="<u4").tobytes()
+        )
+        parts.append(np.ascontiguousarray(columns.xs, dtype="<u4").tobytes())
+        if width <= 8:
+            parts.append(
+                np.asarray(ys, dtype="<u8").astype(f"<u{width}").tobytes()
+            )
+        else:
+            parts.append(
+                b"".join(int(y).to_bytes(width, "little") for y in ys)
+            )
+    else:
+        parts.append((1).to_bytes(1, "little"))
+    _append_key_section(parts, columns.key_shares)
+    return _frame(MSG_UNMASK_RESPONSE, b"".join(parts), header)
+
+
+def decode_unmask_columns(
+    data: bytes,
+) -> tuple[NegotiatedHeader, UnmaskColumns] | None:
+    """Columnar bulk-parse of a single-frame unmask-response datagram.
+
+    The round-3 upload is exactly one :class:`UnmaskResponse` frame
+    whose seed section is already columnar on the wire; this parser
+    keeps it columnar — zero per-survivor ``Share`` objects — for the
+    server's vectorised recovery path.
+
+    Returns:
+        ``(header, columns)``, or ``None`` when the datagram is not a
+        lone unmask-response frame (callers fall back to
+        :func:`iter_frames`; results are equivalent either way).
+
+    Raises:
+        AggregationError: If the frame matches but its body is corrupt
+            (same errors as the scalar decoder).
+    """
+    total = len(data)
+    if total < _HEADER.size:
+        return None
+    magic, fmt, msg_type, length, version, prg_len = _HEADER.unpack_from(
+        data, 0
+    )
+    if (
+        magic != WIRE_MAGIC
+        or fmt != WIRE_FORMAT_VERSION
+        or msg_type != MSG_UNMASK_RESPONSE
+        or length != total
+        or _HEADER.size + prg_len > total
+    ):
+        return None
+    header_size = _HEADER.size + prg_len
+    header = intern_header(version, bytes(data[_HEADER.size : header_size]))
+    view = memoryview(data)
+    from_bytes = int.from_bytes
+    cursor = header_size
+    end = total
+
+    def read_uint(width: int) -> int:
+        nonlocal cursor
+        if cursor + width > end:
+            raise AggregationError(
+                "malformed wire frame: body truncated "
+                f"({end - cursor} bytes left, {width} needed)"
+            )
+        value = from_bytes(view[cursor : cursor + width], "little")
+        cursor += width
+        return value
+
+    responder = read_uint(4)
+    seed_count = read_uint(4)
+    seed_width = read_uint(1)
+    if seed_width not in (1, 2, 4, 8, 16):
+        raise AggregationError(
+            f"malformed wire frame: seed column width {seed_width}"
+        )
+    peers = xs = ys = np.empty(0, dtype=np.uint64)
+    if seed_count:
+        columns = 8 + seed_width
+        if cursor + seed_count * columns > end:
+            raise AggregationError(
+                "malformed wire frame: body truncated "
+                f"({end - cursor} bytes left, "
+                f"{seed_count * columns} needed)"
+            )
+        peers = np.frombuffer(
+            view, dtype="<u4", count=seed_count, offset=cursor
+        )
+        cursor += 4 * seed_count
+        xs = np.frombuffer(view, dtype="<u4", count=seed_count, offset=cursor)
+        cursor += 4 * seed_count
+        if seed_width <= 8:
+            ys = np.frombuffer(
+                view, dtype=f"<u{seed_width}", count=seed_count, offset=cursor
+            ).astype(np.uint64)
+            cursor += seed_width * seed_count
+        else:
+            ys = np.asarray(
+                [
+                    from_bytes(
+                        view[cursor + k * 16 : cursor + (k + 1) * 16],
+                        "little",
+                    )
+                    for k in range(seed_count)
+                ],
+                dtype=object,
+            )
+            cursor += 16 * seed_count
+    key_shares: dict[int, LimbShares] = {}
+    for _ in range(read_uint(4)):
+        peer = read_uint(4)
+        x = read_uint(4)
+        num_limbs = read_uint(2)
+        limbs = []
+        for _ in range(num_limbs):
+            width = read_uint(2)
+            if width == 0:
+                raise AggregationError(
+                    "malformed wire frame: zero-width integer"
+                )
+            limbs.append(read_uint(width))
+        key_shares[peer] = LimbShares(x=x, ys=tuple(limbs))
+    if cursor != end:
+        raise AggregationError(
+            f"malformed wire frame: {end - cursor} trailing body bytes"
+        )
+    return header, UnmaskColumns(
+        responder=responder,
+        peers=peers,
+        xs=xs,
+        ys=ys,
+        key_shares=key_shares,
+    )
+
+
+def _interleave_numpy(stack: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(stack.transpose(1, 0, 2))
+
+
+if numba is not None:  # pragma: no cover - container-dependent
+
+    @numba.njit(cache=True)
+    def _interleave_jit(stack):
+        senders, recipients, frame_len = stack.shape
+        out = np.empty((recipients, senders, frame_len), dtype=np.uint8)
+        for row in range(senders):
+            for col in range(recipients):
+                out[col, row] = stack[row, col]
+        return out
+
+    _interleave = _interleave_jit
+else:
+    _interleave = _interleave_numpy
+
+
+def route_sealed_stack(stack: np.ndarray) -> np.ndarray:
+    """Route a uniform sealed-shares tensor to per-recipient mailboxes.
+
+    ``stack[s, r]`` is sender ``s``'s raw frame bound for the recipient
+    in column ``r`` (senders in sorted order, the recipient order shared
+    by every sender).  The result's ``[r]`` plane is recipient ``r``'s
+    whole mailbox, frames already in sorted-sender order — ``tobytes()``
+    of a plane is the exact datagram the per-envelope path would have
+    joined.  Runs as one contiguous transpose (numba-jitted when
+    available).
+    """
+    return _interleave(stack)
+
+
+class ScalarWireCodec:
+    """Reference codec: every message through the per-frame encoder.
+
+    Kept selectable so CI can pin the batched kernels bit-identical to
+    this path on real round traffic.
+    """
+
+    name = "scalar"
+    #: Whether the server should keep bulk uploads columnar end to end.
+    columnar = False
+
+    def encode_sealed_matrix(
+        self,
+        sender: int,
+        recipients: Sequence[int],
+        ciphertexts: np.ndarray,
+        header: NegotiatedHeader,
+    ) -> bytes:
+        return b"".join(
+            encode_message(
+                SealedShares(
+                    sender=sender,
+                    recipient=recipient,
+                    ciphertext=ciphertexts[position].tobytes(),
+                ),
+                header,
+            )
+            for position, recipient in enumerate(recipients)
+        )
+
+    def encode_masked_input(
+        self, sender: int, vector: np.ndarray, header: NegotiatedHeader
+    ) -> bytes:
+        return encode_message(MaskedInput(sender=sender, vector=vector), header)
+
+    def encode_unmask_columns(
+        self, columns: UnmaskColumns, header: NegotiatedHeader
+    ) -> bytes:
+        return encode_message(columns.to_response(), header)
+
+    def decode_unmask(
+        self, data: bytes
+    ) -> tuple[NegotiatedHeader, UnmaskColumns] | None:
+        return None
+
+
+class BatchedWireCodec(ScalarWireCodec):
+    """Vectorised codec for the three bulk legs; byte-identical output.
+
+    Sealed-shares matrices, masked-input payloads and unmask responses
+    are encoded straight from their arrays (and unmask responses decoded
+    back to columns), skipping per-frame Python object construction on
+    the quadratic paths.  Golden vectors and Hypothesis equivalence pin
+    every leg to :class:`ScalarWireCodec` bit for bit.
+    """
+
+    name = "batched"
+    columnar = True
+
+    def encode_sealed_matrix(
+        self,
+        sender: int,
+        recipients: Sequence[int],
+        ciphertexts: np.ndarray,
+        header: NegotiatedHeader,
+    ) -> bytes:
+        return encode_sealed_matrix(sender, recipients, ciphertexts, header)
+
+    def encode_masked_input(
+        self, sender: int, vector: np.ndarray, header: NegotiatedHeader
+    ) -> bytes:
+        vector = np.ascontiguousarray(vector, dtype="<i8")
+        if vector.ndim != 1:
+            raise AggregationError(
+                f"masked input must be 1-d, got shape {vector.shape}"
+            )
+        return _frame(
+            MSG_MASKED_INPUT,
+            _MASKED_PREFIX.pack(sender, vector.shape[0]) + vector.tobytes(),
+            header,
+        )
+
+    def encode_unmask_columns(
+        self, columns: UnmaskColumns, header: NegotiatedHeader
+    ) -> bytes:
+        return encode_unmask_columns(columns, header)
+
+    def decode_unmask(
+        self, data: bytes
+    ) -> tuple[NegotiatedHeader, UnmaskColumns] | None:
+        return decode_unmask_columns(data)
+
+
+#: Wire codec registry, mirroring :data:`repro.secagg.kernels.MASK_PRGS`:
+#: both entries produce identical bytes; the knob exists so equivalence
+#: can be asserted on live traffic and regressions bisected.
+WIRE_CODECS: dict[str, ScalarWireCodec] = {
+    codec.name: codec for codec in (ScalarWireCodec(), BatchedWireCodec())
+}
+
+_default_wire_codec = os.environ.get("REPRO_WIRE_CODEC", "batched")
+if _default_wire_codec not in WIRE_CODECS:  # Fail fast on a typo'd env.
+    raise AggregationError(
+        f"unknown wire codec {_default_wire_codec!r} in REPRO_WIRE_CODEC "
+        f"(choose from {sorted(WIRE_CODECS)})"
+    )
+
+
+def get_wire_codec(codec: "str | ScalarWireCodec | None" = None):
+    """Resolve a codec name/instance; ``None`` means the process default.
+
+    The default is ``"batched"`` unless overridden by the
+    ``REPRO_WIRE_CODEC`` environment variable or
+    :func:`set_default_wire_codec`.
+    """
+    if codec is None:
+        codec = _default_wire_codec
+    if isinstance(codec, str):
+        try:
+            return WIRE_CODECS[codec]
+        except KeyError:
+            raise AggregationError(
+                f"unknown wire codec {codec!r} "
+                f"(choose from {sorted(WIRE_CODECS)})"
+            ) from None
+    return codec
+
+
+def set_default_wire_codec(name: str) -> str:
+    """Set the process-wide default codec; returns the previous name."""
+    global _default_wire_codec
+    if name not in WIRE_CODECS:
+        raise AggregationError(
+            f"unknown wire codec {name!r} (choose from {sorted(WIRE_CODECS)})"
+        )
+    previous = _default_wire_codec
+    _default_wire_codec = name
+    return previous
+
+
 #: Broadcast-decode memo: the server sends *one* roster (and unmask
 #: request) byte string to every recipient, so each client would decode
 #: identical bytes — quadratically many advertise parses per round.
@@ -1070,6 +1460,36 @@ class WireStats:
                     entry[f"{direction}_messages"] += tally.messages
                     entry[f"{direction}_bytes"] += tally.bytes
         return summary
+
+    def phase_summary(self, phase: str) -> dict[str, int] | None:
+        """Totals for one phase tag, or ``None`` if it has no cells.
+
+        Cells are keyed by phase and a round's phases never revisit, so
+        once a phase's span closes this equals the
+        ``snapshot()``/``diff()`` delta for that tag — at the cost of a
+        single pass over one tag's cells instead of a deep copy and a
+        cell-wise subtraction of the whole ledger.  This is the hot-path
+        metering primitive; snapshot/diff remain for interval scrapers.
+        """
+        up = self.uploads.get(phase)
+        down = self.downloads.get(phase)
+        if not up and not down:
+            return None
+        entry = {
+            "up_messages": 0,
+            "up_bytes": 0,
+            "down_messages": 0,
+            "down_bytes": 0,
+        }
+        if up:
+            for tally in up.values():
+                entry["up_messages"] += tally.messages
+                entry["up_bytes"] += tally.bytes
+        if down:
+            for tally in down.values():
+                entry["down_messages"] += tally.messages
+                entry["down_bytes"] += tally.bytes
+        return entry
 
     def client_totals(self) -> dict[int, dict[str, int]]:
         """Aggregate view per client: messages and bytes each direction."""

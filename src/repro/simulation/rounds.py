@@ -40,8 +40,11 @@ With a :class:`~repro.telemetry.MetricsRegistry` attached, the round
 additionally reports per-phase latency histograms on both clocks
 (via :func:`~repro.telemetry.time_phase` spans), outcome / dropout /
 timeout / straggler counters, and wire byte+message counters derived
-from per-phase :meth:`WireStats.diff <repro.secagg.wire.WireStats.diff>`
-deltas.  Instrumentation only ever *reads* the simulated clock — never
+from per-phase :meth:`WireStats.phase_summary
+<repro.secagg.wire.WireStats.phase_summary>` totals (each phase's wire
+cells are written exactly once, so the per-tag totals *are* the phase
+delta — no ledger snapshot/diff on the hot path).
+Instrumentation only ever *reads* the simulated clock — never
 the RNG — so metered and unmetered runs stay bit-identical.
 """
 
@@ -66,7 +69,7 @@ from repro.secagg.bonawitz import (
 )
 from repro.secagg.field import DEFAULT_FIELD, PrimeField
 from repro.secagg.kernels import MaskPrg, get_mask_prg
-from repro.secagg.keys import TOY_GROUP, DhGroup
+from repro.secagg.keys import TOY_GROUP, KeyAgreementGroup
 from repro.secagg.statemachine import (
     PHASE_TAGS,
     ClientSession,
@@ -156,6 +159,10 @@ class AsyncSecAggRound:
             :class:`~repro.errors.ChaosKillError`) when it reaches this
             phase, before collecting or committing anything for it.
             ``None`` (default) never fails.
+        wire_codec: Wire codec backend name for every session in the
+            round (``None`` = process default, normally ``"batched"``).
+            Bytes are identical across codecs; the knob exists for
+            equivalence assertions and bisection.
     """
 
     def __init__(
@@ -167,7 +174,7 @@ class AsyncSecAggRound:
         rng: np.random.Generator,
         plans: Mapping[int, ClientPlan] | None = None,
         phase_timeout: float = 60.0,
-        group: DhGroup | None = None,
+        group: KeyAgreementGroup | None = None,
         field: PrimeField = DEFAULT_FIELD,
         trace: SimulationTrace | None = None,
         tamper_unmask_request: Callable[[UnmaskRequest], UnmaskRequest]
@@ -176,6 +183,7 @@ class AsyncSecAggRound:
         client_versions: Mapping[int, int] | None = None,
         metrics: MetricsRegistry | None = None,
         fail_at_phase: int | None = None,
+        wire_codec: str | None = None,
     ) -> None:
         if not vectors:
             raise ConfigurationError("cohort must not be empty")
@@ -208,6 +216,7 @@ class AsyncSecAggRound:
         self._trace = trace
         self._tamper = tamper_unmask_request
         self._mask_prg = get_mask_prg(mask_prg)
+        self._wire_codec = wire_codec
         self._client_versions = dict(client_versions or {})
         if fail_at_phase is not None and not (
             ROUND_ADVERTISE <= fail_at_phase <= ROUND_UNMASK
@@ -372,6 +381,7 @@ class AsyncSecAggRound:
             self._mask_prg,
             tamper_unmask_request=self._tamper,
             metrics=self._metrics,
+            wire_codec=self._wire_codec,
         )
         # Phase 0 is the only one where the cohort (the transport's
         # knowledge) defines who may deliver; afterwards the session
@@ -393,7 +403,6 @@ class AsyncSecAggRound:
                 raise ChaosKillError(
                     f"chaos: server killed before the {tag} phase committed"
                 )
-            wire_before = session.stats.snapshot() if observing else None
             with self._phase_span(tag):
                 datagrams = await self._collect(tag, expected=expected)
                 for sender, payload in datagrams.items():
@@ -424,9 +433,11 @@ class AsyncSecAggRound:
                 if phase != ROUND_UNMASK:
                     self._broadcast(deliveries, among=expected)
                 expected = set(session.expected)
-            if wire_before is not None:
-                delta = session.stats.diff(wire_before)
-                totals = delta.phase_totals().get(tag)
+            if observing:
+                # Each phase writes its wire cells exactly once, so the
+                # per-tag totals are the phase delta — no ledger
+                # snapshot/diff in the hot loop.
+                totals = session.stats.phase_summary(tag)
                 if totals is not None:
                     self._record("wire-phase", phase=tag, **totals)
                     self._count_wire(tag, totals)
@@ -510,6 +521,7 @@ class AsyncSecAggRound:
             mask_prg=self._mask_prg,
             version=self._client_versions.get(index, PROTOCOL_V1),
             metrics=self._metrics,
+            wire_codec=self._wire_codec,
         )
         self._live_clients[index] = session
         # Phase 0 — propose the header and advertise both public keys.

@@ -1,0 +1,312 @@
+"""Batched wire-codec tests: golden pins, equivalence, and round digests.
+
+The batched codec's whole contract is *bit-identity* with the scalar
+reference path — golden vectors freeze the bytes, Hypothesis pins the
+scalar/batched equivalence on arbitrary inputs, and a full protocol run
+is compared datagram-for-datagram across codecs.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AggregationError
+from repro.secagg.bonawitz import run_bonawitz
+from repro.secagg.shamir import LimbShares, Share
+from repro.secagg.wire import (
+    PROTOCOL_V1,
+    WIRE_CODECS,
+    MaskedInput,
+    NegotiatedHeader,
+    UnmaskColumns,
+    UnmaskResponse,
+    decode_message,
+    decode_sealed_columns,
+    decode_unmask_columns,
+    encode_message,
+    get_wire_codec,
+    route_sealed_stack,
+    set_default_wire_codec,
+)
+
+HEADER = NegotiatedHeader(version=PROTOCOL_V1, mask_prg="sha256-ctr")
+SCALAR = WIRE_CODECS["scalar"]
+BATCHED = WIRE_CODECS["batched"]
+
+#: Frozen batched-codec outputs (same format contract as
+#: ``tests/test_wire.py``): the masked-input and unmask hexes are
+#: byte-identical to that module's per-frame golden vectors.
+GOLDEN_SEALED_MATRIX = (
+    "534701032300000001000a7368613235362d637472"
+    "020000000500000002000000dead"
+    "534701032300000001000a7368613235362d637472"
+    "020000000600000002000000beef"
+)
+GOLDEN_MASKED = (
+    "534701043d00000001000a7368613235362d637472"
+    "0400000004000000000000000000000001000000000000"
+    "00ffff0000000000000000000000010000"
+)
+GOLDEN_UNMASK = (
+    "534701065100000001000a7368613235362d637472"
+    "060000000200000004"
+    "02000000050000000600000006000000"
+    "15cd5b0701000000"
+    "010000000900000006000000020001000a0800feffffffffffff1f"
+)
+
+
+def _columns(responder, seed_shares, key_shares, prime=2**61 - 1):
+    """Build an :class:`UnmaskColumns` the way the client session does."""
+    peers = sorted(seed_shares)
+    dtype = np.uint64 if prime <= (1 << 64) else object
+    return UnmaskColumns(
+        responder=responder,
+        peers=np.asarray(peers, dtype="<u4"),
+        xs=np.fromiter(
+            (seed_shares[p].x for p in peers), dtype="<u4", count=len(peers)
+        ),
+        ys=np.asarray([seed_shares[p].y for p in peers], dtype=dtype),
+        key_shares=dict(sorted(key_shares.items())),
+    )
+
+
+class TestGoldenVectors:
+    def test_sealed_matrix_matches_golden(self):
+        ciphertexts = np.array([[0xDE, 0xAD], [0xBE, 0xEF]], dtype=np.uint8)
+        encoded = BATCHED.encode_sealed_matrix(2, [5, 6], ciphertexts, HEADER)
+        assert encoded.hex() == GOLDEN_SEALED_MATRIX
+
+    def test_masked_input_matches_golden(self):
+        vector = np.array([0, 1, 65535, 2**40], dtype=np.int64)
+        assert (
+            BATCHED.encode_masked_input(4, vector, HEADER).hex()
+            == GOLDEN_MASKED
+        )
+
+    def test_unmask_columns_match_golden(self):
+        columns = _columns(
+            6,
+            {2: Share(x=6, y=123456789), 5: Share(x=6, y=1)},
+            {9: LimbShares(x=6, ys=(10, 2**61 - 2))},
+        )
+        assert (
+            BATCHED.encode_unmask_columns(columns, HEADER).hex()
+            == GOLDEN_UNMASK
+        )
+
+    def test_golden_unmask_decodes_to_columns(self):
+        header, columns = decode_unmask_columns(bytes.fromhex(GOLDEN_UNMASK))
+        assert header == HEADER
+        assert columns.responder == 6
+        assert columns.peers.tolist() == [2, 5]
+        assert columns.xs.tolist() == [6, 6]
+        assert columns.ys.tolist() == [123456789, 1]
+        assert columns.key_shares == {9: LimbShares(x=6, ys=(10, 2**61 - 2))}
+        _, response = decode_message(bytes.fromhex(GOLDEN_UNMASK))
+        assert columns.to_response() == response
+
+
+SEED_STRATEGY = st.dictionaries(
+    st.integers(min_value=1, max_value=2**32 - 1),
+    st.tuples(
+        st.integers(min_value=1, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=2**128 - 1),
+    ),
+    max_size=12,
+)
+KEY_STRATEGY = st.dictionaries(
+    st.integers(min_value=1, max_value=2**32 - 1),
+    st.tuples(
+        st.integers(min_value=1, max_value=2**32 - 1),
+        st.lists(
+            st.integers(min_value=0, max_value=2**128 - 1),
+            min_size=1,
+            max_size=4,
+        ),
+    ),
+    max_size=6,
+)
+
+
+class TestScalarBatchedEquivalence:
+    @given(
+        sender=st.integers(min_value=1, max_value=2**32 - 1),
+        recipients=st.lists(
+            st.integers(min_value=1, max_value=2**32 - 1),
+            min_size=1,
+            max_size=12,
+            unique=True,
+        ),
+        width=st.integers(min_value=0, max_value=48),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sealed_matrix(self, sender, recipients, width, data):
+        raw = data.draw(
+            st.binary(
+                min_size=len(recipients) * width,
+                max_size=len(recipients) * width,
+            )
+        )
+        ciphertexts = np.frombuffer(raw, dtype=np.uint8).reshape(
+            len(recipients), width
+        )
+        assert BATCHED.encode_sealed_matrix(
+            sender, recipients, ciphertexts, HEADER
+        ) == SCALAR.encode_sealed_matrix(
+            sender, recipients, ciphertexts, HEADER
+        )
+
+    @given(
+        sender=st.integers(min_value=1, max_value=2**32 - 1),
+        values=st.lists(
+            st.integers(min_value=-(2**63), max_value=2**63 - 1),
+            max_size=40,
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_masked_input(self, sender, values):
+        vector = np.array(values, dtype=np.int64)
+        assert BATCHED.encode_masked_input(
+            sender, vector, HEADER
+        ) == SCALAR.encode_masked_input(sender, vector, HEADER)
+
+    @given(
+        responder=st.integers(min_value=1, max_value=2**32 - 1),
+        seeds=SEED_STRATEGY,
+        keys=KEY_STRATEGY,
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_unmask_columns(self, responder, seeds, keys):
+        columns = _columns(
+            responder,
+            {p: Share(x=x, y=y) for p, (x, y) in seeds.items()},
+            {p: LimbShares(x=x, ys=tuple(ys)) for p, (x, ys) in keys.items()},
+            prime=2**128,  # Force the object-dtype (16-byte) column path.
+        )
+        assert BATCHED.encode_unmask_columns(
+            columns, HEADER
+        ) == SCALAR.encode_unmask_columns(columns, HEADER)
+
+    @given(
+        responder=st.integers(min_value=1, max_value=2**32 - 1),
+        seeds=SEED_STRATEGY,
+        keys=KEY_STRATEGY,
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_unmask_decode_round_trip(self, responder, seeds, keys):
+        response = UnmaskResponse(
+            responder=responder,
+            seed_shares={p: Share(x=x, y=y) for p, (x, y) in seeds.items()},
+            key_shares={
+                p: LimbShares(x=x, ys=tuple(ys))
+                for p, (x, ys) in keys.items()
+            },
+        )
+        encoded = encode_message(response, HEADER)
+        decoded = decode_unmask_columns(encoded)
+        assert decoded is not None
+        header, columns = decoded
+        assert header == HEADER
+        assert columns.to_response() == response
+
+
+class TestColumnarRouting:
+    def test_route_matches_per_frame_transpose(self):
+        rng = np.random.default_rng(3)
+        stack = rng.integers(
+            0, 256, size=(5, 7, 33), dtype=np.uint8
+        )
+        routed = route_sealed_stack(stack)
+        assert routed.shape == (7, 5, 33)
+        for col in range(7):
+            expected = b"".join(
+                stack[row, col].tobytes() for row in range(5)
+            )
+            assert routed[col].tobytes() == expected
+
+    def test_routed_mailbox_is_columnar_decodable(self):
+        ciphertexts = np.arange(24, dtype=np.uint8).reshape(3, 8)
+        datagrams = [
+            BATCHED.encode_sealed_matrix(s, [1, 2, 3], ciphertexts, HEADER)
+            for s in (1, 2, 3)
+        ]
+        frame_len = len(datagrams[0]) // 3
+        stack = np.stack(
+            [
+                np.frombuffer(d, dtype=np.uint8).reshape(3, frame_len)
+                for d in datagrams
+            ]
+        )
+        routed = route_sealed_stack(stack)
+        header, senders, recipients, _, _ = decode_sealed_columns(
+            routed[1].tobytes()
+        )
+        assert header == HEADER
+        assert senders == [1, 2, 3]
+        assert recipients == [2, 2, 2]
+
+
+class TestCodecRegistry:
+    def test_default_is_batched(self):
+        assert get_wire_codec(None).name == "batched"
+
+    def test_lookup_by_name_and_instance(self):
+        assert get_wire_codec("scalar") is SCALAR
+        assert get_wire_codec(BATCHED) is BATCHED
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(AggregationError, match="unknown wire codec"):
+            get_wire_codec("zstd")
+        with pytest.raises(AggregationError, match="unknown wire codec"):
+            set_default_wire_codec("zstd")
+
+    def test_set_default_round_trips(self):
+        previous = set_default_wire_codec("scalar")
+        try:
+            assert previous == "batched"
+            assert get_wire_codec(None).name == "scalar"
+        finally:
+            set_default_wire_codec(previous)
+
+    def test_scalar_decode_unmask_declines(self):
+        encoded = BATCHED.encode_unmask_columns(
+            _columns(6, {2: Share(x=6, y=1)}, {}), HEADER
+        )
+        assert SCALAR.decode_unmask(encoded) is None
+        assert BATCHED.decode_unmask(encoded) is not None
+
+
+class TestCrossCodecRounds:
+    """Full four-round protocol runs must be digest-identical."""
+
+    def _digest(self, outcome):
+        return hashlib.sha256(
+            np.ascontiguousarray(outcome.modular_sum).tobytes()
+        ).hexdigest()
+
+    @pytest.mark.parametrize("dropouts", [None, {2: 2, 5: 3}])
+    def test_run_bonawitz_digest_equal(self, dropouts):
+        results = {}
+        for codec in ("scalar", "batched"):
+            rng = np.random.default_rng(20220601)
+            vectors = rng.integers(0, 1000, size=(9, 24))
+            outcome = run_bonawitz(
+                vectors,
+                modulus=2**31 - 1,
+                threshold=5,
+                rng=np.random.default_rng(7),
+                dropouts=dict(dropouts) if dropouts else None,
+                wire_codec=codec,
+            )
+            results[codec] = (
+                self._digest(outcome),
+                outcome.included,
+                outcome.wire.total_messages,
+                outcome.wire.total_bytes,
+            )
+        assert results["scalar"] == results["batched"]
